@@ -1,0 +1,233 @@
+// Package bips is the public API of the BIPS indoor Bluetooth-based
+// positioning service, a reproduction of Anastasi et al., "Experimenting an
+// Indoor Bluetooth-based Positioning Service" (ICDCS Workshops 2003).
+//
+// A Service is a simulated deployment of the paper's system: one Bluetooth
+// workstation cell per significant room of a building, a central server
+// with the user registry and location database, and mobile users walking
+// between cells. The service tracks logged-in users room-by-room and
+// answers the paper's headline query: the shortest path a user must walk
+// to reach another user.
+//
+//	svc, err := bips.New(bips.Config{Seed: 1})
+//	svc.MustRegister("alice", "secret")
+//	svc.MustRegister("bob", "secret")
+//	aliceDev, _ := svc.AddStationaryUser("alice", "secret", "Lobby")
+//	bobDev, _ := svc.AddStationaryUser("bob", "secret", "Library")
+//	svc.Start()
+//	svc.Run(90 * time.Second) // simulated time
+//	path, _ := svc.PathTo("alice", "bob")
+//
+// All randomness is seeded: identical Config and identical call sequences
+// replay identically.
+package bips
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bips/internal/baseband"
+	"bips/internal/building"
+	"bips/internal/core"
+	"bips/internal/device"
+	"bips/internal/inquiry"
+	"bips/internal/mobility"
+	"bips/internal/radio"
+	"bips/internal/registry"
+	"bips/internal/sim"
+)
+
+// Config configures a Service.
+type Config struct {
+	// Seed drives all randomness (radio phases, backoffs, walkers).
+	Seed int64
+	// DiscoverySlot and CyclePeriod override the workstation duty
+	// cycle. Zero values select the paper's 3.84 s / 15.4 s policy.
+	DiscoverySlot time.Duration
+	CyclePeriod   time.Duration
+}
+
+// Location is a user's tracked position.
+type Location struct {
+	Room     int
+	RoomName string
+	// Age is how long ago (in simulated time) the presence was
+	// recorded relative to the query.
+	Age time.Duration
+}
+
+// Path is a navigation answer.
+type Path struct {
+	RoomNames []string
+	Meters    float64
+}
+
+// Service is a running BIPS deployment.
+type Service struct {
+	sys     *core.System
+	nextDev uint64
+}
+
+// ErrUnknownRoom is returned when a room name does not exist in the
+// deployment's building.
+var ErrUnknownRoom = errors.New("bips: unknown room name")
+
+// New creates a deployment over the built-in academic-department floor
+// plan.
+func New(cfg Config) (*Service, error) {
+	sysCfg := core.SystemConfig{Seed: cfg.Seed}
+	if cfg.DiscoverySlot != 0 || cfg.CyclePeriod != 0 {
+		sysCfg.Cycle = inquiry.DutyCycle{
+			Inquiry: sim.FromDuration(cfg.DiscoverySlot),
+			Period:  sim.FromDuration(cfg.CyclePeriod),
+		}
+	}
+	sys, err := core.NewSystem(sysCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Service{sys: sys, nextDev: 0xB000_0000_0001}, nil
+}
+
+// Rooms returns the building's room names in id order.
+func (s *Service) Rooms() []string {
+	rooms := s.sys.Building.Rooms()
+	out := make([]string, 0, len(rooms))
+	for _, r := range rooms {
+		out = append(out, r.Name)
+	}
+	return out
+}
+
+func (s *Service) roomByName(name string) (building.Room, error) {
+	for _, r := range s.sys.Building.Rooms() {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	return building.Room{}, fmt.Errorf("%w: %q", ErrUnknownRoom, name)
+}
+
+// Register registers a user with the default rights (locate + trackable).
+func (s *Service) Register(user, password string) error {
+	return s.sys.RegisterUser(registry.UserID(user), user, password,
+		registry.RightLocate, registry.RightTrackable)
+}
+
+// MustRegister is Register for program setup; it panics on error.
+func (s *Service) MustRegister(user, password string) {
+	if err := s.Register(user, password); err != nil {
+		panic(fmt.Sprintf("bips: register %s: %v", user, err))
+	}
+}
+
+func (s *Service) newAddr() baseband.BDAddr {
+	a := baseband.BDAddr(s.nextDev)
+	s.nextDev++
+	return a
+}
+
+// AddStationaryUser gives the user a handheld placed in the named room and
+// logs it in. It returns the assigned device address.
+func (s *Service) AddStationaryUser(user, password, room string) (string, error) {
+	r, err := s.roomByName(room)
+	if err != nil {
+		return "", err
+	}
+	addr := s.newAddr()
+	if _, err := s.sys.AddMobile(device.Config{Addr: addr, Start: r.Center}); err != nil {
+		return "", err
+	}
+	if err := s.sys.Login(registry.UserID(user), password, addr); err != nil {
+		return "", err
+	}
+	return addr.String(), nil
+}
+
+// AddWalkingUser gives the user a handheld that random-waypoint-walks the
+// whole floor plan at walking speeds, starting in the named room, and logs
+// it in. It returns the assigned device address.
+func (s *Service) AddWalkingUser(user, password, startRoom string) (string, error) {
+	r, err := s.roomByName(startRoom)
+	if err != nil {
+		return "", err
+	}
+	// Bounds covering all room centers with a small margin.
+	bounds := mobility.Rect{MinX: -2, MinY: -2, MaxX: 50, MaxY: 14}
+	w, err := mobility.NewWalker(mobility.WalkerConfig{
+		Bounds: bounds,
+		Start:  radio.Point{X: r.Center.X, Y: r.Center.Y},
+	}, s.sys.Kernel.Rand())
+	if err != nil {
+		return "", err
+	}
+	addr := s.newAddr()
+	if _, err := s.sys.AddMobile(device.Config{Addr: addr, Walker: w}); err != nil {
+		return "", err
+	}
+	if err := s.sys.Login(registry.UserID(user), password, addr); err != nil {
+		return "", err
+	}
+	return addr.String(), nil
+}
+
+// Logout stops tracking the user.
+func (s *Service) Logout(user string) error {
+	return s.sys.Logout(registry.UserID(user))
+}
+
+// Start begins tracking in every cell.
+func (s *Service) Start() { s.sys.Start() }
+
+// Stop halts tracking.
+func (s *Service) Stop() { s.sys.Stop() }
+
+// Run advances the simulation by d of simulated time.
+func (s *Service) Run(d time.Duration) { s.sys.Run(sim.FromDuration(d)) }
+
+// Now returns the current simulated time since start.
+func (s *Service) Now() time.Duration { return s.sys.Now().Duration() }
+
+// Locate answers "where is target" on behalf of querier.
+func (s *Service) Locate(querier, target string) (Location, error) {
+	res, err := s.sys.Locate(registry.UserID(querier), registry.UserID(target))
+	if err != nil {
+		return Location{}, err
+	}
+	return Location{
+		Room:     int(res.Room),
+		RoomName: res.RoomName,
+		Age:      (s.sys.Now() - res.At).Duration(),
+	}, nil
+}
+
+// PathTo answers the navigation query: the shortest path querier must walk
+// to reach target, as a sequence of room names.
+func (s *Service) PathTo(querier, target string) (Path, error) {
+	res, err := s.sys.PathTo(registry.UserID(querier), registry.UserID(target))
+	if err != nil {
+		return Path{}, err
+	}
+	return Path{RoomNames: res.Names, Meters: res.TotalMeters}, nil
+}
+
+// Policy exposes the paper's Section 5 scheduling policy derivation.
+type Policy struct {
+	DiscoverySlot    time.Duration
+	Cycle            time.Duration
+	ExpectedCoverage float64
+	Load             float64
+}
+
+// PaperPolicy returns the derived policy: a 3.84 s discovery slot per
+// 15.4 s cycle, ~95% per-slot coverage, ~24% tracking load.
+func PaperPolicy() Policy {
+	p := core.PaperPolicy()
+	return Policy{
+		DiscoverySlot:    p.DiscoverySlot.Duration(),
+		Cycle:            p.Cycle.Duration(),
+		ExpectedCoverage: p.ExpectedCoverage,
+		Load:             p.Load,
+	}
+}

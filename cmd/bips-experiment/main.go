@@ -1,0 +1,116 @@
+// Command bips-experiment regenerates the paper's tables and figures:
+//
+//	bips-experiment -run table1              # Section 4.1, Table 1
+//	bips-experiment -run fig2                # Section 4.2, Figure 2
+//	bips-experiment -run fig2 -series        # full (t, P) series
+//	bips-experiment -run policy              # Section 5 analysis
+//	bips-experiment -run ablation-collision  # collision handling on/off
+//	bips-experiment -run ablation-scan       # slave scan parameter sweep
+//	bips-experiment -run ablation-duty       # discovery-slot length sweep
+//	bips-experiment -run all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"bips/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bips-experiment:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("bips-experiment", flag.ContinueOnError)
+	var (
+		which  = fs.String("run", "all", "experiment: table1|fig2|policy|ablation-collision|ablation-scan|ablation-duty|all")
+		seed   = fs.Int64("seed", 2003, "random seed")
+		trials = fs.Int("trials", 500, "trials for table1/ablation-scan")
+		runs   = fs.Int("runs", 40, "independent runs per configuration")
+		series = fs.Bool("series", false, "with -run fig2: print the full (slaves, t, P) series")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	do := func(name string) bool { return *which == name || *which == "all" }
+
+	if do("table1") {
+		fmt.Fprintf(w, "== Table 1: average discovery time over %d inquiry trials ==\n", *trials)
+		fmt.Fprintln(w, "   (master dedicated to inquiry; slave alternates inquiry scan and page scan)")
+		res := experiments.RunTable1(*seed, *trials)
+		if err := res.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if do("fig2") {
+		fmt.Fprintln(w, "== Figure 2: discovery probability vs time (1s inquiry / 5s cycle, train A) ==")
+		res, err := experiments.RunFig2(*seed, experiments.Fig2Config{Runs: *runs})
+		if err != nil {
+			return err
+		}
+		if *series {
+			if err := res.Series(w); err != nil {
+				return err
+			}
+		} else if err := res.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if do("policy") {
+		fmt.Fprintln(w, "== Section 5: master scheduling policy ==")
+		res, err := experiments.RunPolicy(*seed, *runs)
+		if err != nil {
+			return err
+		}
+		if err := res.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if do("ablation-collision") {
+		fmt.Fprintln(w, "== Ablation: BlueHoc collision handling on/off ==")
+		res, err := experiments.RunCollisionAblation(*seed, nil, *runs)
+		if err != nil {
+			return err
+		}
+		if err := res.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if do("ablation-scan") {
+		fmt.Fprintln(w, "== Ablation: slave scan parameters (Table 1 workload) ==")
+		res := experiments.RunScanAblation(*seed, *trials)
+		if err := res.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if do("ablation-duty") {
+		fmt.Fprintln(w, "== Ablation: discovery-slot length vs coverage of 20 slaves ==")
+		res, err := experiments.RunDutyAblation(*seed, *runs)
+		if err != nil {
+			return err
+		}
+		if err := res.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+
+	switch *which {
+	case "table1", "fig2", "policy", "ablation-collision", "ablation-scan", "ablation-duty", "all":
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", *which)
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTable1(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-run", "table1", "-trials", "60"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table 1", "Same", "Different", "Mixed", "Paper Taverage"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunFig2(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-run", "fig2", "-runs", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "P(1s)") {
+		t.Errorf("output missing fig2 table:\n%s", sb.String())
+	}
+}
+
+func TestRunFig2Series(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-run", "fig2", "-runs", "2", "-series"}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) < 100 {
+		t.Errorf("series output too short: %d lines", len(lines))
+	}
+}
+
+func TestRunPolicy(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-run", "policy", "-runs", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Discovery slot", "3.84s", "Tracking load"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	for _, name := range []string{"ablation-collision", "ablation-scan", "ablation-duty"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run(&sb, []string{"-run", name, "-runs", "3", "-trials", "20"}); err != nil {
+				t.Fatal(err)
+			}
+			if len(sb.String()) < 100 {
+				t.Errorf("output too short:\n%s", sb.String())
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-run", "bogus"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

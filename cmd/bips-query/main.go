@@ -1,0 +1,96 @@
+// Command bips-query is the mobile client of the BIPS service: it logs
+// users in and out and asks the central server the paper's queries.
+//
+//	bips-query -server 127.0.0.1:7700 login alice secret AA:BB:CC:DD:EE:01
+//	bips-query -server 127.0.0.1:7700 locate alice bob
+//	bips-query -server 127.0.0.1:7700 path alice bob
+//	bips-query -server 127.0.0.1:7700 logout alice
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+
+	"bips/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bips-query:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: bips-query [-server addr] {login user pw dev | logout user | locate querier target | path querier target}")
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bips-query", flag.ContinueOnError)
+	serverAddr := fs.String("server", "127.0.0.1:7700", "central server address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return usage()
+	}
+
+	conn, err := net.Dial("tcp", *serverAddr)
+	if err != nil {
+		return err
+	}
+	client := wire.NewClient(wire.NewCodec(conn))
+	defer client.Close()
+
+	switch rest[0] {
+	case "login":
+		if len(rest) != 4 {
+			return usage()
+		}
+		if err := client.Call(wire.MsgLogin, wire.Login{
+			User: rest[1], Password: rest[2], Device: rest[3],
+		}, nil); err != nil {
+			return err
+		}
+		fmt.Printf("logged in %q on %s\n", rest[1], rest[3])
+	case "logout":
+		if len(rest) != 2 {
+			return usage()
+		}
+		if err := client.Call(wire.MsgLogout, wire.Logout{User: rest[1]}, nil); err != nil {
+			return err
+		}
+		fmt.Printf("logged out %q\n", rest[1])
+	case "locate":
+		if len(rest) != 3 {
+			return usage()
+		}
+		var res wire.LocateResult
+		if err := client.Call(wire.MsgLocate, wire.Locate{
+			Querier: rest[1], Target: rest[2],
+		}, &res); err != nil {
+			return err
+		}
+		fmt.Printf("%s is in room %d (%s), seen at tick %d\n",
+			rest[2], res.Room, res.RoomName, res.At)
+	case "path":
+		if len(rest) != 3 {
+			return usage()
+		}
+		var res wire.PathResult
+		if err := client.Call(wire.MsgPath, wire.PathQuery{
+			Querier: rest[1], Target: rest[2],
+		}, &res); err != nil {
+			return err
+		}
+		fmt.Printf("shortest path to %s (%.0f m): %s\n",
+			rest[2], res.TotalMeters, strings.Join(res.Names, " -> "))
+	default:
+		return usage()
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+// Command bips-server runs the BIPS central server over TCP: the user
+// registry, the location database and the navigation service for the
+// built-in academic-department building.
+//
+//	bips-server -listen :7700 -user alice:secret -user bob:secret
+//
+// Workstations (bips-station) connect and push presence deltas; clients
+// (bips-query) log users in and ask locate/path queries.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+
+	"bips/internal/building"
+	"bips/internal/locdb"
+	"bips/internal/registry"
+	"bips/internal/server"
+)
+
+type userList []string
+
+func (u *userList) String() string { return strings.Join(*u, ",") }
+
+func (u *userList) Set(v string) error {
+	if !strings.Contains(v, ":") {
+		return fmt.Errorf("want user:password, got %q", v)
+	}
+	*u = append(*u, v)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal("bips-server: ", err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bips-server", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7700", "TCP listen address")
+	var users userList
+	fs.Var(&users, "user", "register user:password (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	bld, err := building.AcademicDepartment()
+	if err != nil {
+		return err
+	}
+	reg := registry.New()
+	for _, u := range users {
+		parts := strings.SplitN(u, ":", 2)
+		if err := reg.Register(registry.UserID(parts[0]), parts[0], parts[1],
+			registry.RightLocate, registry.RightTrackable); err != nil {
+			return err
+		}
+		log.Printf("registered user %q", parts[0])
+	}
+
+	srv := server.New(reg, locdb.New(), bld)
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("BIPS central server listening on %s (%d rooms)", l.Addr(), bld.NumRooms())
+	return srv.Serve(l)
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSimRuns(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-users", "2", "-duration", "1m", "-step", "20s", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"user01", "user02", "walking from"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Three timeline rows for a 1m run sampled every 20s.
+	if got := strings.Count(out, "\n"); got < 8 {
+		t.Errorf("output too short (%d lines)", got)
+	}
+}
+
+func TestSimValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-users", "0"}); err == nil {
+		t.Error("zero users accepted")
+	}
+	if err := run(&sb, []string{"-badflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

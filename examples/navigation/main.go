@@ -1,0 +1,69 @@
+// Navigation: the shortest-path service in isolation — build a custom
+// building topology, precompute all pairs off-line (the paper's startup
+// procedure), and answer path queries between every pair of rooms.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"bips/internal/building"
+	"bips/internal/radio"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A small two-floor wing: ids 1-4 on the ground floor, 5-8 above,
+	// stairs connecting 2-6 (weights in meters; explicit where the
+	// walking distance differs from the Euclidean one).
+	rooms := []building.Room{
+		{ID: 1, Name: "Entrance", Center: radio.Point{X: 0, Y: 0}, Station: building.StationAddr(1)},
+		{ID: 2, Name: "Hall", Center: radio.Point{X: 15, Y: 0}, Station: building.StationAddr(2)},
+		{ID: 3, Name: "Archive", Center: radio.Point{X: 30, Y: 0}, Station: building.StationAddr(3)},
+		{ID: 4, Name: "Workshop", Center: radio.Point{X: 45, Y: 0}, Station: building.StationAddr(4)},
+		{ID: 5, Name: "Reading Room", Center: radio.Point{X: 0, Y: 20}, Station: building.StationAddr(5)},
+		{ID: 6, Name: "Stairs Landing", Center: radio.Point{X: 15, Y: 20}, Station: building.StationAddr(6)},
+		{ID: 7, Name: "Server Room", Center: radio.Point{X: 30, Y: 20}, Station: building.StationAddr(7)},
+		{ID: 8, Name: "Roof Lab", Center: radio.Point{X: 45, Y: 20}, Station: building.StationAddr(8)},
+	}
+	corridors := []building.Corridor{
+		{A: 1, B: 2}, {A: 2, B: 3}, {A: 3, B: 4},
+		{A: 5, B: 6}, {A: 6, B: 7}, {A: 7, B: 8},
+		// The staircase is longer than the straight-line distance.
+		{A: 2, B: 6, Distance: 28},
+	}
+	bld, err := building.New(rooms, corridors)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("topology: %d rooms, %d corridors, connected=%v\n",
+		bld.NumRooms(), bld.Graph().NumEdges(), bld.Graph().Connected())
+
+	// All shortest paths were precomputed at construction; queries are
+	// table lookups (the paper: "the computation of the shortest path
+	// has no impact on BIPS online activities").
+	fmt.Println("\nfrom Entrance to every room:")
+	for _, r := range bld.Rooms() {
+		p, err := bld.ShortestPath(1, r.ID)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-15s %5.1f m  %s\n",
+			r.Name, float64(p.Total), strings.Join(bld.PathNames(p), " -> "))
+	}
+
+	// The staircase detour shows up in cross-floor paths.
+	p, err := bld.ShortestPath(4, 8)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nWorkshop -> Roof Lab (%.1f m): %s\n",
+		float64(p.Total), strings.Join(bld.PathNames(p), " -> "))
+	return nil
+}

@@ -1,0 +1,65 @@
+// Tracking: the paper's motivating scenario — students, visitors and staff
+// walking around an academic department while BIPS tracks them room by
+// room. Shows handovers between cells, departures, and the delta-update
+// statistics of the central location database.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bips"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	svc, err := bips.New(bips.Config{Seed: 42})
+	if err != nil {
+		return err
+	}
+
+	people := []struct{ name, start string }{
+		{"professor", "Office A"},
+		{"student1", "Library"},
+		{"student2", "Lab 1"},
+		{"visitor", "Lobby"},
+	}
+	for _, p := range people {
+		svc.MustRegister(p.name, "pw")
+		if _, err := svc.AddWalkingUser(p.name, "pw", p.start); err != nil {
+			return err
+		}
+	}
+
+	svc.Start()
+	defer svc.Stop()
+
+	fmt.Println("t        person      cell")
+	fmt.Println("--------------------------------")
+	last := map[string]string{}
+	for i := 0; i < 20; i++ {
+		svc.Run(15 * time.Second)
+		for _, p := range people {
+			cell := "(out of coverage)"
+			if loc, err := svc.Locate("professor", p.name); err == nil {
+				cell = loc.RoomName
+			}
+			if cell != last[p.name] {
+				fmt.Printf("%-8s %-11s %s\n",
+					svc.Now().Truncate(time.Second), p.name, cell)
+				last[p.name] = cell
+			}
+		}
+	}
+
+	fmt.Println("\nThe tracking above is driven purely by presence deltas:")
+	fmt.Println("workstations report only new presences and new absences,")
+	fmt.Println("the paper's load-reduction design (Section 2).")
+	return nil
+}

@@ -1,0 +1,115 @@
+package baseband
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"bips/internal/sim"
+)
+
+// FHSPayload is the information an FHS packet carries during inquiry
+// response and page: the responder's device address, its native clock
+// sample (CLKN), and its class of device. The paper's system uses the
+// address to identify the mobile user (after login it maps one-to-one to a
+// userid) and the clock to speed up the subsequent page.
+type FHSPayload struct {
+	Addr BDAddr
+	// ClockNative is the responder's 28-bit native clock at
+	// transmission time.
+	ClockNative sim.Tick
+	// Class is the 24-bit class-of-device field.
+	Class uint32
+}
+
+// fhsWireSize is the encoded payload size: 6 bytes address + 4 bytes
+// clock + 3 bytes class + 1 byte checksum.
+const fhsWireSize = 14
+
+// Errors reported by the FHS codec.
+var (
+	ErrFHSShort    = errors.New("baseband: FHS payload too short")
+	ErrFHSChecksum = errors.New("baseband: FHS checksum mismatch")
+	ErrFHSField    = errors.New("baseband: FHS field out of range")
+)
+
+// MarshalBinary encodes the payload into the 14-byte wire form.
+func (f FHSPayload) MarshalBinary() ([]byte, error) {
+	if !f.Addr.Valid() {
+		return nil, fmt.Errorf("%w: address %v", ErrFHSField, f.Addr)
+	}
+	if f.ClockNative < 0 || f.ClockNative >= 1<<28 {
+		return nil, fmt.Errorf("%w: clock %d", ErrFHSField, f.ClockNative)
+	}
+	if f.Class >= 1<<24 {
+		return nil, fmt.Errorf("%w: class %#x", ErrFHSField, f.Class)
+	}
+	out := make([]byte, fhsWireSize)
+	binary.BigEndian.PutUint64(out[:8], uint64(f.Addr)<<16)
+	// The address occupies bytes 0..5; bytes 6..9 carry the clock.
+	binary.BigEndian.PutUint32(out[6:10], uint32(f.ClockNative))
+	out[10] = byte(f.Class >> 16)
+	out[11] = byte(f.Class >> 8)
+	out[12] = byte(f.Class)
+	out[13] = checksum(out[:13])
+	return out, nil
+}
+
+// UnmarshalBinary decodes the 14-byte wire form.
+func (f *FHSPayload) UnmarshalBinary(data []byte) error {
+	if len(data) < fhsWireSize {
+		return fmt.Errorf("%w: %d bytes", ErrFHSShort, len(data))
+	}
+	if checksum(data[:13]) != data[13] {
+		return ErrFHSChecksum
+	}
+	var addr uint64
+	for i := 0; i < 6; i++ {
+		addr = addr<<8 | uint64(data[i])
+	}
+	f.Addr = BDAddr(addr)
+	f.ClockNative = sim.Tick(binary.BigEndian.Uint32(data[6:10]))
+	f.Class = uint32(data[10])<<16 | uint32(data[11])<<8 | uint32(data[12])
+	return nil
+}
+
+// checksum is a simple XOR-fold; the real baseband protects FHS with a
+// 2/3 FEC and HEC, whose corruption-detection role this stands in for.
+func checksum(data []byte) byte {
+	var c byte = 0xA5
+	for _, b := range data {
+		c ^= b
+		c = c<<1 | c>>7
+	}
+	return c
+}
+
+// ClockEstimate is a master's knowledge of a slave's clock, learned from
+// an FHS response. The page procedure uses it to predict the slave's scan
+// frequency; stale estimates (the slave's crystal drifts up to ±20 ppm)
+// widen the page search.
+type ClockEstimate struct {
+	// Sample is the slave clock value carried by the FHS.
+	Sample sim.Tick
+	// At is the local time the FHS was received.
+	At sim.Tick
+}
+
+// Predict returns the estimated slave clock at local time now.
+func (e ClockEstimate) Predict(now sim.Tick) sim.Tick {
+	const wrap = 1 << 28
+	v := (e.Sample + (now - e.At)) % wrap
+	if v < 0 {
+		v += wrap
+	}
+	return v
+}
+
+// AgeSlots returns the estimate's age in slots at local time now, the
+// quantity that determines the page search window in the standard.
+func (e ClockEstimate) AgeSlots(now sim.Tick) int64 {
+	if now < e.At {
+		return 0
+	}
+	return int64((now - e.At) / SlotTicks)
+}

@@ -1,0 +1,113 @@
+package baseband
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"bips/internal/sim"
+)
+
+func TestFHSRoundTrip(t *testing.T) {
+	in := FHSPayload{Addr: 0x001122334455, ClockNative: 123456, Class: 0x5A020C}
+	raw, err := in.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != fhsWireSize {
+		t.Fatalf("wire size = %d, want %d", len(raw), fhsWireSize)
+	}
+	var out FHSPayload
+	if err := out.UnmarshalBinary(raw); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestFHSRoundTripProperty(t *testing.T) {
+	f := func(rawAddr uint64, rawClock uint32, rawClass uint32) bool {
+		in := FHSPayload{
+			Addr:        BDAddr(rawAddr&0xFFFFFFFFFFFF | 1), // non-zero
+			ClockNative: sim.Tick(rawClock % (1 << 28)),
+			Class:       rawClass % (1 << 24),
+		}
+		raw, err := in.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var out FHSPayload
+		return out.UnmarshalBinary(raw) == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFHSMarshalValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		p    FHSPayload
+	}{
+		{"zero addr", FHSPayload{Addr: 0, ClockNative: 1}},
+		{"clock too big", FHSPayload{Addr: 1, ClockNative: 1 << 28}},
+		{"negative clock", FHSPayload{Addr: 1, ClockNative: -1}},
+		{"class too big", FHSPayload{Addr: 1, Class: 1 << 24}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := tt.p.MarshalBinary(); !errors.Is(err, ErrFHSField) {
+				t.Errorf("error = %v, want ErrFHSField", err)
+			}
+		})
+	}
+}
+
+func TestFHSUnmarshalErrors(t *testing.T) {
+	var p FHSPayload
+	if err := p.UnmarshalBinary(make([]byte, 5)); !errors.Is(err, ErrFHSShort) {
+		t.Errorf("short error = %v", err)
+	}
+	good, err := FHSPayload{Addr: 1, ClockNative: 7}.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit anywhere: the checksum must catch it.
+	for i := range good {
+		bad := make([]byte, len(good))
+		copy(bad, good)
+		bad[i] ^= 0x10
+		if err := p.UnmarshalBinary(bad); err == nil {
+			t.Errorf("corruption at byte %d undetected", i)
+		}
+	}
+}
+
+func TestClockEstimatePredict(t *testing.T) {
+	e := ClockEstimate{Sample: 1000, At: 500}
+	if got := e.Predict(500); got != 1000 {
+		t.Errorf("Predict(at) = %d, want 1000", got)
+	}
+	if got := e.Predict(600); got != 1100 {
+		t.Errorf("Predict(+100) = %d, want 1100", got)
+	}
+	// Wraps at 2^28.
+	e = ClockEstimate{Sample: (1 << 28) - 1, At: 0}
+	if got := e.Predict(1); got != 0 {
+		t.Errorf("wrap Predict = %d, want 0", got)
+	}
+}
+
+func TestClockEstimateAge(t *testing.T) {
+	e := ClockEstimate{Sample: 0, At: 100}
+	if got := e.AgeSlots(100); got != 0 {
+		t.Errorf("AgeSlots(at) = %d", got)
+	}
+	if got := e.AgeSlots(100 + 10*SlotTicks); got != 10 {
+		t.Errorf("AgeSlots = %d, want 10", got)
+	}
+	if got := e.AgeSlots(50); got != 0 {
+		t.Errorf("AgeSlots(before) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,195 @@
+// Package building models the static part of a BIPS deployment: the rooms
+// of a building, the workstation (Bluetooth master) placed in each
+// significant room, and the weighted undirected topology graph the
+// navigation service runs on. It includes the floor-plan preset used by the
+// examples and experiments: an academic department of the kind the paper's
+// introduction motivates.
+package building
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"bips/internal/baseband"
+	"bips/internal/graph"
+	"bips/internal/radio"
+)
+
+// RoomID identifies a room; it doubles as the navigation graph node id.
+type RoomID = graph.NodeID
+
+// Room is a significant room hosting one BIPS workstation.
+type Room struct {
+	ID   RoomID
+	Name string
+	// Center is the workstation position on the floor plan, in meters.
+	Center radio.Point
+	// Station is the BD_ADDR of the room's workstation radio.
+	Station baseband.BDAddr
+}
+
+// Corridor is a physical path between two adjacent rooms.
+type Corridor struct {
+	A, B RoomID
+	// Distance is the walking distance in meters; it becomes the edge
+	// weight. Zero means "use the Euclidean distance between centers".
+	Distance float64
+}
+
+// Errors reported by topology construction.
+var (
+	ErrDuplicateRoom = errors.New("building: duplicate room id")
+	ErrUnknownRoom   = errors.New("building: unknown room id")
+	ErrNoRooms       = errors.New("building: topology has no rooms")
+)
+
+// Building is an immutable validated building topology with precomputed
+// shortest paths.
+type Building struct {
+	rooms     map[RoomID]Room
+	order     []RoomID
+	g         *graph.Graph
+	paths     *graph.AllPairs
+	byStation map[baseband.BDAddr]RoomID
+}
+
+// New validates the rooms and corridors, builds the navigation graph and
+// precomputes all shortest paths off-line (the paper's startup procedure).
+func New(rooms []Room, corridors []Corridor) (*Building, error) {
+	if len(rooms) == 0 {
+		return nil, ErrNoRooms
+	}
+	b := &Building{
+		rooms:     make(map[RoomID]Room, len(rooms)),
+		g:         graph.New(),
+		byStation: make(map[baseband.BDAddr]RoomID, len(rooms)),
+	}
+	for _, r := range rooms {
+		if _, dup := b.rooms[r.ID]; dup {
+			return nil, fmt.Errorf("%w: %d", ErrDuplicateRoom, r.ID)
+		}
+		b.rooms[r.ID] = r
+		b.order = append(b.order, r.ID)
+		b.g.AddNode(r.ID)
+		if r.Station != 0 {
+			b.byStation[r.Station] = r.ID
+		}
+	}
+	sort.Slice(b.order, func(i, j int) bool { return b.order[i] < b.order[j] })
+	for _, c := range corridors {
+		ra, okA := b.rooms[c.A]
+		rb, okB := b.rooms[c.B]
+		if !okA {
+			return nil, fmt.Errorf("%w: corridor end %d", ErrUnknownRoom, c.A)
+		}
+		if !okB {
+			return nil, fmt.Errorf("%w: corridor end %d", ErrUnknownRoom, c.B)
+		}
+		d := c.Distance
+		if d == 0 {
+			d = ra.Center.Dist(rb.Center)
+		}
+		if err := b.g.AddEdge(c.A, c.B, graph.Weight(d)); err != nil {
+			return nil, fmt.Errorf("corridor %d-%d: %w", c.A, c.B, err)
+		}
+	}
+	paths, err := b.g.ComputeAllPairs()
+	if err != nil {
+		return nil, err
+	}
+	b.paths = paths
+	return b, nil
+}
+
+// Rooms returns the rooms in ascending id order.
+func (b *Building) Rooms() []Room {
+	out := make([]Room, 0, len(b.order))
+	for _, id := range b.order {
+		out = append(out, b.rooms[id])
+	}
+	return out
+}
+
+// Room returns the room with the given id.
+func (b *Building) Room(id RoomID) (Room, bool) {
+	r, ok := b.rooms[id]
+	return r, ok
+}
+
+// RoomOfStation maps a workstation radio address to its room.
+func (b *Building) RoomOfStation(addr baseband.BDAddr) (RoomID, bool) {
+	id, ok := b.byStation[addr]
+	return id, ok
+}
+
+// NumRooms returns the number of rooms.
+func (b *Building) NumRooms() int { return len(b.rooms) }
+
+// Graph returns the navigation graph (callers must not mutate it).
+func (b *Building) Graph() *graph.Graph { return b.g }
+
+// ShortestPath returns the precomputed shortest path between two rooms.
+func (b *Building) ShortestPath(from, to RoomID) (graph.Path, error) {
+	return b.paths.Path(from, to)
+}
+
+// Distance returns the precomputed walking distance between two rooms.
+func (b *Building) Distance(from, to RoomID) (float64, error) {
+	d, err := b.paths.Distance(from, to)
+	return float64(d), err
+}
+
+// PathNames renders a path as the corresponding room names, the form shown
+// on the mobile user's handheld.
+func (b *Building) PathNames(p graph.Path) []string {
+	out := make([]string, 0, len(p.Nodes))
+	for _, n := range p.Nodes {
+		if r, ok := b.rooms[n]; ok {
+			out = append(out, r.Name)
+		} else {
+			out = append(out, fmt.Sprintf("room-%d", n))
+		}
+	}
+	return out
+}
+
+// StationAddr returns a deterministic workstation BD_ADDR for room i,
+// used by the presets and tests.
+func StationAddr(i int) baseband.BDAddr {
+	return baseband.BDAddr(0xA0_0000_0000_00 + uint64(i)) //nolint:gofmt
+}
+
+// AcademicDepartment returns the floor-plan preset used throughout the
+// examples: a two-corridor academic department with offices, labs, a
+// library, a seminar room and a lobby — the environment the paper's
+// introduction motivates (students, visitors, professors, staff). Rooms are
+// placed on a 12 m grid so adjacent cells (10 m radius) do not overlap in
+// their centers' rooms.
+func AcademicDepartment() (*Building, error) {
+	names := []string{
+		"Lobby", "Office A", "Office B", "Lab 1", "Lab 2",
+		"Library", "Seminar Room", "Office C", "Office D", "Cafeteria",
+	}
+	rooms := make([]Room, 0, len(names))
+	for i, name := range names {
+		// Two rows of five rooms along parallel corridors.
+		col := i % 5
+		row := i / 5
+		rooms = append(rooms, Room{
+			ID:      RoomID(i + 1),
+			Name:    name,
+			Center:  radio.Point{X: float64(col) * 12, Y: float64(row) * 12},
+			Station: StationAddr(i + 1),
+		})
+	}
+	corridors := []Corridor{
+		// North corridor: 1-2-3-4-5.
+		{A: 1, B: 2}, {A: 2, B: 3}, {A: 3, B: 4}, {A: 4, B: 5},
+		// South corridor: 6-7-8-9-10.
+		{A: 6, B: 7}, {A: 7, B: 8}, {A: 8, B: 9}, {A: 9, B: 10},
+		// Cross links (stairwells) at both ends and the middle.
+		{A: 1, B: 6}, {A: 3, B: 8}, {A: 5, B: 10},
+	}
+	return New(rooms, corridors)
+}

@@ -1,0 +1,203 @@
+package building
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"bips/internal/radio"
+)
+
+func TestNewValidation(t *testing.T) {
+	room := func(id RoomID, x float64) Room {
+		return Room{ID: id, Name: "r", Center: radio.Point{X: x}, Station: StationAddr(int(id))}
+	}
+	tests := []struct {
+		name      string
+		rooms     []Room
+		corridors []Corridor
+		wantErr   error
+	}{
+		{name: "empty", wantErr: ErrNoRooms},
+		{
+			name:    "duplicate room",
+			rooms:   []Room{room(1, 0), room(1, 5)},
+			wantErr: ErrDuplicateRoom,
+		},
+		{
+			name:      "unknown corridor end",
+			rooms:     []Room{room(1, 0), room(2, 5)},
+			corridors: []Corridor{{A: 1, B: 9}},
+			wantErr:   ErrUnknownRoom,
+		},
+		{
+			name:  "disconnected",
+			rooms: []Room{room(1, 0), room(2, 5)},
+			// no corridors: all-pairs precompute must fail
+			wantErr: errors.New("graph: building topology must be connected"),
+		},
+		{
+			name:      "valid",
+			rooms:     []Room{room(1, 0), room(2, 5)},
+			corridors: []Corridor{{A: 1, B: 2}},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.rooms, tt.corridors)
+			if tt.wantErr == nil {
+				if err != nil {
+					t.Fatalf("New() error = %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("New() succeeded, want error")
+			}
+			var sentinel error
+			switch {
+			case errors.Is(tt.wantErr, ErrNoRooms),
+				errors.Is(tt.wantErr, ErrDuplicateRoom),
+				errors.Is(tt.wantErr, ErrUnknownRoom):
+				sentinel = tt.wantErr
+			}
+			if sentinel != nil && !errors.Is(err, sentinel) {
+				t.Errorf("New() error = %v, want %v", err, sentinel)
+			}
+		})
+	}
+}
+
+func TestCorridorDefaultDistance(t *testing.T) {
+	rooms := []Room{
+		{ID: 1, Name: "a", Center: radio.Point{X: 0, Y: 0}},
+		{ID: 2, Name: "b", Center: radio.Point{X: 3, Y: 4}},
+	}
+	b, err := New(rooms, []Corridor{{A: 1, B: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := b.Distance(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-5) > 1e-9 {
+		t.Errorf("default corridor distance = %v, want Euclidean 5", d)
+	}
+}
+
+func TestExplicitCorridorDistance(t *testing.T) {
+	rooms := []Room{
+		{ID: 1, Name: "a", Center: radio.Point{X: 0, Y: 0}},
+		{ID: 2, Name: "b", Center: radio.Point{X: 3, Y: 4}},
+	}
+	b, err := New(rooms, []Corridor{{A: 1, B: 2, Distance: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := b.Distance(1, 2); d != 9 {
+		t.Errorf("explicit corridor distance = %v, want 9", d)
+	}
+}
+
+func TestAcademicDepartment(t *testing.T) {
+	b, err := AcademicDepartment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumRooms() != 10 {
+		t.Fatalf("NumRooms = %d, want 10", b.NumRooms())
+	}
+	if !b.Graph().Connected() {
+		t.Fatal("preset topology not connected")
+	}
+	// Every room has a workstation and is resolvable by station addr.
+	for _, r := range b.Rooms() {
+		if !r.Station.Valid() {
+			t.Errorf("room %d has invalid station addr", r.ID)
+		}
+		id, ok := b.RoomOfStation(r.Station)
+		if !ok || id != r.ID {
+			t.Errorf("RoomOfStation(%v) = %d,%v, want %d", r.Station, id, ok, r.ID)
+		}
+	}
+}
+
+func TestAcademicDepartmentPaths(t *testing.T) {
+	b, err := AcademicDepartment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lobby (1) to Cafeteria (10): must route through a stairwell.
+	p, err := b.ShortestPath(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Nodes) < 3 {
+		t.Errorf("path 1->10 suspiciously short: %v", p.Nodes)
+	}
+	if p.Nodes[0] != 1 || p.Nodes[len(p.Nodes)-1] != 10 {
+		t.Errorf("path endpoints wrong: %v", p.Nodes)
+	}
+	// The direct cross at room 5-10 plus corridor must not beat going
+	// 1-6 then south corridor: both are 4*12+12 = 60m; any shortest
+	// path must be exactly 60.
+	if math.Abs(float64(p.Total)-60) > 1e-9 {
+		t.Errorf("path 1->10 length = %v, want 60", p.Total)
+	}
+	names := b.PathNames(p)
+	if len(names) != len(p.Nodes) {
+		t.Errorf("PathNames length %d != %d", len(names), len(p.Nodes))
+	}
+	if names[0] != "Lobby" || names[len(names)-1] != "Cafeteria" {
+		t.Errorf("path names = %v", names)
+	}
+}
+
+func TestRoomLookup(t *testing.T) {
+	b, err := AcademicDepartment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := b.Room(6)
+	if !ok || r.Name != "Library" {
+		t.Errorf("Room(6) = %+v, %v; want Library", r, ok)
+	}
+	if _, ok := b.Room(99); ok {
+		t.Error("Room(99) found")
+	}
+	if _, ok := b.RoomOfStation(0xDEAD); ok {
+		t.Error("RoomOfStation(bogus) found")
+	}
+}
+
+func TestPathNamesUnknownRoom(t *testing.T) {
+	b, err := AcademicDepartment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.ShortestPath(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Nodes = append(p.Nodes, 999)
+	names := b.PathNames(p)
+	if names[len(names)-1] != "room-999" {
+		t.Errorf("unknown room rendered as %q", names[len(names)-1])
+	}
+}
+
+func TestStationAddrDistinctAndValid(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 1; i <= 50; i++ {
+		a := StationAddr(i)
+		if !a.Valid() {
+			t.Fatalf("StationAddr(%d) invalid", i)
+		}
+		s := a.String()
+		if seen[s] {
+			t.Fatalf("StationAddr(%d) duplicates %s", i, s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,292 @@
+// Package core assembles the complete BIPS system of the paper: a building
+// full of workstation cells (one Bluetooth master per significant room), a
+// central server holding the user registry and location database, the
+// navigation service with precomputed shortest paths, and the mobile
+// devices walking between cells — all driven by one deterministic
+// discrete-event kernel.
+//
+// It also contains the Section 5 scheduling-policy derivation: how long the
+// discovery slot must be (3.84 s), how long the operational cycle is (the
+// 15.4 s mean cell-crossing time), what fraction of devices a slot catches
+// (~95%), and the resulting tracking load (~24%).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"bips/internal/baseband"
+	"bips/internal/building"
+	"bips/internal/device"
+	"bips/internal/graph"
+	"bips/internal/hci"
+	"bips/internal/inquiry"
+	"bips/internal/locdb"
+	"bips/internal/mobility"
+	"bips/internal/radio"
+	"bips/internal/registry"
+	"bips/internal/server"
+	"bips/internal/sim"
+	"bips/internal/wire"
+	"bips/internal/workstation"
+)
+
+// SystemConfig configures a simulated BIPS deployment.
+type SystemConfig struct {
+	// Seed drives all randomness. Same seed, same run.
+	Seed int64
+	// Building is the deployment topology; nil selects the academic
+	// department preset.
+	Building *building.Building
+	// Cycle is the workstation operational cycle; the zero value
+	// selects the paper's 3.84 s / 15.4 s policy.
+	Cycle inquiry.DutyCycle
+	// CoverageRadius overrides the 10 m default when non-zero.
+	CoverageRadius float64
+}
+
+// System is a fully wired BIPS deployment.
+type System struct {
+	Kernel   *sim.Kernel
+	Medium   *radio.Medium
+	Building *building.Building
+	Server   *server.Server
+
+	cfg          SystemConfig
+	rng          *rand.Rand
+	controllers  map[graph.NodeID]*hci.HCI
+	workstations map[graph.NodeID]*workstation.Workstation
+	mobiles      map[baseband.BDAddr]*device.Mobile
+	running      bool
+}
+
+// NewSystem wires a deployment: one workstation (HCI + discovery schedule)
+// per room, all reporting presence deltas in-process to the central server.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	bld := cfg.Building
+	if bld == nil {
+		var err error
+		bld, err = building.AcademicDepartment()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Cycle == (inquiry.DutyCycle{}) {
+		cfg.Cycle = workstation.PaperCycle()
+	}
+	if err := cfg.Cycle.Validate(); err != nil {
+		return nil, err
+	}
+
+	s := &System{
+		Kernel:       sim.NewKernel(cfg.Seed),
+		Medium:       radio.NewMedium(),
+		Building:     bld,
+		cfg:          cfg,
+		rng:          rand.New(rand.NewSource(cfg.Seed + 1)),
+		controllers:  make(map[graph.NodeID]*hci.HCI),
+		workstations: make(map[graph.NodeID]*workstation.Workstation),
+		mobiles:      make(map[baseband.BDAddr]*device.Mobile),
+	}
+	s.Server = server.New(registry.New(), locdb.New(), bld)
+
+	for _, room := range bld.Rooms() {
+		room := room
+		s.Medium.Place(radio.Station{
+			Addr:   room.Station,
+			Pos:    room.Center,
+			Radius: cfg.CoverageRadius,
+		})
+		ctrl := hci.New(s.Kernel, hci.Config{Addr: room.Station}, s.Medium)
+		rep := workstation.ReporterFunc(func(p wire.Presence) error {
+			return s.Server.ApplyPresence(p)
+		})
+		ws, err := workstation.New(s.Kernel, ctrl, workstation.Config{
+			Room:  room.ID,
+			Cycle: cfg.Cycle,
+		}, rep)
+		if err != nil {
+			return nil, fmt.Errorf("room %d: %w", room.ID, err)
+		}
+		s.controllers[room.ID] = ctrl
+		s.workstations[room.ID] = ws
+	}
+	return s, nil
+}
+
+// Workstation returns the workstation covering the room.
+func (s *System) Workstation(room graph.NodeID) (*workstation.Workstation, bool) {
+	ws, ok := s.workstations[room]
+	return ws, ok
+}
+
+// RegisterUser runs the off-line registration procedure.
+func (s *System) RegisterUser(id registry.UserID, name, password string, rights ...registry.Right) error {
+	return s.Server.Registry().Register(id, name, password, rights...)
+}
+
+// AddMobile creates a handheld, registers its radio with every cell, and
+// returns it. The device answers inquiries from any workstation whose
+// coverage disc contains it.
+func (s *System) AddMobile(cfg device.Config) (*device.Mobile, error) {
+	if _, dup := s.mobiles[cfg.Addr]; dup {
+		return nil, fmt.Errorf("core: device %v already added", cfg.Addr)
+	}
+	// Devices must keep answering inquiries after enrollment so that
+	// neighbouring cells can pick them up when they walk over.
+	cfg.KeepResponding = true
+	m, err := device.New(s.Kernel, s.Medium, cfg, s.rng)
+	if err != nil {
+		return nil, err
+	}
+	for _, ctrl := range s.controllers {
+		ctrl.AttachDevice(m.Radio())
+	}
+	s.mobiles[cfg.Addr] = m
+	return m, nil
+}
+
+// Login binds a registered user to a device address.
+func (s *System) Login(id registry.UserID, password string, dev baseband.BDAddr) error {
+	return s.Server.Login(wire.Login{
+		User:     string(id),
+		Password: password,
+		Device:   wire.FormatAddr(dev),
+	})
+}
+
+// Logout releases the binding and stops tracking the device.
+func (s *System) Logout(id registry.UserID) error {
+	return s.Server.Logout(wire.Logout{User: string(id)})
+}
+
+// Locate answers "where is user X" on behalf of the querier.
+func (s *System) Locate(querier, target registry.UserID) (wire.LocateResult, error) {
+	return s.Server.Locate(wire.Locate{Querier: string(querier), Target: string(target)})
+}
+
+// PathTo answers the headline query: the shortest path the querier must
+// walk to reach the target user.
+func (s *System) PathTo(querier, target registry.UserID) (wire.PathResult, error) {
+	return s.Server.Path(wire.PathQuery{Querier: string(querier), Target: string(target)})
+}
+
+// Start begins every workstation's operational cycle.
+func (s *System) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	// Deterministic start order.
+	ids := make([]graph.NodeID, 0, len(s.workstations))
+	for id := range s.workstations {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		s.workstations[id].Start()
+	}
+}
+
+// Stop halts all workstations.
+func (s *System) Stop() {
+	if !s.running {
+		return
+	}
+	s.running = false
+	for _, ws := range s.workstations {
+		ws.Stop()
+	}
+}
+
+// Run advances the simulation by d ticks.
+func (s *System) Run(d sim.Tick) {
+	s.Kernel.RunUntil(s.Kernel.Now() + d)
+}
+
+// Now returns the current simulated time.
+func (s *System) Now() sim.Tick { return s.Kernel.Now() }
+
+// --- Section 5: scheduling-policy derivation ------------------------------
+
+// Policy is the derived master scheduling policy.
+type Policy struct {
+	// DiscoverySlot is the continuous inquiry slot per cycle.
+	DiscoverySlot sim.Tick
+	// Cycle is the operational cycle length (mean cell-crossing time).
+	Cycle sim.Tick
+	// ExpectedCoverage is the expected fraction of slaves discovered in
+	// one slot.
+	ExpectedCoverage float64
+	// Load is DiscoverySlot / Cycle, the tracking load.
+	Load float64
+}
+
+// DutyCycle converts the policy into a schedulable duty cycle.
+func (p Policy) DutyCycle() inquiry.DutyCycle {
+	return inquiry.DutyCycle{Inquiry: p.DiscoverySlot, Period: p.Cycle}
+}
+
+// ServiceSlot is the time per cycle left for serving the slaves'
+// applications: the paper's "remaining 11.56 s" after the 3.84 s
+// discovery slot.
+func (p Policy) ServiceSlot() sim.Tick {
+	if p.Cycle < p.DiscoverySlot {
+		return 0
+	}
+	return p.Cycle - p.DiscoverySlot
+}
+
+// PerSlaveService returns the round-robin service share of each of n
+// enrolled slaves per cycle. n is clamped to the Bluetooth limit of 7
+// active slaves; n <= 0 returns the whole service slot.
+func (p Policy) PerSlaveService(n int) sim.Tick {
+	if n <= 0 {
+		return p.ServiceSlot()
+	}
+	if n > 7 {
+		n = 7
+	}
+	return p.ServiceSlot() / sim.Tick(n)
+}
+
+// ErrBadPolicyInput reports out-of-range derivation parameters.
+var ErrBadPolicyInput = errors.New("core: policy parameters out of range")
+
+// DerivePolicy reproduces the paper's Section 5 argument. The master
+// cannot choose the slaves' starting train, so with probability
+// sameTrainFrac (~0.5) a slave listens on the master's first train and is
+// discovered while the master dwells on it (2.56 s); the remaining slaves
+// need the second train, of which the first 1.28 s discovers
+// secondTrainFrac (~0.9, from the Figure 2 simulation with <= 10 slaves).
+// Hence a slot of 2.56 s + 1.28 s = 3.84 s and an expected coverage of
+// sameTrainFrac + (1-sameTrainFrac)*secondTrainFrac (~95%). The cycle is
+// the mean cell-crossing time of a walking user (20 m / 1.3 m/s = 15.4 s).
+func DerivePolicy(sameTrainFrac, secondTrainFrac float64) (Policy, error) {
+	if sameTrainFrac < 0 || sameTrainFrac > 1 || secondTrainFrac < 0 || secondTrainFrac > 1 {
+		return Policy{}, fmt.Errorf("%w: %v, %v", ErrBadPolicyInput, sameTrainFrac, secondTrainFrac)
+	}
+	slot := baseband.TrainDwellTicks + baseband.TrainDwellTicks/2
+	cycle := mobility.PaperCrossingEstimate()
+	p := Policy{
+		DiscoverySlot:    slot,
+		Cycle:            cycle,
+		ExpectedCoverage: sameTrainFrac + (1-sameTrainFrac)*secondTrainFrac,
+		Load:             float64(slot) / float64(cycle),
+	}
+	return p, nil
+}
+
+// PaperPolicy returns the policy with the paper's numbers: a 50/50 train
+// split and 90% second-train discovery, giving the 3.84 s slot, ~95%
+// coverage and ~24% load.
+func PaperPolicy() Policy {
+	p, err := DerivePolicy(0.5, 0.9)
+	if err != nil {
+		// Unreachable: constants are in range.
+		return Policy{}
+	}
+	return p
+}

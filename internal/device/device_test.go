@@ -1,0 +1,110 @@
+package device
+
+import (
+	"math/rand"
+	"testing"
+
+	"bips/internal/mobility"
+	"bips/internal/radio"
+	"bips/internal/sim"
+)
+
+func TestNewValidation(t *testing.T) {
+	k := sim.NewKernel(1)
+	med := radio.NewMedium()
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New(k, med, Config{Addr: 0}, rng); err == nil {
+		t.Error("zero address accepted")
+	}
+}
+
+func TestStationaryDevice(t *testing.T) {
+	k := sim.NewKernel(1)
+	med := radio.NewMedium()
+	rng := rand.New(rand.NewSource(1))
+	m, err := New(k, med, Config{Addr: 0xB1, Start: radio.Point{X: 3, Y: 4}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, ok := m.Position()
+	if !ok || pos != (radio.Point{X: 3, Y: 4}) {
+		t.Errorf("position = %v, %v", pos, ok)
+	}
+	k.RunUntil(60 * sim.TicksPerSecond)
+	if pos, _ := m.Position(); pos != (radio.Point{X: 3, Y: 4}) {
+		t.Errorf("stationary device moved to %v", pos)
+	}
+	if m.Addr() != 0xB1 {
+		t.Errorf("Addr = %v", m.Addr())
+	}
+	if m.Radio().Addr() != 0xB1 {
+		t.Errorf("radio addr = %v", m.Radio().Addr())
+	}
+}
+
+func TestWalkingDeviceUpdatesMedium(t *testing.T) {
+	k := sim.NewKernel(1)
+	med := radio.NewMedium()
+	rng := rand.New(rand.NewSource(2))
+	w, err := mobility.NewWalker(mobility.WalkerConfig{
+		Bounds: mobility.Rect{MinX: 0, MinY: 0, MaxX: 50, MaxY: 50},
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(k, med, Config{Addr: 0xB1, Walker: w}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, _ := m.Position()
+	k.RunUntil(120 * sim.TicksPerSecond)
+	end, ok := m.Position()
+	if !ok {
+		t.Fatal("device vanished from medium")
+	}
+	if start.Dist(end) < 0.5 {
+		t.Errorf("device did not move: %v -> %v", start, end)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	k := sim.NewKernel(1)
+	med := radio.NewMedium()
+	rng := rand.New(rand.NewSource(3))
+	w, err := mobility.NewWalker(mobility.WalkerConfig{
+		Bounds: mobility.Rect{MinX: 0, MinY: 0, MaxX: 50, MaxY: 50},
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(k, med, Config{Addr: 0xB1, Walker: w}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Remove()
+	if _, ok := m.Position(); ok {
+		t.Error("removed device still on medium")
+	}
+	// Ticker must be stopped: no panic, no re-registration.
+	k.RunUntil(30 * sim.TicksPerSecond)
+	if _, ok := med.Position(0xB1); ok {
+		t.Error("removed device reappeared on medium")
+	}
+}
+
+func TestRadioRolesConfigured(t *testing.T) {
+	k := sim.NewKernel(1)
+	med := radio.NewMedium()
+	rng := rand.New(rand.NewSource(4))
+	m, err := New(k, med, Config{Addr: 0xB1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := m.Radio()
+	if dev.Slave == nil {
+		t.Fatal("no inquiry slave")
+	}
+	if !dev.Scanner.Connectable || !dev.Scanner.AlternatesWithInquiry {
+		t.Errorf("scanner = %+v, want connectable alternating", dev.Scanner)
+	}
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"bips/internal/baseband"
+	"bips/internal/inquiry"
+	"bips/internal/radio"
+	"bips/internal/sim"
+	"bips/internal/stats"
+)
+
+// CollisionAblationRow compares discovery with and without the authors'
+// collision handling for one population.
+type CollisionAblationRow struct {
+	Slaves             int
+	WithAt1s, NoneAt1s float64
+	WithColl, NoneColl float64
+	WithAt6s, NoneAt6s float64
+}
+
+// CollisionAblation is the abl-collision experiment of DESIGN.md.
+type CollisionAblation struct {
+	Rows []CollisionAblationRow
+}
+
+// RunCollisionAblation reruns the Figure 2 workload for the given
+// populations under both collision policies.
+func RunCollisionAblation(seed int64, populations []int, runs int) (CollisionAblation, error) {
+	if len(populations) == 0 {
+		populations = []int{10, 20}
+	}
+	if runs <= 0 {
+		runs = 30
+	}
+	measure := func(seed int64, n int, pol radio.CollisionPolicy) (at1, at6, coll float64, err error) {
+		rng := rand.New(rand.NewSource(seed))
+		var s1, s6, sc stats.Summary
+		for i := 0; i < runs; i++ {
+			res, rerr := inquiry.RunSwarm(rng, inquiry.SwarmConfig{
+				Slaves:    n,
+				Cycle:     inquiry.DutyCycle{Inquiry: sim.TicksPerSecond, Period: 5 * sim.TicksPerSecond},
+				Collision: pol,
+			})
+			if rerr != nil {
+				return 0, 0, 0, rerr
+			}
+			s1.Add(res.DiscoveredBy(sim.TicksPerSecond))
+			s6.Add(res.DiscoveredBy(6 * sim.TicksPerSecond))
+			sc.Add(float64(res.Collisions))
+		}
+		return s1.Mean(), s6.Mean(), sc.Mean(), nil
+	}
+	var out CollisionAblation
+	for i, n := range populations {
+		// Same per-population seed for both policies: paired runs.
+		pseed := seed + int64(i)
+		w1, w6, wc, err := measure(pseed, n, radio.CollideDestroyAll)
+		if err != nil {
+			return CollisionAblation{}, err
+		}
+		n1, n6, nc, err := measure(pseed, n, radio.CollideNone)
+		if err != nil {
+			return CollisionAblation{}, err
+		}
+		out.Rows = append(out.Rows, CollisionAblationRow{
+			Slaves:   n,
+			WithAt1s: w1, NoneAt1s: n1,
+			WithAt6s: w6, NoneAt6s: n6,
+			WithColl: wc, NoneColl: nc,
+		})
+	}
+	return out, nil
+}
+
+// Render writes the ablation table.
+func (a CollisionAblation) Render(w io.Writer) error {
+	tb := stats.NewTable("Slaves", "P(1s) with", "P(1s) without", "P(6s) with", "P(6s) without", "Collisions/run")
+	for _, r := range a.Rows {
+		tb.AddRow(
+			fmt.Sprintf("%d", r.Slaves),
+			fmt.Sprintf("%.3f", r.WithAt1s),
+			fmt.Sprintf("%.3f", r.NoneAt1s),
+			fmt.Sprintf("%.3f", r.WithAt6s),
+			fmt.Sprintf("%.3f", r.NoneAt6s),
+			fmt.Sprintf("%.1f", r.WithColl),
+		)
+	}
+	_, err := io.WriteString(w, tb.String())
+	return err
+}
+
+// ScanAblationRow is one slave scan configuration's Table 1 outcome.
+type ScanAblationRow struct {
+	Label        string
+	IntervalSecs float64
+	WindowMillis float64
+	Mode         inquiry.ScanMode
+	MeanSecs     float64
+	CI95         float64
+}
+
+// ScanAblation is the abl-scan experiment: Table 1 sensitivity to the
+// slave's scan parameters.
+type ScanAblation struct {
+	Rows []ScanAblationRow
+}
+
+// RunScanAblation reruns the Table 1 trial under several slave scan
+// configurations.
+func RunScanAblation(seed int64, trials int) ScanAblation {
+	if trials <= 0 {
+		trials = 200
+	}
+	configs := []struct {
+		label    string
+		mode     inquiry.ScanMode
+		interval sim.Tick
+		window   sim.Tick
+	}{
+		{"alternating 1.28s/11.25ms (paper)", inquiry.ScanAlternating, 0, 0},
+		{"alternating 0.64s/11.25ms", inquiry.ScanAlternating, baseband.TInquiryScanTicks / 2, 0},
+		{"alternating 2.56s/11.25ms", inquiry.ScanAlternating, 2 * baseband.TInquiryScanTicks, 0},
+		{"alternating 1.28s/22.5ms", inquiry.ScanAlternating, 0, 2 * baseband.TwInquiryScanTicks},
+		{"inquiry-only 1.28s/11.25ms", inquiry.ScanInquiryOnly, 0, 0},
+		{"continuous", inquiry.ScanContinuous, 0, 0},
+	}
+	var out ScanAblation
+	for i, c := range configs {
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		var s stats.Summary
+		for j := 0; j < trials; j++ {
+			r := inquiry.RunTrial(rng, inquiry.TrialConfig{
+				Mode:     c.mode,
+				Interval: c.interval,
+				Window:   c.window,
+			})
+			s.Add(r.Time.Seconds())
+		}
+		interval := c.interval
+		if interval == 0 {
+			interval = baseband.TInquiryScanTicks
+		}
+		window := c.window
+		if window == 0 {
+			window = baseband.TwInquiryScanTicks
+		}
+		out.Rows = append(out.Rows, ScanAblationRow{
+			Label:        c.label,
+			IntervalSecs: interval.Seconds(),
+			WindowMillis: window.Seconds() * 1000,
+			Mode:         c.mode,
+			MeanSecs:     s.Mean(),
+			CI95:         s.CI95(),
+		})
+	}
+	return out
+}
+
+// Render writes the scan ablation table.
+func (a ScanAblation) Render(w io.Writer) error {
+	tb := stats.NewTable("Slave scan configuration", "Mean discovery", "95% CI")
+	for _, r := range a.Rows {
+		tb.AddRow(r.Label,
+			fmt.Sprintf("%.3fs", r.MeanSecs),
+			fmt.Sprintf("±%.3f", r.CI95))
+	}
+	_, err := io.WriteString(w, tb.String())
+	return err
+}
+
+// DutyAblationRow is one discovery-slot length's coverage of 20 slaves.
+type DutyAblationRow struct {
+	SlotSecs float64
+	Coverage float64
+	Load     float64
+}
+
+// DutyAblation is the abl-duty experiment: sweeping the discovery-slot
+// length around the paper's 3.84 s operating point.
+type DutyAblation struct {
+	CycleSecs float64
+	Rows      []DutyAblationRow
+}
+
+// RunDutyAblation measures, for each slot length, the fraction of 20
+// randomly phased slaves discovered within one slot under standard train
+// alternation (the Section 5 situation).
+func RunDutyAblation(seed int64, runs int) (DutyAblation, error) {
+	if runs <= 0 {
+		runs = 30
+	}
+	slots := []float64{1.0, 1.28, 2.56, 3.84, 5.12}
+	cycle := 15.4
+	f := false
+	var out DutyAblation
+	out.CycleSecs = cycle
+	for i, slotSecs := range slots {
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		slot := sim.FromSeconds(slotSecs)
+		var cov stats.Summary
+		for j := 0; j < runs; j++ {
+			res, err := inquiry.RunSwarm(rng, inquiry.SwarmConfig{
+				Slaves:         20,
+				Cycle:          inquiry.DutyCycle{Inquiry: slot, Period: slot + sim.TicksPerSecond},
+				Horizon:        slot,
+				Policy:         inquiry.TrainsAlternate,
+				TrainAScanOnly: &f,
+			})
+			if err != nil {
+				return DutyAblation{}, err
+			}
+			cov.Add(res.DiscoveredBy(slot))
+		}
+		out.Rows = append(out.Rows, DutyAblationRow{
+			SlotSecs: slotSecs,
+			Coverage: cov.Mean(),
+			Load:     slotSecs / cycle,
+		})
+	}
+	return out, nil
+}
+
+// Render writes the duty ablation table.
+func (a DutyAblation) Render(w io.Writer) error {
+	tb := stats.NewTable("Slot", "Coverage of 20 slaves", "Load @15.4s cycle")
+	for _, r := range a.Rows {
+		tb.AddRow(
+			fmt.Sprintf("%.2fs", r.SlotSecs),
+			fmt.Sprintf("%.0f%%", r.Coverage*100),
+			fmt.Sprintf("%.0f%%", r.Load*100),
+		)
+	}
+	if _, err := io.WriteString(w, tb.String()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\nPaper operating point: 3.84s slot -> ~95%% coverage at ~24%% load.\n")
+	return err
+}

@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1MatchesPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r := RunTable1(2003, 500)
+	if r.Same.Cases+r.Different.Cases != 500 {
+		t.Fatalf("cases = %d + %d, want 500", r.Same.Cases, r.Different.Cases)
+	}
+	// ~50/50 split.
+	if r.Same.Cases < 200 || r.Same.Cases > 300 {
+		t.Errorf("same-train cases = %d, want ~250", r.Same.Cases)
+	}
+	// Means within 25% of the paper's measurements.
+	within := func(got, want, tol float64) bool {
+		return got > want*(1-tol) && got < want*(1+tol)
+	}
+	if !within(r.Same.AvgSecs, PaperTable1.Same.AvgSecs, 0.25) {
+		t.Errorf("same mean = %.3f, paper %.3f", r.Same.AvgSecs, PaperTable1.Same.AvgSecs)
+	}
+	if !within(r.Different.AvgSecs, PaperTable1.Different.AvgSecs, 0.25) {
+		t.Errorf("different mean = %.3f, paper %.3f", r.Different.AvgSecs, PaperTable1.Different.AvgSecs)
+	}
+	if !within(r.Mixed.AvgSecs, PaperTable1.Mixed.AvgSecs, 0.25) {
+		t.Errorf("mixed mean = %.3f, paper %.3f", r.Mixed.AvgSecs, PaperTable1.Mixed.AvgSecs)
+	}
+	// Ordering: same < mixed < different.
+	if !(r.Same.AvgSecs < r.Mixed.AvgSecs && r.Mixed.AvgSecs < r.Different.AvgSecs) {
+		t.Errorf("ordering violated: %.3f / %.3f / %.3f",
+			r.Same.AvgSecs, r.Mixed.AvgSecs, r.Different.AvgSecs)
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Same", "Different", "Mixed", "1.6028"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestTable1DefaultTrials(t *testing.T) {
+	r := RunTable1(1, -1)
+	if r.Mixed.Cases != 500 {
+		t.Errorf("default trials = %d, want 500", r.Mixed.Cases)
+	}
+}
+
+func TestFig2MatchesPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r, err := RunFig2(42, Fig2Config{Runs: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Curves) != 7 {
+		t.Fatalf("curves = %d, want 7", len(r.Curves))
+	}
+	byN := map[int]Fig2Curve{}
+	for _, c := range r.Curves {
+		byN[c.Slaves] = c
+	}
+	// Paper: ~90% of 10 slaves inside the first 1s phase.
+	if c := byN[10]; c.At1s < 0.75 {
+		t.Errorf("10 slaves P(1s) = %.2f, want >= 0.75 (paper ~0.9)", c.At1s)
+	}
+	// 100% by the second cycle for <=10 slaves.
+	for _, n := range []int{2, 4, 6, 8, 10} {
+		if c := byN[n]; c.At6s < 0.95 {
+			t.Errorf("%d slaves P(6s) = %.2f, want ~1.0", n, c.At6s)
+		}
+	}
+	// 15-20 slaves all discovered within 2 cycles.
+	for _, n := range []int{15, 20} {
+		if c := byN[n]; c.At6s < 0.93 {
+			t.Errorf("%d slaves P(6s) = %.2f, want >= 0.93", n, c.At6s)
+		}
+		if c := byN[n]; c.At11s < 0.98 {
+			t.Errorf("%d slaves P(11s) = %.2f, want ~1.0", n, c.At11s)
+		}
+	}
+	// Monotone in population at 1s: more slaves, slower discovery.
+	if byN[2].At1s < byN[20].At1s {
+		t.Errorf("P(1s) not decreasing in population: %v vs %v",
+			byN[2].At1s, byN[20].At1s)
+	}
+	// Curves are monotone in time.
+	for _, c := range r.Curves {
+		for i := 1; i < len(c.Points); i++ {
+			if c.Points[i][1] < c.Points[i-1][1] {
+				t.Fatalf("curve %d not monotone at %v", c.Slaves, c.Points[i])
+			}
+		}
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Slaves") {
+		t.Error("render missing header")
+	}
+	sb.Reset()
+	if err := r.Series(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(strings.TrimSpace(sb.String()), "\n")) < 7*10 {
+		t.Error("series output too short")
+	}
+}
+
+func TestPolicyMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r, err := RunPolicy(7, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SlotSecs != 3.84 {
+		t.Errorf("slot = %v", r.SlotSecs)
+	}
+	if r.Coverage != 0.95 {
+		t.Errorf("derived coverage = %v", r.Coverage)
+	}
+	if r.MeasuredCoverage < 0.85 || r.MeasuredCoverage > 1.0 {
+		t.Errorf("measured coverage = %.3f, want ~0.95", r.MeasuredCoverage)
+	}
+	if r.CycleSecs < 15.3 || r.CycleSecs > 15.5 {
+		t.Errorf("cycle = %.2f, want ~15.4", r.CycleSecs)
+	}
+	if r.Load < 0.24 || r.Load > 0.26 {
+		t.Errorf("load = %.3f, want ~0.25", r.Load)
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Tracking load") {
+		t.Errorf("render:\n%s", sb.String())
+	}
+}
+
+func TestCollisionAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	a, err := RunCollisionAblation(1, []int{10, 20}, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 2 {
+		t.Fatalf("rows = %d", len(a.Rows))
+	}
+	for _, r := range a.Rows {
+		// Removing collisions can only help early discovery.
+		if r.NoneAt1s < r.WithAt1s-0.05 {
+			t.Errorf("%d slaves: collision-free slower (%.2f < %.2f)",
+				r.Slaves, r.NoneAt1s, r.WithAt1s)
+		}
+		if r.WithColl == 0 {
+			t.Errorf("%d slaves: no collisions recorded under destroy-all", r.Slaves)
+		}
+		if r.NoneColl != 0 {
+			t.Errorf("%d slaves: collisions recorded under none policy", r.Slaves)
+		}
+	}
+	var sb strings.Builder
+	if err := a.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Collisions/run") {
+		t.Error("render missing column")
+	}
+}
+
+func TestScanAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	a := RunScanAblation(1, 120)
+	if len(a.Rows) != 6 {
+		t.Fatalf("rows = %d", len(a.Rows))
+	}
+	byLabel := map[string]ScanAblationRow{}
+	for _, r := range a.Rows {
+		byLabel[r.Label] = r
+	}
+	paper := byLabel["alternating 1.28s/11.25ms (paper)"]
+	cont := byLabel["continuous"]
+	slow := byLabel["alternating 2.56s/11.25ms"]
+	// Continuous scanning is the fastest; doubling the interval slows
+	// discovery.
+	if cont.MeanSecs >= paper.MeanSecs {
+		t.Errorf("continuous (%.2fs) not faster than paper (%.2fs)",
+			cont.MeanSecs, paper.MeanSecs)
+	}
+	if slow.MeanSecs <= paper.MeanSecs {
+		t.Errorf("2.56s interval (%.2fs) not slower than paper (%.2fs)",
+			slow.MeanSecs, paper.MeanSecs)
+	}
+	var sb strings.Builder
+	if err := a.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Mean discovery") {
+		t.Error("render missing column")
+	}
+}
+
+func TestDutyAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	a, err := RunDutyAblation(1, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 5 {
+		t.Fatalf("rows = %d", len(a.Rows))
+	}
+	// Coverage grows with the slot length; the 3.84 s point is near the
+	// paper's 95%.
+	for i := 1; i < len(a.Rows); i++ {
+		if a.Rows[i].Coverage < a.Rows[i-1].Coverage-0.05 {
+			t.Errorf("coverage not increasing: %.2f@%.2fs -> %.2f@%.2fs",
+				a.Rows[i-1].Coverage, a.Rows[i-1].SlotSecs,
+				a.Rows[i].Coverage, a.Rows[i].SlotSecs)
+		}
+	}
+	var at384 float64
+	for _, r := range a.Rows {
+		if r.SlotSecs == 3.84 {
+			at384 = r.Coverage
+		}
+	}
+	if at384 < 0.85 {
+		t.Errorf("coverage at 3.84s = %.2f, want ~0.95", at384)
+	}
+	var sb strings.Builder
+	if err := a.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "operating point") {
+		t.Error("render missing note")
+	}
+}

@@ -1,0 +1,326 @@
+// Package graph implements the weighted undirected graph that models the
+// BIPS building topology, Dijkstra's shortest-path algorithm, and the
+// off-line all-pairs precomputation the paper performs so that online
+// navigation queries are table lookups ("the static nature of BIPS wired
+// network allows us to compute off-line all the shortest paths").
+package graph
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeID identifies a graph node (a BIPS workstation/room).
+type NodeID int
+
+// Weight is an edge weight: a positive distance between two workstations.
+type Weight float64
+
+// Errors reported by graph operations.
+var (
+	// ErrUnknownNode is returned when an operation names a node that
+	// was never added.
+	ErrUnknownNode = errors.New("graph: unknown node")
+	// ErrBadWeight is returned for non-positive or non-finite weights.
+	ErrBadWeight = errors.New("graph: edge weight must be positive and finite")
+	// ErrSelfLoop is returned when adding an edge from a node to
+	// itself.
+	ErrSelfLoop = errors.New("graph: self loops are not allowed")
+	// ErrNoPath is returned when two nodes are not connected.
+	ErrNoPath = errors.New("graph: no path between nodes")
+)
+
+type edge struct {
+	to NodeID
+	w  Weight
+}
+
+// Graph is a weighted undirected graph. The zero value is an empty graph
+// ready for use.
+type Graph struct {
+	adj map[NodeID][]edge
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{adj: make(map[NodeID][]edge)}
+}
+
+// AddNode adds an isolated node. Adding an existing node is a no-op.
+func (g *Graph) AddNode(id NodeID) {
+	if g.adj == nil {
+		g.adj = make(map[NodeID][]edge)
+	}
+	if _, ok := g.adj[id]; !ok {
+		g.adj[id] = nil
+	}
+}
+
+// HasNode reports whether id is in the graph.
+func (g *Graph) HasNode(id NodeID) bool {
+	_, ok := g.adj[id]
+	return ok
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, es := range g.adj {
+		n += len(es)
+	}
+	return n / 2
+}
+
+// Nodes returns all node ids in ascending order.
+func (g *Graph) Nodes() []NodeID {
+	out := make([]NodeID, 0, len(g.adj))
+	for id := range g.adj {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddEdge adds an undirected edge between a and b with weight w, creating
+// the nodes if needed. Re-adding an existing edge updates its weight.
+func (g *Graph) AddEdge(a, b NodeID, w Weight) error {
+	if a == b {
+		return fmt.Errorf("%w: node %d", ErrSelfLoop, a)
+	}
+	if w <= 0 || math.IsInf(float64(w), 0) || math.IsNaN(float64(w)) {
+		return fmt.Errorf("%w: %v", ErrBadWeight, w)
+	}
+	g.AddNode(a)
+	g.AddNode(b)
+	g.setDirected(a, b, w)
+	g.setDirected(b, a, w)
+	return nil
+}
+
+func (g *Graph) setDirected(from, to NodeID, w Weight) {
+	for i, e := range g.adj[from] {
+		if e.to == to {
+			g.adj[from][i].w = w
+			return
+		}
+	}
+	g.adj[from] = append(g.adj[from], edge{to: to, w: w})
+}
+
+// EdgeWeight returns the weight of the edge between a and b.
+func (g *Graph) EdgeWeight(a, b NodeID) (Weight, bool) {
+	for _, e := range g.adj[a] {
+		if e.to == b {
+			return e.w, true
+		}
+	}
+	return 0, false
+}
+
+// Neighbors returns the neighbours of id in ascending order.
+func (g *Graph) Neighbors(id NodeID) []NodeID {
+	es := g.adj[id]
+	out := make([]NodeID, 0, len(es))
+	for _, e := range es {
+		out = append(out, e.to)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Connected reports whether the graph is connected (the paper requires a
+// connected building topology). The empty graph is considered connected.
+func (g *Graph) Connected() bool {
+	if len(g.adj) <= 1 {
+		return true
+	}
+	var start NodeID
+	for id := range g.adj {
+		start = id
+		break
+	}
+	seen := map[NodeID]bool{start: true}
+	stack := []NodeID{start}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[n] {
+			if !seen[e.to] {
+				seen[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return len(seen) == len(g.adj)
+}
+
+// Path is a shortest path: the node sequence and its total weight.
+type Path struct {
+	Nodes []NodeID
+	Total Weight
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	node  NodeID
+	dist  Weight
+	index int
+}
+
+type pq []*pqItem
+
+func (q pq) Len() int { return len(q) }
+
+func (q pq) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return q[i].node < q[j].node
+}
+
+func (q pq) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *pq) Push(x any) {
+	it, ok := x.(*pqItem)
+	if !ok {
+		return
+	}
+	it.index = len(*q)
+	*q = append(*q, it)
+}
+
+func (q *pq) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// Dijkstra computes shortest distances and predecessor pointers from src to
+// every reachable node.
+func (g *Graph) Dijkstra(src NodeID) (dist map[NodeID]Weight, prev map[NodeID]NodeID, err error) {
+	if !g.HasNode(src) {
+		return nil, nil, fmt.Errorf("%w: %d", ErrUnknownNode, src)
+	}
+	dist = map[NodeID]Weight{src: 0}
+	prev = make(map[NodeID]NodeID)
+	done := make(map[NodeID]bool)
+	q := &pq{}
+	heap.Push(q, &pqItem{node: src, dist: 0})
+	for q.Len() > 0 {
+		it, ok := heap.Pop(q).(*pqItem)
+		if !ok {
+			break
+		}
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		for _, e := range g.adj[it.node] {
+			nd := it.dist + e.w
+			if d, seen := dist[e.to]; !seen || nd < d {
+				dist[e.to] = nd
+				prev[e.to] = it.node
+				heap.Push(q, &pqItem{node: e.to, dist: nd})
+			}
+		}
+	}
+	return dist, prev, nil
+}
+
+// ShortestPath returns the shortest path from src to dst.
+func (g *Graph) ShortestPath(src, dst NodeID) (Path, error) {
+	if !g.HasNode(dst) {
+		return Path{}, fmt.Errorf("%w: %d", ErrUnknownNode, dst)
+	}
+	dist, prev, err := g.Dijkstra(src)
+	if err != nil {
+		return Path{}, err
+	}
+	d, ok := dist[dst]
+	if !ok {
+		return Path{}, fmt.Errorf("%w: %d -> %d", ErrNoPath, src, dst)
+	}
+	return Path{Nodes: reconstruct(prev, src, dst), Total: d}, nil
+}
+
+func reconstruct(prev map[NodeID]NodeID, src, dst NodeID) []NodeID {
+	var rev []NodeID
+	for n := dst; ; {
+		rev = append(rev, n)
+		if n == src {
+			break
+		}
+		n = prev[n]
+	}
+	nodes := make([]NodeID, len(rev))
+	for i, n := range rev {
+		nodes[len(rev)-1-i] = n
+	}
+	return nodes
+}
+
+// AllPairs holds precomputed shortest paths between every pair of nodes.
+// BIPS computes this off-line at startup so that online path queries never
+// run Dijkstra.
+type AllPairs struct {
+	dist map[NodeID]map[NodeID]Weight
+	prev map[NodeID]map[NodeID]NodeID
+}
+
+// ComputeAllPairs runs Dijkstra from every node. It returns an error if the
+// graph is not connected, because the paper's navigation service requires a
+// connected building.
+func (g *Graph) ComputeAllPairs() (*AllPairs, error) {
+	if !g.Connected() {
+		return nil, errors.New("graph: building topology must be connected")
+	}
+	ap := &AllPairs{
+		dist: make(map[NodeID]map[NodeID]Weight, len(g.adj)),
+		prev: make(map[NodeID]map[NodeID]NodeID, len(g.adj)),
+	}
+	for _, src := range g.Nodes() {
+		dist, prev, err := g.Dijkstra(src)
+		if err != nil {
+			return nil, err
+		}
+		ap.dist[src] = dist
+		ap.prev[src] = prev
+	}
+	return ap, nil
+}
+
+// Distance returns the precomputed shortest distance from src to dst.
+func (ap *AllPairs) Distance(src, dst NodeID) (Weight, error) {
+	row, ok := ap.dist[src]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownNode, src)
+	}
+	d, ok := row[dst]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownNode, dst)
+	}
+	return d, nil
+}
+
+// Path returns the precomputed shortest path from src to dst as a node
+// sequence.
+func (ap *AllPairs) Path(src, dst NodeID) (Path, error) {
+	d, err := ap.Distance(src, dst)
+	if err != nil {
+		return Path{}, err
+	}
+	return Path{Nodes: reconstruct(ap.prev[src], src, dst), Total: d}, nil
+}

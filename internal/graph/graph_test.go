@@ -1,0 +1,329 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// line builds a path graph 0-1-2-...-n with unit weights.
+func line(t *testing.T, n int) *Graph {
+	t.Helper()
+	g := New()
+	for i := 0; i < n; i++ {
+		if err := g.AddEdge(NodeID(i), NodeID(i+1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New()
+	tests := []struct {
+		name    string
+		a, b    NodeID
+		w       Weight
+		wantErr error
+	}{
+		{name: "valid", a: 1, b: 2, w: 3},
+		{name: "self loop", a: 1, b: 1, w: 1, wantErr: ErrSelfLoop},
+		{name: "zero weight", a: 1, b: 2, w: 0, wantErr: ErrBadWeight},
+		{name: "negative weight", a: 1, b: 2, w: -1, wantErr: ErrBadWeight},
+		{name: "inf weight", a: 1, b: 2, w: Weight(math.Inf(1)), wantErr: ErrBadWeight},
+		{name: "nan weight", a: 1, b: 2, w: Weight(math.NaN()), wantErr: ErrBadWeight},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := g.AddEdge(tt.a, tt.b, tt.w)
+			if !errors.Is(err, tt.wantErr) {
+				t.Errorf("AddEdge error = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestEdgeIsUndirected(t *testing.T) {
+	g := New()
+	if err := g.AddEdge(1, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	w12, ok12 := g.EdgeWeight(1, 2)
+	w21, ok21 := g.EdgeWeight(2, 1)
+	if !ok12 || !ok21 || w12 != 5 || w21 != 5 {
+		t.Errorf("edge weights = %v/%v (%v/%v), want 5/5", w12, w21, ok12, ok21)
+	}
+}
+
+func TestAddEdgeUpdatesWeight(t *testing.T) {
+	g := New()
+	if err := g.AddEdge(1, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2, 7); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if w, _ := g.EdgeWeight(2, 1); w != 7 {
+		t.Errorf("updated weight = %v, want 7", w)
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	g := New()
+	g.AddNode(5)
+	g.AddNode(1)
+	g.AddNode(3)
+	got := g.Nodes()
+	want := []NodeID{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes() = %v, want %v", got, want)
+		}
+	}
+	if !g.HasNode(3) || g.HasNode(2) {
+		t.Error("HasNode misreports")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New()
+	for _, b := range []NodeID{9, 2, 7} {
+		if err := g.AddEdge(1, b, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := g.Neighbors(1)
+	want := []NodeID{2, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Neighbors = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := New()
+	if !g.Connected() {
+		t.Error("empty graph should be connected")
+	}
+	g.AddNode(1)
+	if !g.Connected() {
+		t.Error("single node should be connected")
+	}
+	g.AddNode(2)
+	if g.Connected() {
+		t.Error("two isolated nodes reported connected")
+	}
+	if err := g.AddEdge(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Error("connected pair reported disconnected")
+	}
+}
+
+func TestShortestPathLine(t *testing.T) {
+	g := line(t, 5)
+	p, err := g.ShortestPath(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Total != 5 {
+		t.Errorf("Total = %v, want 5", p.Total)
+	}
+	if len(p.Nodes) != 6 || p.Nodes[0] != 0 || p.Nodes[5] != 5 {
+		t.Errorf("Nodes = %v", p.Nodes)
+	}
+}
+
+func TestShortestPathPrefersLightRoute(t *testing.T) {
+	// Triangle: direct edge 1-3 weight 10, detour via 2 weight 2+3=5.
+	g := New()
+	for _, e := range []struct {
+		a, b NodeID
+		w    Weight
+	}{{1, 3, 10}, {1, 2, 2}, {2, 3, 3}} {
+		if err := g.AddEdge(e.a, e.b, e.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := g.ShortestPath(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Total != 5 {
+		t.Errorf("Total = %v, want 5 (detour)", p.Total)
+	}
+	want := []NodeID{1, 2, 3}
+	for i := range want {
+		if p.Nodes[i] != want[i] {
+			t.Fatalf("Nodes = %v, want %v", p.Nodes, want)
+		}
+	}
+}
+
+func TestShortestPathSelf(t *testing.T) {
+	g := line(t, 3)
+	p, err := g.ShortestPath(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Total != 0 || len(p.Nodes) != 1 || p.Nodes[0] != 1 {
+		t.Errorf("self path = %+v", p)
+	}
+}
+
+func TestShortestPathErrors(t *testing.T) {
+	g := line(t, 3)
+	g.AddNode(99) // isolated
+	if _, err := g.ShortestPath(0, 42); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown dst error = %v", err)
+	}
+	if _, err := g.ShortestPath(42, 0); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown src error = %v", err)
+	}
+	if _, err := g.ShortestPath(0, 99); !errors.Is(err, ErrNoPath) {
+		t.Errorf("unreachable error = %v", err)
+	}
+}
+
+func TestAllPairsMatchesDijkstra(t *testing.T) {
+	// Random connected graph; the precomputed table must agree with
+	// per-query Dijkstra for every pair.
+	rng := rand.New(rand.NewSource(11))
+	g := New()
+	const n = 20
+	for i := 1; i < n; i++ {
+		// Spanning tree plus extra edges.
+		if err := g.AddEdge(NodeID(rng.Intn(i)), NodeID(i), Weight(1+rng.Float64()*9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 15; i++ {
+		a, b := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		if a != b {
+			if err := g.AddEdge(a, b, Weight(1+rng.Float64()*9)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ap, err := g.ComputeAllPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range g.Nodes() {
+		for _, dst := range g.Nodes() {
+			want, err := g.ShortestPath(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotD, err := ap.Distance(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(float64(gotD-want.Total)) > 1e-9 {
+				t.Errorf("Distance(%d,%d) = %v, want %v", src, dst, gotD, want.Total)
+			}
+			gotP, err := ap.Path(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(float64(gotP.Total-want.Total)) > 1e-9 {
+				t.Errorf("Path(%d,%d).Total = %v, want %v", src, dst, gotP.Total, want.Total)
+			}
+			if gotP.Nodes[0] != src || gotP.Nodes[len(gotP.Nodes)-1] != dst {
+				t.Errorf("Path(%d,%d) endpoints wrong: %v", src, dst, gotP.Nodes)
+			}
+		}
+	}
+}
+
+func TestComputeAllPairsRequiresConnected(t *testing.T) {
+	g := New()
+	g.AddNode(1)
+	g.AddNode(2)
+	if _, err := g.ComputeAllPairs(); err == nil {
+		t.Error("ComputeAllPairs on disconnected graph should fail")
+	}
+}
+
+func TestAllPairsUnknownNodes(t *testing.T) {
+	g := line(t, 2)
+	ap, err := g.ComputeAllPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ap.Distance(0, 42); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("Distance(0,42) error = %v", err)
+	}
+	if _, err := ap.Distance(42, 0); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("Distance(42,0) error = %v", err)
+	}
+	if _, err := ap.Path(42, 0); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("Path(42,0) error = %v", err)
+	}
+}
+
+// Property: a shortest path's nodes are adjacent in the graph and its edge
+// weights sum to Total; triangle inequality holds via intermediate nodes.
+func TestShortestPathProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		n := 5 + rng.Intn(15)
+		for i := 1; i < n; i++ {
+			if err := g.AddEdge(NodeID(rng.Intn(i)), NodeID(i), Weight(1+rng.Float64()*4)); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < n/2; i++ {
+			a, b := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+			if a != b {
+				if err := g.AddEdge(a, b, Weight(1+rng.Float64()*4)); err != nil {
+					return false
+				}
+			}
+		}
+		src := NodeID(rng.Intn(n))
+		dst := NodeID(rng.Intn(n))
+		p, err := g.ShortestPath(src, dst)
+		if err != nil {
+			return false
+		}
+		var sum Weight
+		for i := 1; i < len(p.Nodes); i++ {
+			w, ok := g.EdgeWeight(p.Nodes[i-1], p.Nodes[i])
+			if !ok {
+				return false
+			}
+			sum += w
+		}
+		if math.Abs(float64(sum-p.Total)) > 1e-9 {
+			return false
+		}
+		// Triangle inequality: d(src,dst) <= d(src,m) + d(m,dst).
+		m := NodeID(rng.Intn(n))
+		pm1, err1 := g.ShortestPath(src, m)
+		pm2, err2 := g.ShortestPath(m, dst)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return p.Total <= pm1.Total+pm2.Total+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroValueGraphUsable(t *testing.T) {
+	var g Graph
+	g.AddNode(1)
+	if !g.HasNode(1) {
+		t.Error("zero-value graph did not accept node")
+	}
+}

@@ -1,0 +1,262 @@
+// Package locdb implements the BIPS central location database of Section 2:
+// it stores, for every tracked device, the piconet (room) it was last seen
+// in. Workstations reveal presences at fixed intervals and, to reduce
+// computational and communication load, update the database only when they
+// detect a new presence or a new absence. The database answers the paper's
+// spatio-temporal query ("select the target actual piconet of the mobile
+// device BD_ADDR1 ...") and keeps a bounded movement history per device.
+package locdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"bips/internal/baseband"
+	"bips/internal/graph"
+	"bips/internal/sim"
+)
+
+// DefaultHistoryLimit bounds the per-device movement history.
+const DefaultHistoryLimit = 128
+
+// Errors reported by the database.
+var (
+	// ErrNotPresent is returned when a device has no known position.
+	ErrNotPresent = errors.New("locdb: device not present in any piconet")
+)
+
+// Fix is one location fact: a device was present in a piconet at a time.
+type Fix struct {
+	Device  baseband.BDAddr `json:"device"`
+	Piconet graph.NodeID    `json:"piconet"`
+	// At is the simulation/wall tick the presence was revealed.
+	At sim.Tick `json:"at"`
+}
+
+// Event is a presence change streamed to subscribers.
+type Event struct {
+	Fix
+	// Present is true for a new presence, false for a new absence.
+	Present bool `json:"present"`
+}
+
+// DB is the central location database. It is safe for concurrent use: in
+// the live system every workstation connection updates it concurrently with
+// user queries.
+type DB struct {
+	mu           sync.RWMutex
+	current      map[baseband.BDAddr]Fix
+	occupants    map[graph.NodeID]map[baseband.BDAddr]bool
+	history      map[baseband.BDAddr][]Fix
+	historyLimit int
+	subs         map[int]func(Event)
+	nextSub      int
+
+	updates  int64
+	queries  int64
+	absences int64
+}
+
+// New returns an empty database with the default history limit.
+func New() *DB {
+	return NewWithHistory(DefaultHistoryLimit)
+}
+
+// NewWithHistory returns an empty database keeping at most limit history
+// entries per device (0 disables history).
+func NewWithHistory(limit int) *DB {
+	if limit < 0 {
+		limit = 0
+	}
+	return &DB{
+		current:      make(map[baseband.BDAddr]Fix),
+		occupants:    make(map[graph.NodeID]map[baseband.BDAddr]bool),
+		history:      make(map[baseband.BDAddr][]Fix),
+		historyLimit: limit,
+		subs:         make(map[int]func(Event)),
+	}
+}
+
+// SetPresence records that the device is present in the piconet at the
+// given time. It implements the delta semantics: re-reporting an unchanged
+// piconet is a cheap no-op.
+func (db *DB) SetPresence(dev baseband.BDAddr, piconet graph.NodeID, at sim.Tick) {
+	db.mu.Lock()
+	prev, had := db.current[dev]
+	if had && prev.Piconet == piconet {
+		db.mu.Unlock()
+		return
+	}
+	fix := Fix{Device: dev, Piconet: piconet, At: at}
+	if had {
+		delete(db.occupants[prev.Piconet], dev)
+	}
+	db.current[dev] = fix
+	occ := db.occupants[piconet]
+	if occ == nil {
+		occ = make(map[baseband.BDAddr]bool)
+		db.occupants[piconet] = occ
+	}
+	occ[dev] = true
+	if db.historyLimit > 0 {
+		h := append(db.history[dev], fix)
+		if len(h) > db.historyLimit {
+			h = h[len(h)-db.historyLimit:]
+		}
+		db.history[dev] = h
+	}
+	db.updates++
+	subs := db.snapshotSubs()
+	db.mu.Unlock()
+	for _, fn := range subs {
+		fn(Event{Fix: fix, Present: true})
+	}
+}
+
+// SetAbsence records that the device left the given piconet at the given
+// time. An absence reported by a piconet the device is no longer in (the
+// device was already handed over) is ignored, so out-of-order reports from
+// two workstations cannot erase a newer presence.
+func (db *DB) SetAbsence(dev baseband.BDAddr, piconet graph.NodeID, at sim.Tick) {
+	db.mu.Lock()
+	cur, ok := db.current[dev]
+	if !ok || cur.Piconet != piconet {
+		db.mu.Unlock()
+		return
+	}
+	delete(db.current, dev)
+	delete(db.occupants[piconet], dev)
+	db.absences++
+	subs := db.snapshotSubs()
+	db.mu.Unlock()
+	fix := Fix{Device: dev, Piconet: piconet, At: at}
+	for _, fn := range subs {
+		fn(Event{Fix: fix, Present: false})
+	}
+}
+
+// Drop removes every trace of a device (logout).
+func (db *DB) Drop(dev baseband.BDAddr) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if cur, ok := db.current[dev]; ok {
+		delete(db.occupants[cur.Piconet], dev)
+	}
+	delete(db.current, dev)
+	delete(db.history, dev)
+}
+
+// Locate answers the paper's spatio-temporal query: the actual piconet of
+// the device.
+func (db *DB) Locate(dev baseband.BDAddr) (Fix, error) {
+	db.mu.Lock()
+	db.queries++
+	fix, ok := db.current[dev]
+	db.mu.Unlock()
+	if !ok {
+		return Fix{}, fmt.Errorf("%w: %v", ErrNotPresent, dev)
+	}
+	return fix, nil
+}
+
+// LocateAt answers the historical form of the spatio-temporal query: the
+// piconet the device was last reported in at or before tick at. It
+// consults the bounded movement history, so it can only see as far back as
+// the history limit allows.
+func (db *DB) LocateAt(dev baseband.BDAddr, at sim.Tick) (Fix, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	h := db.history[dev]
+	// History is append-only in time order: binary search for the last
+	// fix with Fix.At <= at.
+	lo, hi := 0, len(h)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h[mid].At <= at {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return Fix{}, fmt.Errorf("%w: %v at %v", ErrNotPresent, dev, at)
+	}
+	return h[lo-1], nil
+}
+
+// Occupants returns the devices currently present in the piconet, in
+// ascending address order.
+func (db *DB) Occupants(piconet graph.NodeID) []baseband.BDAddr {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	occ := db.occupants[piconet]
+	out := make([]baseband.BDAddr, 0, len(occ))
+	for dev := range occ {
+		out = append(out, dev)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// History returns the device's recorded movement history, oldest first.
+func (db *DB) History(dev baseband.BDAddr) []Fix {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	h := db.history[dev]
+	out := make([]Fix, len(h))
+	copy(out, h)
+	return out
+}
+
+// Present returns the number of devices with a known position.
+func (db *DB) Present() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.current)
+}
+
+// Stats reports database activity counters.
+type Stats struct {
+	Updates  int64 `json:"updates"`
+	Absences int64 `json:"absences"`
+	Queries  int64 `json:"queries"`
+}
+
+// Stats returns a snapshot of the activity counters.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return Stats{Updates: db.updates, Absences: db.absences, Queries: db.queries}
+}
+
+// Subscribe registers fn to be called on every presence change. It returns
+// an unsubscribe function. Callbacks run synchronously on the updating
+// goroutine and must not call back into the database.
+func (db *DB) Subscribe(fn func(Event)) (cancel func()) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	id := db.nextSub
+	db.nextSub++
+	db.subs[id] = fn
+	return func() {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		delete(db.subs, id)
+	}
+}
+
+// snapshotSubs must be called with db.mu held.
+func (db *DB) snapshotSubs() []func(Event) {
+	out := make([]func(Event), 0, len(db.subs))
+	ids := make([]int, 0, len(db.subs))
+	for id := range db.subs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		out = append(out, db.subs[id])
+	}
+	return out
+}

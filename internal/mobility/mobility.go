@@ -1,0 +1,210 @@
+// Package mobility models walking BIPS users. The paper's Section 5 sizing
+// argument rests on two mobility facts: users walk at speeds in [0, 1.5]
+// m/s (mean 1.3 m/s for a walking user) and a piconet's coverage area is a
+// 20 m-diameter disc, so the average walking user spends about 15.4 s
+// inside a cell. This package provides a bounded random-waypoint walker
+// over a floor plan and the crossing-time estimator used by the policy
+// experiment.
+package mobility
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bips/internal/radio"
+	"bips/internal/sim"
+)
+
+// Speed limits from the paper.
+const (
+	// MaxSpeedMPS is the fastest a mobile user moves (2 m/s is the
+	// system bound in Section 2; 1.5 m/s the walking bound of
+	// Section 5).
+	MaxSpeedMPS = 2.0
+	// MaxWalkingSpeedMPS bounds a normally walking user.
+	MaxWalkingSpeedMPS = 1.5
+	// MeanWalkingSpeedMPS is the paper's average walking speed used in
+	// the 20 m / 1.3 m/s = 15.4 s estimate.
+	MeanWalkingSpeedMPS = 1.3
+)
+
+// Rect is an axis-aligned floor-plan boundary.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Contains reports whether p lies inside the rectangle (inclusive).
+func (r Rect) Contains(p radio.Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// Validate checks the rectangle has positive area.
+func (r Rect) Validate() error {
+	if r.MaxX <= r.MinX || r.MaxY <= r.MinY {
+		return fmt.Errorf("mobility: degenerate bounds %+v", r)
+	}
+	return nil
+}
+
+// Clamp returns p clamped into the rectangle.
+func (r Rect) Clamp(p radio.Point) radio.Point {
+	return radio.Point{
+		X: math.Max(r.MinX, math.Min(r.MaxX, p.X)),
+		Y: math.Max(r.MinY, math.Min(r.MaxY, p.Y)),
+	}
+}
+
+// WalkerConfig configures a random-waypoint walker.
+type WalkerConfig struct {
+	// Bounds is the floor-plan rectangle the walker stays inside.
+	Bounds Rect
+	// Start is the initial position; it is clamped into Bounds.
+	Start radio.Point
+	// MinSpeed and MaxSpeed bound the per-leg uniform speed draw in
+	// m/s. Defaults: 0.5 and MaxWalkingSpeedMPS.
+	MinSpeed, MaxSpeed float64
+	// PauseMean is the mean of the exponential pause at each waypoint.
+	// Zero means no pausing (continuous walking).
+	PauseMean sim.Tick
+}
+
+func (c WalkerConfig) withDefaults() WalkerConfig {
+	if c.MinSpeed == 0 {
+		c.MinSpeed = 0.5
+	}
+	if c.MaxSpeed == 0 {
+		c.MaxSpeed = MaxWalkingSpeedMPS
+	}
+	return c
+}
+
+// ErrBadSpeed is returned for invalid speed ranges.
+var ErrBadSpeed = errors.New("mobility: invalid speed range")
+
+// Walker is a deterministic random-waypoint walker: it repeatedly picks a
+// uniform waypoint in the bounds, walks there at a uniform-random speed,
+// optionally pauses, and repeats. Positions are sampled with At.
+type Walker struct {
+	cfg WalkerConfig
+	rng *rand.Rand
+
+	pos      radio.Point
+	target   radio.Point
+	speed    float64 // m/s
+	legStart sim.Tick
+	legEnd   sim.Tick
+	pausing  bool
+}
+
+// NewWalker validates the configuration and returns a walker positioned at
+// the clamped start point.
+func NewWalker(cfg WalkerConfig, rng *rand.Rand) (*Walker, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Bounds.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MinSpeed <= 0 || cfg.MaxSpeed < cfg.MinSpeed || cfg.MaxSpeed > MaxSpeedMPS {
+		return nil, fmt.Errorf("%w: [%v, %v]", ErrBadSpeed, cfg.MinSpeed, cfg.MaxSpeed)
+	}
+	w := &Walker{
+		cfg: cfg,
+		rng: rng,
+		pos: cfg.Bounds.Clamp(cfg.Start),
+	}
+	w.pickLeg(0)
+	return w, nil
+}
+
+// pickLeg selects the next waypoint and speed starting at tick now.
+func (w *Walker) pickLeg(now sim.Tick) {
+	if w.cfg.PauseMean > 0 && !w.pausing {
+		// Pause at the waypoint before moving on.
+		w.pausing = true
+		pause := sim.Tick(w.rng.ExpFloat64() * float64(w.cfg.PauseMean))
+		w.target = w.pos
+		w.legStart = now
+		w.legEnd = now + pause
+		return
+	}
+	w.pausing = false
+	w.target = radio.Point{
+		X: w.cfg.Bounds.MinX + w.rng.Float64()*(w.cfg.Bounds.MaxX-w.cfg.Bounds.MinX),
+		Y: w.cfg.Bounds.MinY + w.rng.Float64()*(w.cfg.Bounds.MaxY-w.cfg.Bounds.MinY),
+	}
+	w.speed = w.cfg.MinSpeed + w.rng.Float64()*(w.cfg.MaxSpeed-w.cfg.MinSpeed)
+	dist := w.pos.Dist(w.target)
+	dur := sim.FromSeconds(dist / w.speed)
+	if dur < 1 {
+		dur = 1
+	}
+	w.legStart = now
+	w.legEnd = now + dur
+}
+
+// At returns the walker position at tick now. Time must not go backwards
+// between calls.
+func (w *Walker) At(now sim.Tick) radio.Point {
+	for now >= w.legEnd {
+		w.pos = w.target
+		w.pickLeg(w.legEnd)
+	}
+	if w.pausing || w.legEnd == w.legStart {
+		return w.pos
+	}
+	frac := float64(now-w.legStart) / float64(w.legEnd-w.legStart)
+	return radio.Point{
+		X: w.pos.X + (w.target.X-w.pos.X)*frac,
+		Y: w.pos.Y + (w.target.Y-w.pos.Y)*frac,
+	}
+}
+
+// Bounds returns the walker's floor-plan rectangle.
+func (w *Walker) Bounds() Rect { return w.cfg.Bounds }
+
+// CrossingEstimate returns the paper's closed-form mean cell residence
+// time: diameter / meanSpeed. With the defaults (20 m, 1.3 m/s) this is the
+// 15.4 s that sizes the master operational cycle in Section 5.
+func CrossingEstimate(diameterMeters, meanSpeedMPS float64) (sim.Tick, error) {
+	if diameterMeters <= 0 || meanSpeedMPS <= 0 {
+		return 0, fmt.Errorf("mobility: non-positive crossing parameters %v, %v",
+			diameterMeters, meanSpeedMPS)
+	}
+	return sim.FromSeconds(diameterMeters / meanSpeedMPS), nil
+}
+
+// PaperCrossingEstimate is CrossingEstimate with the paper's constants:
+// a 20 m cell diameter crossed at 1.3 m/s.
+func PaperCrossingEstimate() sim.Tick {
+	t, err := CrossingEstimate(2*radio.DefaultCoverageRadiusMeters, MeanWalkingSpeedMPS)
+	if err != nil {
+		// Unreachable: constants are positive.
+		return 0
+	}
+	return t
+}
+
+// MeasureCrossing simulates straight-line transits of a disc cell of the
+// given radius by walkers drawn from [minSpeed, maxSpeed] entering on a
+// random chord, and returns the mean residence time. It cross-checks the
+// closed-form estimate in the policy experiment.
+func MeasureCrossing(rng *rand.Rand, radius, minSpeed, maxSpeed float64, samples int) (sim.Tick, error) {
+	if radius <= 0 || minSpeed <= 0 || maxSpeed < minSpeed {
+		return 0, fmt.Errorf("mobility: bad crossing parameters r=%v v=[%v,%v]",
+			radius, minSpeed, maxSpeed)
+	}
+	if samples <= 0 {
+		samples = 1
+	}
+	var total float64
+	for i := 0; i < samples; i++ {
+		// A random chord: entry point uniform on the circle, offset
+		// uniform in (-r, r) perpendicular to the travel direction.
+		off := (2*rng.Float64() - 1) * radius
+		chord := 2 * math.Sqrt(radius*radius-off*off)
+		speed := minSpeed + rng.Float64()*(maxSpeed-minSpeed)
+		total += chord / speed
+	}
+	return sim.FromSeconds(total / float64(samples)), nil
+}

@@ -1,0 +1,260 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bips/internal/radio"
+	"bips/internal/sim"
+)
+
+func testBounds() Rect { return Rect{MinX: 0, MinY: 0, MaxX: 50, MaxY: 30} }
+
+func TestRectValidate(t *testing.T) {
+	if err := testBounds().Validate(); err != nil {
+		t.Errorf("valid rect rejected: %v", err)
+	}
+	bad := []Rect{
+		{MinX: 0, MaxX: 0, MinY: 0, MaxY: 10},
+		{MinX: 5, MaxX: 1, MinY: 0, MaxY: 10},
+		{},
+	}
+	for _, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("degenerate rect %+v accepted", r)
+		}
+	}
+}
+
+func TestRectClampContains(t *testing.T) {
+	r := testBounds()
+	cases := []struct {
+		in   radio.Point
+		want radio.Point
+	}{
+		{in: radio.Point{X: 10, Y: 10}, want: radio.Point{X: 10, Y: 10}},
+		{in: radio.Point{X: -5, Y: 10}, want: radio.Point{X: 0, Y: 10}},
+		{in: radio.Point{X: 60, Y: 40}, want: radio.Point{X: 50, Y: 30}},
+	}
+	for _, c := range cases {
+		got := r.Clamp(c.in)
+		if got != c.want {
+			t.Errorf("Clamp(%v) = %v, want %v", c.in, got, c.want)
+		}
+		if !r.Contains(got) {
+			t.Errorf("clamped point %v not contained", got)
+		}
+	}
+}
+
+func TestNewWalkerValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tests := []struct {
+		name    string
+		cfg     WalkerConfig
+		wantErr bool
+	}{
+		{name: "defaults", cfg: WalkerConfig{Bounds: testBounds()}},
+		{name: "bad bounds", cfg: WalkerConfig{}, wantErr: true},
+		{
+			name:    "min over max",
+			cfg:     WalkerConfig{Bounds: testBounds(), MinSpeed: 2, MaxSpeed: 1},
+			wantErr: true,
+		},
+		{
+			name:    "over system bound",
+			cfg:     WalkerConfig{Bounds: testBounds(), MinSpeed: 1, MaxSpeed: 5},
+			wantErr: true,
+		},
+		{
+			name:    "negative min",
+			cfg:     WalkerConfig{Bounds: testBounds(), MinSpeed: -1, MaxSpeed: 1},
+			wantErr: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewWalker(tt.cfg, rng)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("NewWalker error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestWalkerStaysInBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w, err := NewWalker(WalkerConfig{Bounds: testBounds(), Start: radio.Point{X: 25, Y: 15}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := sim.Tick(0); tick < 10*60*sim.TicksPerSecond; tick += 100 {
+		p := w.At(tick)
+		if !w.Bounds().Contains(p) {
+			t.Fatalf("walker escaped bounds at %v: %v", tick, p)
+		}
+	}
+}
+
+func TestWalkerSpeedBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w, err := NewWalker(WalkerConfig{
+		Bounds:   testBounds(),
+		MinSpeed: 0.5,
+		MaxSpeed: MaxWalkingSpeedMPS,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const step = sim.TicksPerSecond // 1 s sampling
+	prev := w.At(0)
+	for tick := step; tick < 5*60*sim.TicksPerSecond; tick += step {
+		cur := w.At(tick)
+		speed := prev.Dist(cur) / step.Seconds()
+		// Displacement per second can exceed the leg speed only if a
+		// waypoint turn happened mid-sample, which shortens it; the
+		// upper bound holds regardless.
+		if speed > MaxWalkingSpeedMPS+1e-9 {
+			t.Fatalf("displacement speed %v m/s exceeds max at %v", speed, tick)
+		}
+		prev = cur
+	}
+}
+
+func TestWalkerActuallyMoves(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w, err := NewWalker(WalkerConfig{Bounds: testBounds()}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := w.At(0)
+	moved := false
+	for tick := sim.Tick(0); tick < 60*sim.TicksPerSecond; tick += 3200 {
+		if w.At(tick).Dist(start) > 1 {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Error("walker did not move a meter in a minute")
+	}
+}
+
+func TestWalkerStartClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	w, err := NewWalker(WalkerConfig{
+		Bounds: testBounds(),
+		Start:  radio.Point{X: -100, Y: 100},
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := w.At(0); !w.Bounds().Contains(p) {
+		t.Errorf("start %v outside bounds", p)
+	}
+}
+
+func TestWalkerWithPauses(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	w, err := NewWalker(WalkerConfig{
+		Bounds:    testBounds(),
+		PauseMean: 2 * sim.TicksPerSecond,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With pauses the walker still progresses and stays in bounds.
+	for tick := sim.Tick(0); tick < 5*60*sim.TicksPerSecond; tick += 1000 {
+		if !w.Bounds().Contains(w.At(tick)) {
+			t.Fatal("pausing walker escaped bounds")
+		}
+	}
+}
+
+func TestWalkerDeterministic(t *testing.T) {
+	sample := func(seed int64) []radio.Point {
+		rng := rand.New(rand.NewSource(seed))
+		w, err := NewWalker(WalkerConfig{Bounds: testBounds()}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pts []radio.Point
+		for tick := sim.Tick(0); tick < 30*sim.TicksPerSecond; tick += 1600 {
+			pts = append(pts, w.At(tick))
+		}
+		return pts
+	}
+	a, b := sample(42), sample(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at sample %d", i)
+		}
+	}
+}
+
+func TestCrossingEstimate(t *testing.T) {
+	// The paper: 20 m / 1.3 m/s = 15.4 s.
+	got := PaperCrossingEstimate()
+	sec := got.Seconds()
+	if sec < 15.3 || sec > 15.5 {
+		t.Errorf("paper crossing estimate = %.2fs, want ~15.4s", sec)
+	}
+	if _, err := CrossingEstimate(0, 1); err == nil {
+		t.Error("zero diameter accepted")
+	}
+	if _, err := CrossingEstimate(10, 0); err == nil {
+		t.Error("zero speed accepted")
+	}
+}
+
+func TestMeasureCrossingAgreesWithChordGeometry(t *testing.T) {
+	// Mean chord length of a circle with uniform perpendicular offset
+	// is (pi/4)*2r; at fixed speed v the mean residence is that / v.
+	rng := rand.New(rand.NewSource(7))
+	r := 10.0
+	v := 1.3
+	got, err := MeasureCrossing(rng, r, v, v, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (3.141592653589793 / 4) * 2 * r / v
+	sec := got.Seconds()
+	if sec < want*0.97 || sec > want*1.03 {
+		t.Errorf("measured crossing = %.2fs, want ~%.2fs", sec, want)
+	}
+}
+
+func TestMeasureCrossingValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	if _, err := MeasureCrossing(rng, 0, 1, 1, 10); err == nil {
+		t.Error("zero radius accepted")
+	}
+	if _, err := MeasureCrossing(rng, 10, 2, 1, 10); err == nil {
+		t.Error("min>max accepted")
+	}
+	if _, err := MeasureCrossing(rng, 10, 1, 1.5, 0); err != nil {
+		t.Errorf("samples<=0 should be clamped, got %v", err)
+	}
+}
+
+func TestWalkerTimeMonotonicProperty(t *testing.T) {
+	f := func(seed int64, steps []uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, err := NewWalker(WalkerConfig{Bounds: testBounds()}, rng)
+		if err != nil {
+			return false
+		}
+		now := sim.Tick(0)
+		for _, s := range steps {
+			now += sim.Tick(s)
+			if !w.Bounds().Contains(w.At(now)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

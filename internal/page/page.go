@@ -1,0 +1,199 @@
+// Package page models the Bluetooth page and connection-setup procedure of
+// the paper's Section 3.2: after discovering a device, the master pages it
+// explicitly; the slave listens for page messages during its page-scan
+// windows (default T_page_scan = 1.28 s, T_w_page_scan = 11.25 ms, the same
+// values as inquiry scan); after the page handshake the two devices freeze
+// the hop-selection clock input and enter the connection state.
+//
+// Unlike inquiry, paging is directed: the master learned the slave's
+// address and clock from the FHS response, so its page train covers the
+// slave's listening frequency almost immediately. The dominant latency is
+// therefore page-scan window alignment, which is what this model captures
+// at half-slot resolution; the multi-slot handshake (slave ID response,
+// master FHS, slave ACK, POLL/NULL) is modelled with its fixed slot cost.
+package page
+
+import (
+	"errors"
+	"fmt"
+
+	"bips/internal/baseband"
+	"bips/internal/radio"
+	"bips/internal/sim"
+)
+
+// HandshakeSlots is the fixed cost of the page handshake once the slave
+// hears a page ID in a scan window: slave ID response, master FHS, slave
+// ACK, and the first POLL/NULL exchange in the new piconet.
+const HandshakeSlots = 6
+
+// Errors reported by the pager.
+var (
+	// ErrPageTimeout is delivered when the page gives up (the
+	// pageTimeout of the standard, default 5.12 s).
+	ErrPageTimeout = errors.New("page: timeout")
+	// ErrBusy is returned when the pager is already paging.
+	ErrBusy = errors.New("page: pager busy")
+	// ErrNotReachable is delivered when the target is outside coverage.
+	ErrNotReachable = errors.New("page: target not reachable")
+)
+
+// DefaultPageTimeout is the standard pageTimeout: 5.12 s.
+const DefaultPageTimeout = 2 * baseband.TrainDwellTicks
+
+// Scanner is the slave side: a device listening for page messages in
+// periodic page-scan windows.
+type Scanner struct {
+	// Addr is the device address.
+	Addr baseband.BDAddr
+	// ClockOffset is the device's native clock phase.
+	ClockOffset sim.Tick
+	// Interval is T_page_scan. Zero means the 1.28 s default.
+	Interval sim.Tick
+	// Window is T_w_page_scan. Zero means the 11.25 ms default.
+	Window sim.Tick
+	// AlternatesWithInquiry marks a device that interleaves inquiry-scan
+	// and page-scan windows (the paper's slave programming): only every
+	// other window is a page-scan window.
+	AlternatesWithInquiry bool
+	// Connectable gates whether the device answers pages at all.
+	Connectable bool
+}
+
+func (s Scanner) interval() sim.Tick {
+	if s.Interval > 0 {
+		return s.Interval
+	}
+	return baseband.TPageScanTicks
+}
+
+func (s Scanner) window() sim.Tick {
+	if s.Window > 0 {
+		return s.Window
+	}
+	return baseband.TwPageScanTicks
+}
+
+// scanOpen reports whether a page-scan window is open at tick now.
+func (s Scanner) scanOpen(now sim.Tick) bool {
+	if !s.Connectable {
+		return false
+	}
+	clk := (s.ClockOffset + now) % (1 << 28)
+	pos := clk % s.interval()
+	if pos >= s.window() {
+		return false
+	}
+	if s.AlternatesWithInquiry {
+		// Odd windows are page-scan when windows alternate (even
+		// ones are inquiry-scan; see inquiry.ScanAlternating).
+		k := clk / s.interval()
+		return k%2 == 1
+	}
+	return true
+}
+
+// NextOpen returns the first tick >= from at which a page-scan window is
+// open, or (0, false) if the scanner never opens (not connectable).
+func (s Scanner) NextOpen(from sim.Tick) (sim.Tick, bool) {
+	if !s.Connectable {
+		return 0, false
+	}
+	// Scan tick-by-tick within one period worth of windows; the
+	// structure is periodic with period interval (or 2*interval when
+	// alternating), so the search is bounded.
+	limit := from + 2*s.interval() + s.window()
+	for t := from; t <= limit; t++ {
+		if s.scanOpen(t) {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// Result is the outcome of a page attempt.
+type Result struct {
+	Target baseband.BDAddr
+	// ConnectedAt is the tick the connection entered the connection
+	// state (valid when Err is nil).
+	ConnectedAt sim.Tick
+	// Err is nil on success.
+	Err error
+}
+
+// Pager is the master side: it pages one target at a time.
+type Pager struct {
+	kernel *sim.Kernel
+	addr   baseband.BDAddr
+	medium *radio.Medium
+
+	busy  bool
+	pages int
+	fails int
+}
+
+// NewPager returns a pager for the master with the given address. medium
+// may be nil (all targets reachable).
+func NewPager(k *sim.Kernel, addr baseband.BDAddr, medium *radio.Medium) *Pager {
+	return &Pager{kernel: k, addr: addr, medium: medium}
+}
+
+// Busy reports whether a page is in progress.
+func (p *Pager) Busy() bool { return p.busy }
+
+// Pages returns the number of page attempts started.
+func (p *Pager) Pages() int { return p.pages }
+
+// Failures returns the number of failed page attempts.
+func (p *Pager) Failures() int { return p.fails }
+
+// Page starts paging the scanner. done is invoked exactly once, at the
+// connection instant or at the timeout. A zero timeout means
+// DefaultPageTimeout. Only one page may be in flight per pager, matching a
+// single-radio master.
+func (p *Pager) Page(target Scanner, timeout sim.Tick, done func(Result)) error {
+	if p.busy {
+		return ErrBusy
+	}
+	if timeout <= 0 {
+		timeout = DefaultPageTimeout
+	}
+	p.busy = true
+	p.pages++
+	start := p.kernel.Now()
+
+	finish := func(r Result) {
+		p.busy = false
+		if r.Err != nil {
+			p.fails++
+		}
+		done(r)
+	}
+
+	if p.medium != nil && !p.medium.InRange(p.addr, target.Addr) {
+		// The page train burns the full timeout before giving up on
+		// an unreachable device.
+		p.kernel.Schedule(timeout, func(*sim.Kernel) {
+			finish(Result{Target: target.Addr, Err: fmt.Errorf("%w: %v", ErrNotReachable, target.Addr)})
+		})
+		return nil
+	}
+
+	open, ok := target.NextOpen(start)
+	if !ok || open-start > timeout {
+		p.kernel.Schedule(timeout, func(*sim.Kernel) {
+			finish(Result{Target: target.Addr, Err: fmt.Errorf("%w: %v after %v", ErrPageTimeout, target.Addr, timeout)})
+		})
+		return nil
+	}
+	connectAt := open + HandshakeSlots*baseband.SlotTicks
+	p.kernel.Schedule(connectAt-start, func(k *sim.Kernel) {
+		if p.medium != nil && !p.medium.InRange(p.addr, target.Addr) {
+			// Walked out of coverage mid-handshake.
+			finish(Result{Target: target.Addr, Err: fmt.Errorf("%w: %v", ErrNotReachable, target.Addr)})
+			return
+		}
+		finish(Result{Target: target.Addr, ConnectedAt: k.Now()})
+	})
+	return nil
+}

@@ -1,0 +1,200 @@
+package page
+
+import (
+	"errors"
+	"testing"
+
+	"bips/internal/baseband"
+	"bips/internal/radio"
+	"bips/internal/sim"
+)
+
+func connectable(offset sim.Tick) Scanner {
+	return Scanner{Addr: 2, ClockOffset: offset, Connectable: true}
+}
+
+func TestScannerWindows(t *testing.T) {
+	s := connectable(0)
+	if !s.scanOpen(0) {
+		t.Error("window should be open at phase 0")
+	}
+	if s.scanOpen(baseband.TwPageScanTicks) {
+		t.Error("window should close after Tw")
+	}
+	if !s.scanOpen(baseband.TPageScanTicks + 1) {
+		t.Error("next window should open after one interval")
+	}
+}
+
+func TestScannerNotConnectable(t *testing.T) {
+	s := Scanner{Addr: 2}
+	if s.scanOpen(0) {
+		t.Error("non-connectable scanner has open window")
+	}
+	if _, ok := s.NextOpen(0); ok {
+		t.Error("non-connectable scanner reports NextOpen")
+	}
+}
+
+func TestScannerAlternating(t *testing.T) {
+	s := Scanner{Addr: 2, Connectable: true, AlternatesWithInquiry: true}
+	// Window 0 (even) is inquiry scan: closed for paging.
+	if s.scanOpen(0) {
+		t.Error("even window open for paging in alternating mode")
+	}
+	// Window 1 (odd) is page scan.
+	if !s.scanOpen(baseband.TPageScanTicks) {
+		t.Error("odd window closed for paging in alternating mode")
+	}
+	open, ok := s.NextOpen(0)
+	if !ok || open != baseband.TPageScanTicks {
+		t.Errorf("NextOpen = %v,%v, want %v", open, ok, baseband.TPageScanTicks)
+	}
+}
+
+func TestNextOpenInsideWindow(t *testing.T) {
+	s := connectable(0)
+	open, ok := s.NextOpen(5)
+	if !ok || open != 5 {
+		t.Errorf("NextOpen inside window = %v,%v, want 5", open, ok)
+	}
+	open, ok = s.NextOpen(baseband.TwPageScanTicks)
+	if !ok || open != baseband.TPageScanTicks {
+		t.Errorf("NextOpen after window = %v,%v, want next interval", open, ok)
+	}
+}
+
+func TestPageSucceeds(t *testing.T) {
+	k := sim.NewKernel(1)
+	p := NewPager(k, 1, nil)
+	var got Result
+	called := 0
+	err := p.Page(connectable(100), 0, func(r Result) { got = r; called++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Busy() {
+		t.Error("pager not busy during page")
+	}
+	k.RunUntil(10 * sim.TicksPerSecond)
+	if called != 1 {
+		t.Fatalf("done called %d times", called)
+	}
+	if got.Err != nil {
+		t.Fatalf("page failed: %v", got.Err)
+	}
+	if p.Busy() {
+		t.Error("pager busy after completion")
+	}
+	// Connection happens at the scan window plus handshake cost. With
+	// ClockOffset=100 the first window starts when clk%4096==0, i.e.
+	// tick 3996.
+	wantOpen := sim.Tick(4096 - 100)
+	want := wantOpen + HandshakeSlots*baseband.SlotTicks
+	if got.ConnectedAt != want {
+		t.Errorf("ConnectedAt = %v, want %v", got.ConnectedAt, want)
+	}
+	if p.Pages() != 1 || p.Failures() != 0 {
+		t.Errorf("counters = %d/%d", p.Pages(), p.Failures())
+	}
+}
+
+func TestPageBusy(t *testing.T) {
+	k := sim.NewKernel(1)
+	p := NewPager(k, 1, nil)
+	if err := p.Page(connectable(0), 0, func(Result) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Page(connectable(0), 0, func(Result) {}); !errors.Is(err, ErrBusy) {
+		t.Errorf("second page error = %v, want ErrBusy", err)
+	}
+}
+
+func TestPageTimeoutNonConnectable(t *testing.T) {
+	k := sim.NewKernel(1)
+	p := NewPager(k, 1, nil)
+	var got Result
+	if err := p.Page(Scanner{Addr: 2}, 100, func(r Result) { got = r }); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(10 * sim.TicksPerSecond)
+	if !errors.Is(got.Err, ErrPageTimeout) {
+		t.Errorf("error = %v, want ErrPageTimeout", got.Err)
+	}
+	if p.Failures() != 1 {
+		t.Errorf("failures = %d", p.Failures())
+	}
+	if k.Now() < 100 {
+		t.Error("timeout fired early")
+	}
+}
+
+func TestPageOutOfRange(t *testing.T) {
+	k := sim.NewKernel(1)
+	med := radio.NewMedium()
+	med.Place(radio.Station{Addr: 1, Pos: radio.Point{X: 0, Y: 0}})
+	med.Place(radio.Station{Addr: 2, Pos: radio.Point{X: 99, Y: 0}})
+	p := NewPager(k, 1, med)
+	var got Result
+	if err := p.Page(connectable(0), 50, func(r Result) { got = r }); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(sim.TicksPerSecond)
+	if !errors.Is(got.Err, ErrNotReachable) {
+		t.Errorf("error = %v, want ErrNotReachable", got.Err)
+	}
+}
+
+func TestPageTargetWalksAwayMidHandshake(t *testing.T) {
+	k := sim.NewKernel(1)
+	med := radio.NewMedium()
+	med.Place(radio.Station{Addr: 1, Pos: radio.Point{X: 0, Y: 0}})
+	med.Place(radio.Station{Addr: 2, Pos: radio.Point{X: 5, Y: 0}})
+	p := NewPager(k, 1, med)
+	var got Result
+	if err := p.Page(connectable(0), 0, func(r Result) { got = r }); err != nil {
+		t.Fatal(err)
+	}
+	// Move out of range before the handshake completes.
+	med.Move(2, radio.Point{X: 99, Y: 0})
+	k.RunUntil(10 * sim.TicksPerSecond)
+	if !errors.Is(got.Err, ErrNotReachable) {
+		t.Errorf("error = %v, want ErrNotReachable", got.Err)
+	}
+}
+
+func TestPageDefaultTimeoutIs512s(t *testing.T) {
+	if DefaultPageTimeout.Seconds() != 5.12 {
+		t.Errorf("DefaultPageTimeout = %v, want 5.12s", DefaultPageTimeout.Seconds())
+	}
+}
+
+func TestPagerSequentialPages(t *testing.T) {
+	k := sim.NewKernel(1)
+	p := NewPager(k, 1, nil)
+	completed := 0
+	var pageNext func(n int)
+	pageNext = func(n int) {
+		if n == 0 {
+			return
+		}
+		err := p.Page(connectable(sim.Tick(n*37)), 0, func(r Result) {
+			if r.Err != nil {
+				t.Errorf("page %d failed: %v", n, r.Err)
+			}
+			completed++
+			pageNext(n - 1)
+		})
+		if err != nil {
+			t.Errorf("page %d: %v", n, err)
+		}
+	}
+	pageNext(5)
+	k.RunUntil(60 * sim.TicksPerSecond)
+	if completed != 5 {
+		t.Errorf("completed = %d, want 5", completed)
+	}
+	if p.Pages() != 5 {
+		t.Errorf("pages = %d, want 5", p.Pages())
+	}
+}

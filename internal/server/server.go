@@ -1,0 +1,335 @@
+// Package server implements the BIPS central server machine: it owns the
+// user registry, the location database and the building topology, accepts
+// presence deltas from workstations, and answers user queries — login,
+// logout, locate, and the shortest-path navigation query that is the
+// service's headline feature.
+//
+// The same business-logic methods back two transports: the newline-JSON
+// TCP protocol of package wire (the Ethernet LAN of the paper) and direct
+// in-process calls used by the simulation and the examples.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"bips/internal/building"
+	"bips/internal/locdb"
+	"bips/internal/registry"
+	"bips/internal/wire"
+)
+
+// Server is the central BIPS server.
+type Server struct {
+	reg *registry.Registry
+	db  *locdb.DB
+	bld *building.Building
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	wg       sync.WaitGroup
+	closed   bool
+
+	// Logf logs connection-level failures; defaults to log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// New assembles a server from its three state components.
+func New(reg *registry.Registry, db *locdb.DB, bld *building.Building) *Server {
+	return &Server{
+		reg:   reg,
+		db:    db,
+		bld:   bld,
+		conns: make(map[net.Conn]bool),
+		Logf:  log.Printf,
+	}
+}
+
+// Registry exposes the user registry (for administrative tooling).
+func (s *Server) Registry() *registry.Registry { return s.reg }
+
+// DB exposes the location database.
+func (s *Server) DB() *locdb.DB { return s.db }
+
+// Building exposes the topology.
+func (s *Server) Building() *building.Building { return s.bld }
+
+// --- Business logic -------------------------------------------------------
+
+// Login authenticates and binds a user to a device.
+func (s *Server) Login(req wire.Login) error {
+	dev, err := wire.ParseAddr(req.Device)
+	if err != nil {
+		return err
+	}
+	return s.reg.Login(registry.UserID(req.User), req.Password, dev)
+}
+
+// Logout releases the user's binding and drops the device from the
+// location database (BIPS stops tracking on logout).
+func (s *Server) Logout(req wire.Logout) error {
+	id := registry.UserID(req.User)
+	dev, err := s.reg.DeviceOf(id)
+	if err != nil {
+		return err
+	}
+	if err := s.reg.Logout(id); err != nil {
+		return err
+	}
+	s.db.Drop(dev)
+	return nil
+}
+
+// ApplyPresence applies a workstation's presence/absence delta.
+func (s *Server) ApplyPresence(p wire.Presence) error {
+	dev, err := wire.ParseAddr(p.Device)
+	if err != nil {
+		return err
+	}
+	if _, ok := s.bld.Room(p.Room); !ok {
+		return fmt.Errorf("%w: room %d", building.ErrUnknownRoom, p.Room)
+	}
+	// Only logged-in devices are tracked; silently ignore the rest
+	// (anonymous devices may answer inquiries but BIPS does not track
+	// them).
+	if _, err := s.reg.UserOf(dev); err != nil {
+		return nil
+	}
+	if p.Present {
+		s.db.SetPresence(dev, p.Room, p.At)
+	} else {
+		s.db.SetAbsence(dev, p.Room, p.At)
+	}
+	return nil
+}
+
+// Locate runs the paper's spatio-temporal query with its access checks:
+// the querying user must hold the locate right, the target must be
+// trackable and logged in.
+func (s *Server) Locate(req wire.Locate) (wire.LocateResult, error) {
+	dev, err := s.reg.Authorize(registry.UserID(req.Querier), registry.UserID(req.Target))
+	if err != nil {
+		return wire.LocateResult{}, err
+	}
+	fix, err := s.db.Locate(dev)
+	if err != nil {
+		return wire.LocateResult{}, err
+	}
+	name := ""
+	if r, ok := s.bld.Room(fix.Piconet); ok {
+		name = r.Name
+	}
+	return wire.LocateResult{Room: fix.Piconet, RoomName: name, At: fix.At}, nil
+}
+
+// Path answers the navigation query: the shortest path from the querier's
+// current piconet to the target's current piconet, as a room sequence.
+func (s *Server) Path(req wire.PathQuery) (wire.PathResult, error) {
+	// The querier must itself be logged in and located.
+	qdev, err := s.reg.DeviceOf(registry.UserID(req.Querier))
+	if err != nil {
+		return wire.PathResult{}, err
+	}
+	qfix, err := s.db.Locate(qdev)
+	if err != nil {
+		return wire.PathResult{}, fmt.Errorf("querier position: %w", err)
+	}
+	loc, err := s.Locate(wire.Locate{Querier: req.Querier, Target: req.Target})
+	if err != nil {
+		return wire.PathResult{}, err
+	}
+	p, err := s.bld.ShortestPath(qfix.Piconet, loc.Room)
+	if err != nil {
+		return wire.PathResult{}, err
+	}
+	return wire.PathResult{
+		Rooms:       p.Nodes,
+		Names:       s.bld.PathNames(p),
+		TotalMeters: float64(p.Total),
+	}, nil
+}
+
+// --- Wire transport -------------------------------------------------------
+
+// errorCode maps business errors onto wire error codes.
+func errorCode(err error) string {
+	switch {
+	case errors.Is(err, registry.ErrDenied):
+		return wire.CodeDenied
+	case errors.Is(err, registry.ErrBadPassword),
+		errors.Is(err, registry.ErrAlreadyOnline),
+		errors.Is(err, registry.ErrDeviceInUse):
+		return wire.CodeAuth
+	case errors.Is(err, registry.ErrUnknownUser),
+		errors.Is(err, registry.ErrNotLoggedIn),
+		errors.Is(err, locdb.ErrNotPresent),
+		errors.Is(err, building.ErrUnknownRoom):
+		return wire.CodeNotFound
+	case errors.Is(err, registry.ErrBadDevice),
+		errors.Is(err, registry.ErrEmptyUserID):
+		return wire.CodeBadRequest
+	default:
+		return wire.CodeInternal
+	}
+}
+
+// ServeConn handles one protocol connection until EOF. It is exported so
+// tests and in-memory deployments can drive the server over net.Pipe.
+func (s *Server) ServeConn(conn io.ReadWriter) {
+	codec := wire.NewCodec(conn)
+	for {
+		env, err := codec.Recv()
+		if err != nil {
+			return
+		}
+		resp := s.dispatch(env)
+		if err := codec.Send(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(env wire.Envelope) wire.Envelope {
+	fail := func(err error) wire.Envelope {
+		resp, merr := wire.MarshalBody(wire.MsgError, env.Seq, wire.Error{
+			Code:    errorCode(err),
+			Message: err.Error(),
+		})
+		if merr != nil {
+			// Marshalling a flat struct cannot fail; fall back to
+			// an empty error envelope.
+			return wire.Envelope{Type: wire.MsgError, Seq: env.Seq}
+		}
+		return resp
+	}
+	ok := func(t wire.MsgType, body any) wire.Envelope {
+		resp, err := wire.MarshalBody(t, env.Seq, body)
+		if err != nil {
+			return fail(err)
+		}
+		return resp
+	}
+
+	switch env.Type {
+	case wire.MsgHello:
+		var h wire.Hello
+		if err := wire.UnmarshalBody(env, &h); err != nil {
+			return fail(err)
+		}
+		if _, okRoom := s.bld.Room(h.Room); !okRoom {
+			return fail(fmt.Errorf("%w: room %d", building.ErrUnknownRoom, h.Room))
+		}
+		return ok(wire.MsgOK, struct{}{})
+	case wire.MsgPresence:
+		var p wire.Presence
+		if err := wire.UnmarshalBody(env, &p); err != nil {
+			return fail(err)
+		}
+		if err := s.ApplyPresence(p); err != nil {
+			return fail(err)
+		}
+		return ok(wire.MsgOK, struct{}{})
+	case wire.MsgLogin:
+		var l wire.Login
+		if err := wire.UnmarshalBody(env, &l); err != nil {
+			return fail(err)
+		}
+		if err := s.Login(l); err != nil {
+			return fail(err)
+		}
+		return ok(wire.MsgOK, struct{}{})
+	case wire.MsgLogout:
+		var l wire.Logout
+		if err := wire.UnmarshalBody(env, &l); err != nil {
+			return fail(err)
+		}
+		if err := s.Logout(l); err != nil {
+			return fail(err)
+		}
+		return ok(wire.MsgOK, struct{}{})
+	case wire.MsgLocate:
+		var q wire.Locate
+		if err := wire.UnmarshalBody(env, &q); err != nil {
+			return fail(err)
+		}
+		res, err := s.Locate(q)
+		if err != nil {
+			return fail(err)
+		}
+		return ok(wire.MsgLocateResult, res)
+	case wire.MsgPath:
+		var q wire.PathQuery
+		if err := wire.UnmarshalBody(env, &q); err != nil {
+			return fail(err)
+		}
+		res, err := s.Path(q)
+		if err != nil {
+			return fail(err)
+		}
+		return ok(wire.MsgPathResult, res)
+	default:
+		return fail(fmt.Errorf("unknown message type %q", env.Type))
+	}
+}
+
+// Serve accepts connections until Close. It returns nil after Close.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("server: closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		s.mu.Lock()
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				if err := conn.Close(); err != nil && s.Logf != nil {
+					s.Logf("server: close conn: %v", err)
+				}
+			}()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes open connections and waits for handler
+// goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	l := s.listener
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	return err
+}

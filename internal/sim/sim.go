@@ -1,0 +1,253 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All Bluetooth baseband activity in this repository is scheduled on a
+// virtual clock whose unit is the Bluetooth half slot (312.5 microseconds,
+// the native clock period of a Bluetooth 1.1 radio). The kernel is a plain
+// binary-heap event queue: events are (tick, sequence, callback) triples and
+// run strictly in (tick, sequence) order, so two simulations constructed
+// with the same seed replay identically.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Tick is a point in virtual time measured in Bluetooth half slots
+// (312.5 microseconds each) since the start of the simulation.
+type Tick int64
+
+// TickDuration is the real-time length of one simulation tick: one
+// Bluetooth native clock period.
+const TickDuration = 312500 * time.Nanosecond
+
+// Common Bluetooth timing quantities expressed in ticks.
+const (
+	// TicksPerSlot is the number of ticks in one 625 microsecond slot.
+	TicksPerSlot Tick = 2
+	// TicksPerSecond is the number of ticks in one second (3.2 kHz clock).
+	TicksPerSecond Tick = 3200
+)
+
+// Duration converts a tick count to a time.Duration.
+func (t Tick) Duration() time.Duration {
+	return time.Duration(int64(t)) * TickDuration
+}
+
+// Seconds returns the tick count as floating-point seconds.
+func (t Tick) Seconds() float64 {
+	return float64(t) / float64(TicksPerSecond)
+}
+
+// String formats the tick as seconds with millisecond precision.
+func (t Tick) String() string {
+	return fmt.Sprintf("%.4fs", t.Seconds())
+}
+
+// FromDuration converts a real duration to the nearest tick count.
+func FromDuration(d time.Duration) Tick {
+	return Tick((d + TickDuration/2) / TickDuration)
+}
+
+// FromSeconds converts seconds to ticks, rounding to nearest.
+func FromSeconds(s float64) Tick {
+	return Tick(s*float64(TicksPerSecond) + 0.5)
+}
+
+// Event is a scheduled callback. The callback receives the kernel so it can
+// schedule follow-up events.
+type Event func(k *Kernel)
+
+type scheduled struct {
+	at    Tick
+	seq   uint64
+	fn    Event
+	index int
+	dead  bool
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ s *scheduled }
+
+// Cancel prevents the event from running. Cancelling an already-run or
+// already-cancelled event is a no-op.
+func (h Handle) Cancel() {
+	if h.s != nil {
+		h.s.dead = true
+	}
+}
+
+// Cancelled reports whether the event was cancelled or has already run.
+func (h Handle) Cancelled() bool {
+	return h.s == nil || h.s.dead
+}
+
+type eventHeap []*scheduled
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	s, ok := x.(*scheduled)
+	if !ok {
+		return
+	}
+	s.index = len(*h)
+	*h = append(*h, s)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return s
+}
+
+// ErrPastEvent is returned by ScheduleAt when the requested tick is in the
+// simulated past.
+var ErrPastEvent = errors.New("sim: cannot schedule event in the past")
+
+// Kernel is a discrete-event simulation kernel. The zero value is not
+// usable; construct with NewKernel.
+type Kernel struct {
+	now     Tick
+	seq     uint64
+	queue   eventHeap
+	rng     *rand.Rand
+	stopped bool
+}
+
+// NewKernel returns a kernel whose random source is seeded with seed.
+// Identical seeds and identical schedules replay identically.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Tick { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Pending returns the number of events waiting in the queue, including
+// cancelled events that have not yet been discarded.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// ScheduleAt schedules fn to run at the absolute tick at.
+func (k *Kernel) ScheduleAt(at Tick, fn Event) (Handle, error) {
+	if at < k.now {
+		return Handle{}, fmt.Errorf("%w: now=%d at=%d", ErrPastEvent, k.now, at)
+	}
+	s := &scheduled{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, s)
+	return Handle{s: s}, nil
+}
+
+// Schedule schedules fn to run delay ticks from now. A non-positive delay
+// runs fn after all events already scheduled for the current tick.
+func (k *Kernel) Schedule(delay Tick, fn Event) Handle {
+	if delay < 0 {
+		delay = 0
+	}
+	h, err := k.ScheduleAt(k.now+delay, fn)
+	if err != nil {
+		// Unreachable: now+delay >= now by construction.
+		return Handle{}
+	}
+	return h
+}
+
+// Stop makes the current Run call return after the in-flight event
+// completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Step runs the single earliest pending event. It reports whether an event
+// ran (false when the queue is empty).
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		next, ok := heap.Pop(&k.queue).(*scheduled)
+		if !ok {
+			return false
+		}
+		if next.dead {
+			continue
+		}
+		k.now = next.at
+		next.dead = true
+		next.fn(k)
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the queue is empty, Stop is
+// called, or the next event lies strictly after limit. The clock is left at
+// the tick of the last executed event (or at limit if the queue emptied
+// earlier than limit with time still to cover).
+func (k *Kernel) RunUntil(limit Tick) {
+	k.stopped = false
+	for !k.stopped {
+		// Discard cancelled events at the head.
+		for len(k.queue) > 0 && k.queue[0].dead {
+			heap.Pop(&k.queue)
+		}
+		if len(k.queue) == 0 || k.queue[0].at > limit {
+			break
+		}
+		k.Step()
+	}
+	if k.now < limit {
+		k.now = limit
+	}
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (k *Kernel) Run() {
+	k.stopped = false
+	for !k.stopped && k.Step() {
+	}
+}
+
+// Ticker invokes fn every period ticks starting at the next multiple of
+// period, until the returned stop function is called. It is a convenience
+// used by pollers and schedulers.
+func (k *Kernel) Ticker(period Tick, fn Event) (stop func()) {
+	if period <= 0 {
+		period = 1
+	}
+	var h Handle
+	stopped := false
+	var tick Event
+	tick = func(kk *Kernel) {
+		if stopped {
+			return
+		}
+		fn(kk)
+		if !stopped {
+			h = kk.Schedule(period, tick)
+		}
+	}
+	h = k.Schedule(period, tick)
+	return func() {
+		stopped = true
+		h.Cancel()
+	}
+}

@@ -1,0 +1,210 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Var() != 0 || s.CI95() != 0 {
+		t.Error("zero-value summary not empty")
+	}
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	// Known population: sum of squared deviations = 32, unbiased
+	// variance = 32/7.
+	if math.Abs(s.Var()-32.0/7) > 1e-12 {
+		t.Errorf("Var = %v, want %v", s.Var(), 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if !strings.Contains(s.String(), "n=8") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSummarySingleSample(t *testing.T) {
+	var s Summary
+	s.Add(-3)
+	if s.Mean() != -3 || s.Min() != -3 || s.Max() != -3 {
+		t.Errorf("single sample summary = %+v", s)
+	}
+	if s.Var() != 0 || s.CI95() != 0 {
+		t.Error("variance of single sample should be 0")
+	}
+}
+
+func TestSummaryMatchesNaiveComputation(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var s Summary
+		var sum float64
+		for _, v := range raw {
+			s.Add(float64(v))
+			sum += float64(v)
+		}
+		mean := sum / float64(len(raw))
+		var m2 float64
+		for _, v := range raw {
+			d := float64(v) - mean
+			m2 += d * d
+		}
+		wantVar := m2 / float64(len(raw)-1)
+		return math.Abs(s.Mean()-mean) < 1e-6 && math.Abs(s.Var()-wantVar) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCI95Shrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var small, large Summary
+	for i := 0; i < 20; i++ {
+		small.Add(rng.NormFloat64())
+	}
+	for i := 0; i < 2000; i++ {
+		large.Add(rng.NormFloat64())
+	}
+	if large.CI95() >= small.CI95() {
+		t.Errorf("CI did not shrink: %v -> %v", small.CI95(), large.CI95())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	tests := []struct {
+		q    float64
+		want float64
+	}{{0, 1}, {0.2, 1}, {0.5, 3}, {0.9, 5}, {1, 5}}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty error = %v", err)
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("out-of-range q accepted")
+	}
+	// Input must not be reordered.
+	if xs[0] != 5 {
+		t.Error("Quantile mutated input")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4}, 4)
+	cases := []struct {
+		x    float64
+		want float64
+	}{{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {100, 1}}
+	for _, tt := range cases {
+		if got := c.At(tt.x); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestCDFCensoredTotal(t *testing.T) {
+	// 3 samples out of a population of 10 that mostly never finished:
+	// the CDF saturates at 0.3, exactly how undiscovered slaves are
+	// handled in the Figure 2 curves.
+	c := NewCDF([]float64{1, 2, 3}, 10)
+	if got := c.At(100); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("censored At(100) = %v, want 0.3", got)
+	}
+	// Total below len is clamped.
+	c2 := NewCDF([]float64{1, 2, 3}, 1)
+	if got := c2.At(100); got != 1 {
+		t.Errorf("clamped total At(100) = %v, want 1", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil, 0)
+	if c.At(1) != 0 {
+		t.Error("empty CDF not 0")
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 2}, 2)
+	pts := c.Points(0, 4, 5)
+	if len(pts) != 5 {
+		t.Fatalf("points = %d, want 5", len(pts))
+	}
+	if pts[0][0] != 0 || pts[4][0] != 4 {
+		t.Errorf("x range = %v..%v", pts[0][0], pts[4][0])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][1] < pts[i-1][1] {
+			t.Error("CDF not monotone")
+		}
+	}
+	if got := c.Points(0, 4, 1); got != nil {
+		t.Error("n<2 should return nil")
+	}
+	if got := c.Points(4, 0, 5); got != nil {
+		t.Error("hi<=lo should return nil")
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		clean := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		c := NewCDF(clean, len(clean))
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return c.At(lo) <= c.At(hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Starting Train", "Case No.", "Taverage")
+	tb.AddRow("Same", "236", "1.6028s")
+	tb.AddRow("Different", "264", "4.1320s")
+	tb.AddRow("Mixed", "500") // short row padded
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("table lines = %d, want 5:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Starting Train") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "Same") || !strings.Contains(lines[2], "1.6028s") {
+		t.Errorf("row = %q", lines[2])
+	}
+	// Dropped extra cells don't panic.
+	tb.AddRow("a", "b", "c", "d")
+	_ = tb.String()
+}

@@ -1,0 +1,138 @@
+// Package trace is a lightweight structured event tracer for the BIPS
+// simulations: components append timestamped events to a bounded ring, and
+// experiments dump or filter them afterwards. It exists so that a failed
+// reproduction run can be diagnosed from the protocol events (inquiry
+// start/stop, discovery, enrollment, presence delta) without re-running
+// under a debugger.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"bips/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds used across the system.
+const (
+	KindInquiryStart Kind = "inquiry.start"
+	KindInquiryStop  Kind = "inquiry.stop"
+	KindDiscovery    Kind = "discovery"
+	KindCollision    Kind = "collision"
+	KindPage         Kind = "page"
+	KindEnroll       Kind = "enroll"
+	KindDepart       Kind = "depart"
+	KindPresence     Kind = "presence"
+	KindQuery        Kind = "query"
+)
+
+// Event is one trace record.
+type Event struct {
+	At   sim.Tick
+	Kind Kind
+	// Actor identifies the emitting component ("ws-3", "master", ...).
+	Actor string
+	// Detail is free-form context.
+	Detail string
+}
+
+// String renders the event on one line.
+func (e Event) String() string {
+	return fmt.Sprintf("%-10s %-14s %-8s %s", e.At, e.Kind, e.Actor, e.Detail)
+}
+
+// DefaultCapacity bounds a Tracer constructed with New.
+const DefaultCapacity = 4096
+
+// Tracer is a bounded in-memory event ring. It is safe for concurrent
+// use. A nil *Tracer is valid and discards everything, so components can
+// hold an optional tracer without nil checks.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []Event
+	next    int
+	wrapped bool
+	dropped int64
+}
+
+// New returns a tracer holding the last DefaultCapacity events.
+func New() *Tracer { return NewWithCapacity(DefaultCapacity) }
+
+// NewWithCapacity returns a tracer holding the last cap events.
+func NewWithCapacity(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]Event, capacity)}
+}
+
+// Emit appends an event. Emit on a nil tracer is a no-op.
+func (t *Tracer) Emit(at sim.Tick, kind Kind, actor, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.wrapped {
+		t.dropped++
+	}
+	t.ring[t.next] = Event{At: at, Kind: kind, Actor: actor, Detail: fmt.Sprintf(format, args...)}
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.wrapped = true
+	}
+}
+
+// Events returns the retained events in emission order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.wrapped {
+		out := make([]Event, t.next)
+		copy(out, t.ring[:t.next])
+		return out
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Filter returns the retained events of the given kind, in order.
+func (t *Tracer) Filter(kind Kind) []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dropped returns how many events were overwritten by ring wraparound.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Dump writes every retained event to w, one per line.
+func (t *Tracer) Dump(w io.Writer) error {
+	for _, e := range t.Events() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

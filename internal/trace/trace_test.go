@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEmitAndEvents(t *testing.T) {
+	tr := New()
+	tr.Emit(10, KindDiscovery, "ws-1", "device %s", "B1")
+	tr.Emit(20, KindEnroll, "ws-1", "device %s", "B1")
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Kind != KindDiscovery || evs[0].At != 10 || evs[0].Detail != "device B1" {
+		t.Errorf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Kind != KindEnroll {
+		t.Errorf("event 1 = %+v", evs[1])
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(1, KindQuery, "x", "y") // must not panic
+	if tr.Events() != nil {
+		t.Error("nil tracer returned events")
+	}
+	if tr.Dropped() != 0 {
+		t.Error("nil tracer dropped")
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	tr := NewWithCapacity(3)
+	for i := 0; i < 5; i++ {
+		tr.Emit(0, KindPage, "a", "%d", i)
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want 3", len(evs))
+	}
+	// Oldest two were overwritten: 2, 3, 4 remain in order.
+	for i, want := range []string{"2", "3", "4"} {
+		if evs[i].Detail != want {
+			t.Errorf("evs[%d] = %q, want %q", i, evs[i].Detail, want)
+		}
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", tr.Dropped())
+	}
+}
+
+func TestCapacityClamped(t *testing.T) {
+	tr := NewWithCapacity(0)
+	tr.Emit(1, KindQuery, "a", "x")
+	if len(tr.Events()) != 1 {
+		t.Error("capacity-0 tracer unusable")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	tr := New()
+	tr.Emit(1, KindDiscovery, "a", "one")
+	tr.Emit(2, KindCollision, "a", "boom")
+	tr.Emit(3, KindDiscovery, "b", "two")
+	got := tr.Filter(KindDiscovery)
+	if len(got) != 2 || got[0].Detail != "one" || got[1].Detail != "two" {
+		t.Errorf("filter = %+v", got)
+	}
+	if got := tr.Filter(KindDepart); got != nil {
+		t.Errorf("empty filter = %+v", got)
+	}
+}
+
+func TestDump(t *testing.T) {
+	tr := New()
+	tr.Emit(3200, KindPresence, "ws-2", "B1 present")
+	var sb strings.Builder
+	if err := tr.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"presence", "ws-2", "B1 present", "1.0000s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q: %q", want, out)
+		}
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	tr := NewWithCapacity(128)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tr.Emit(0, KindQuery, "g", "x")
+				tr.Events()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Events()); got != 128 {
+		t.Errorf("retained = %d, want 128", got)
+	}
+	if tr.Dropped() != 800-128 {
+		t.Errorf("dropped = %d, want %d", tr.Dropped(), 800-128)
+	}
+}

@@ -1,0 +1,344 @@
+// Package wire defines the LAN protocol between BIPS workstations, mobile
+// clients and the central server: newline-delimited JSON envelopes carrying
+// typed request/response bodies over any io.ReadWriter (TCP in the live
+// system, net.Pipe in tests and simulations).
+//
+// Every request envelope carries a sequence number; the peer answers with
+// an envelope of the matching sequence number whose type is either the
+// request-specific response type or MsgError.
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"bips/internal/baseband"
+	"bips/internal/graph"
+	"bips/internal/sim"
+)
+
+// MsgType tags an envelope.
+type MsgType string
+
+// Protocol message types.
+const (
+	// MsgHello announces a workstation to the server.
+	MsgHello MsgType = "hello"
+	// MsgPresence reports a presence or absence delta.
+	MsgPresence MsgType = "presence"
+	// MsgLogin binds a userid to a device.
+	MsgLogin MsgType = "login"
+	// MsgLogout releases the binding.
+	MsgLogout MsgType = "logout"
+	// MsgLocate asks for a user's current piconet.
+	MsgLocate MsgType = "locate"
+	// MsgPath asks for the shortest path to a user.
+	MsgPath MsgType = "path"
+	// MsgOK is the empty success response.
+	MsgOK MsgType = "ok"
+	// MsgLocateResult answers MsgLocate.
+	MsgLocateResult MsgType = "locate.result"
+	// MsgPathResult answers MsgPath.
+	MsgPathResult MsgType = "path.result"
+	// MsgError is the failure response.
+	MsgError MsgType = "error"
+)
+
+// Envelope frames every message.
+type Envelope struct {
+	Type MsgType         `json:"type"`
+	Seq  uint64          `json:"seq"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// Hello announces a workstation and the room it covers.
+type Hello struct {
+	Station string       `json:"station"`
+	Room    graph.NodeID `json:"room"`
+}
+
+// Presence is a presence/absence delta from a workstation.
+type Presence struct {
+	Device  string       `json:"device"`
+	Room    graph.NodeID `json:"room"`
+	At      sim.Tick     `json:"at"`
+	Present bool         `json:"present"`
+}
+
+// Login is a mobile client's login request.
+type Login struct {
+	User     string `json:"user"`
+	Password string `json:"password"`
+	Device   string `json:"device"`
+}
+
+// Logout releases a user's binding.
+type Logout struct {
+	User string `json:"user"`
+}
+
+// Locate asks where a target user is.
+type Locate struct {
+	Querier string `json:"querier"`
+	Target  string `json:"target"`
+}
+
+// LocateResult answers Locate.
+type LocateResult struct {
+	Room     graph.NodeID `json:"room"`
+	RoomName string       `json:"roomName"`
+	At       sim.Tick     `json:"at"`
+}
+
+// PathQuery asks for the shortest path from the querier to the target.
+type PathQuery struct {
+	Querier string `json:"querier"`
+	Target  string `json:"target"`
+}
+
+// PathResult answers PathQuery.
+type PathResult struct {
+	Rooms       []graph.NodeID `json:"rooms"`
+	Names       []string       `json:"names"`
+	TotalMeters float64        `json:"totalMeters"`
+}
+
+// Error is the failure response body.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("wire: %s: %s", e.Code, e.Message) }
+
+// Error codes.
+const (
+	CodeDenied     = "denied"
+	CodeNotFound   = "not-found"
+	CodeBadRequest = "bad-request"
+	CodeAuth       = "auth"
+	CodeInternal   = "internal"
+)
+
+// FormatAddr renders a device address for the wire.
+func FormatAddr(a baseband.BDAddr) string { return a.String() }
+
+// ParseAddr parses a wire device address.
+func ParseAddr(s string) (baseband.BDAddr, error) { return baseband.ParseBDAddr(s) }
+
+// MarshalBody encodes a typed body into an envelope.
+func MarshalBody(t MsgType, seq uint64, body any) (Envelope, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return Envelope{}, fmt.Errorf("wire: marshal %s: %w", t, err)
+	}
+	return Envelope{Type: t, Seq: seq, Body: raw}, nil
+}
+
+// UnmarshalBody decodes an envelope body into out.
+func UnmarshalBody(env Envelope, out any) error {
+	if err := json.Unmarshal(env.Body, out); err != nil {
+		return fmt.Errorf("wire: unmarshal %s: %w", env.Type, err)
+	}
+	return nil
+}
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("wire: connection closed")
+
+// Codec reads and writes envelopes over a stream, one JSON document per
+// line. Send and Recv are each safe for one concurrent caller; Send may be
+// called from multiple goroutines.
+type Codec struct {
+	writeMu sync.Mutex
+	w       *bufio.Writer
+	r       *bufio.Reader
+	closer  io.Closer
+	closed  bool
+}
+
+// NewCodec wraps a stream. If rw implements io.Closer, Close closes it.
+func NewCodec(rw io.ReadWriter) *Codec {
+	c := &Codec{
+		w: bufio.NewWriter(rw),
+		r: bufio.NewReader(rw),
+	}
+	if cl, ok := rw.(io.Closer); ok {
+		c.closer = cl
+	}
+	return c
+}
+
+// Send writes one envelope.
+func (c *Codec) Send(env Envelope) error {
+	raw, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if _, err := c.w.Write(raw); err != nil {
+		return fmt.Errorf("wire: write: %w", err)
+	}
+	if err := c.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("wire: write: %w", err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("wire: flush: %w", err)
+	}
+	return nil
+}
+
+// Recv reads one envelope, blocking until a full line arrives.
+func (c *Codec) Recv() (Envelope, error) {
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		if len(line) == 0 {
+			return Envelope{}, err
+		}
+		// A final unterminated line is still decoded.
+	}
+	var env Envelope
+	if uerr := json.Unmarshal(line, &env); uerr != nil {
+		return Envelope{}, fmt.Errorf("wire: decode: %w", uerr)
+	}
+	return env, nil
+}
+
+// Close closes the underlying stream when it is closable.
+func (c *Codec) Close() error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.closer != nil {
+		return c.closer.Close()
+	}
+	return nil
+}
+
+// Client is a synchronous RPC client over a Codec. A single receive loop
+// dispatches responses to waiting callers by sequence number, so multiple
+// goroutines may issue calls concurrently.
+type Client struct {
+	codec *Codec
+
+	mu      sync.Mutex
+	nextSeq uint64
+	pending map[uint64]chan Envelope
+	err     error
+	done    chan struct{}
+}
+
+// NewClient starts the receive loop over the codec.
+func NewClient(codec *Codec) *Client {
+	c := &Client{
+		codec:   codec,
+		pending: make(map[uint64]chan Envelope),
+		done:    make(chan struct{}),
+	}
+	go c.recvLoop()
+	return c
+}
+
+func (c *Client) recvLoop() {
+	defer close(c.done)
+	for {
+		env, err := c.codec.Recv()
+		if err != nil {
+			c.fail(fmt.Errorf("wire: receive: %w", err))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[env.Seq]
+		if ok {
+			delete(c.pending, env.Seq)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- env
+		}
+	}
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+	for seq, ch := range c.pending {
+		close(ch)
+		delete(c.pending, seq)
+	}
+}
+
+// Call sends a request and waits for the matching response. A MsgError
+// response is converted into a *Error return value.
+func (c *Client) Call(t MsgType, body any, out any) error {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	c.nextSeq++
+	seq := c.nextSeq
+	ch := make(chan Envelope, 1)
+	c.pending[seq] = ch
+	c.mu.Unlock()
+
+	env, err := MarshalBody(t, seq, body)
+	if err != nil {
+		c.drop(seq)
+		return err
+	}
+	if err := c.codec.Send(env); err != nil {
+		c.drop(seq)
+		return err
+	}
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return err
+	}
+	if resp.Type == MsgError {
+		var werr Error
+		if err := UnmarshalBody(resp, &werr); err != nil {
+			return err
+		}
+		return &werr
+	}
+	if out != nil {
+		return UnmarshalBody(resp, out)
+	}
+	return nil
+}
+
+func (c *Client) drop(seq uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.pending, seq)
+}
+
+// Close tears down the connection and unblocks pending calls.
+func (c *Client) Close() error {
+	err := c.codec.Close()
+	<-c.done
+	return err
+}
