@@ -8,51 +8,86 @@
 //	bips-experiment -run ablation-scan       # slave scan parameter sweep
 //	bips-experiment -run ablation-duty       # discovery-slot length sweep
 //	bips-experiment -run all
+//
+// Trials execute on a worker pool (-workers, default GOMAXPROCS) with
+// per-trial RNG streams derived from -seed, so every table is bit-identical
+// at any worker count. -progress streams sweep progress to stderr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"bips/internal/experiments"
+	"bips/internal/runner"
 )
 
 func main() {
-	if err := run(os.Stdout, os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Stdout, os.Stderr, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "bips-experiment:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, args []string) error {
+func run(ctx context.Context, w, errw io.Writer, args []string) error {
 	fs := flag.NewFlagSet("bips-experiment", flag.ContinueOnError)
 	var (
-		which  = fs.String("run", "all", "experiment: table1|fig2|policy|ablation-collision|ablation-scan|ablation-duty|all")
-		seed   = fs.Int64("seed", 2003, "random seed")
-		trials = fs.Int("trials", 500, "trials for table1/ablation-scan")
-		runs   = fs.Int("runs", 40, "independent runs per configuration")
-		series = fs.Bool("series", false, "with -run fig2: print the full (slaves, t, P) series")
+		which    = fs.String("run", "all", "experiment: table1|fig2|policy|ablation-collision|ablation-scan|ablation-duty|all")
+		seed     = fs.Int64("seed", 2003, "root random seed; per-trial streams are derived from it")
+		trials   = fs.Int("trials", 500, "trials for table1/ablation-scan")
+		runs     = fs.Int("runs", 40, "independent runs per configuration")
+		series   = fs.Bool("series", false, "with -run fig2: print the full (slaves, t, P) series")
+		workers  = fs.Int("workers", 0, "worker goroutines (default GOMAXPROCS); results do not depend on it")
+		progress = fs.Bool("progress", false, "report sweep progress on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	switch *which {
+	case "table1", "fig2", "policy", "ablation-collision", "ablation-scan", "ablation-duty", "all":
+	default:
+		return fmt.Errorf("unknown experiment %q", *which)
+	}
 	do := func(name string) bool { return *which == name || *which == "all" }
 
+	// The label names the sweep currently feeding the progress meter; a
+	// pool runs one sweep at a time, so a plain variable suffices.
+	label := ""
+	opts := []runner.Option{runner.WithWorkers(*workers)}
+	if *progress {
+		opts = append(opts, runner.WithProgress(func(done, total int) {
+			fmt.Fprintf(errw, "\r%-20s %d/%d trials", label, done, total)
+			if done == total {
+				fmt.Fprintln(errw)
+			}
+		}))
+	}
+	pool := runner.NewPool(opts...)
+
 	if do("table1") {
+		label = "table1"
 		fmt.Fprintf(w, "== Table 1: average discovery time over %d inquiry trials ==\n", *trials)
 		fmt.Fprintln(w, "   (master dedicated to inquiry; slave alternates inquiry scan and page scan)")
-		res := experiments.RunTable1(*seed, *trials)
+		res, err := experiments.RunTable1On(ctx, pool, *seed, *trials)
+		if err != nil {
+			return err
+		}
 		if err := res.Render(w); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)
 	}
 	if do("fig2") {
+		label = "fig2"
 		fmt.Fprintln(w, "== Figure 2: discovery probability vs time (1s inquiry / 5s cycle, train A) ==")
-		res, err := experiments.RunFig2(*seed, experiments.Fig2Config{Runs: *runs})
+		res, err := experiments.RunFig2On(ctx, pool, *seed, experiments.Fig2Config{Runs: *runs})
 		if err != nil {
 			return err
 		}
@@ -66,8 +101,9 @@ func run(w io.Writer, args []string) error {
 		fmt.Fprintln(w)
 	}
 	if do("policy") {
+		label = "policy"
 		fmt.Fprintln(w, "== Section 5: master scheduling policy ==")
-		res, err := experiments.RunPolicy(*seed, *runs)
+		res, err := experiments.RunPolicyOn(ctx, pool, *seed, *runs)
 		if err != nil {
 			return err
 		}
@@ -77,8 +113,9 @@ func run(w io.Writer, args []string) error {
 		fmt.Fprintln(w)
 	}
 	if do("ablation-collision") {
+		label = "ablation-collision"
 		fmt.Fprintln(w, "== Ablation: BlueHoc collision handling on/off ==")
-		res, err := experiments.RunCollisionAblation(*seed, nil, *runs)
+		res, err := experiments.RunCollisionAblationOn(ctx, pool, *seed, nil, *runs)
 		if err != nil {
 			return err
 		}
@@ -88,16 +125,9 @@ func run(w io.Writer, args []string) error {
 		fmt.Fprintln(w)
 	}
 	if do("ablation-scan") {
+		label = "ablation-scan"
 		fmt.Fprintln(w, "== Ablation: slave scan parameters (Table 1 workload) ==")
-		res := experiments.RunScanAblation(*seed, *trials)
-		if err := res.Render(w); err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
-	}
-	if do("ablation-duty") {
-		fmt.Fprintln(w, "== Ablation: discovery-slot length vs coverage of 20 slaves ==")
-		res, err := experiments.RunDutyAblation(*seed, *runs)
+		res, err := experiments.RunScanAblationOn(ctx, pool, *seed, *trials)
 		if err != nil {
 			return err
 		}
@@ -106,11 +136,17 @@ func run(w io.Writer, args []string) error {
 		}
 		fmt.Fprintln(w)
 	}
-
-	switch *which {
-	case "table1", "fig2", "policy", "ablation-collision", "ablation-scan", "ablation-duty", "all":
-		return nil
-	default:
-		return fmt.Errorf("unknown experiment %q", *which)
+	if do("ablation-duty") {
+		label = "ablation-duty"
+		fmt.Fprintln(w, "== Ablation: discovery-slot length vs coverage of 20 slaves ==")
+		res, err := experiments.RunDutyAblationOn(ctx, pool, *seed, *runs)
+		if err != nil {
+			return err
+		}
+		if err := res.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
 	}
+	return nil
 }

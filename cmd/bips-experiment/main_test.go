@@ -1,13 +1,15 @@
 package main
 
 import (
+	"context"
+	"io"
 	"strings"
 	"testing"
 )
 
 func TestRunTable1(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, []string{"-run", "table1", "-trials", "60"}); err != nil {
+	if err := run(context.Background(), &sb, io.Discard, []string{"-run", "table1", "-trials", "60"}); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -20,7 +22,7 @@ func TestRunTable1(t *testing.T) {
 
 func TestRunFig2(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, []string{"-run", "fig2", "-runs", "3"}); err != nil {
+	if err := run(context.Background(), &sb, io.Discard, []string{"-run", "fig2", "-runs", "3"}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "P(1s)") {
@@ -30,7 +32,7 @@ func TestRunFig2(t *testing.T) {
 
 func TestRunFig2Series(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, []string{"-run", "fig2", "-runs", "2", "-series"}); err != nil {
+	if err := run(context.Background(), &sb, io.Discard, []string{"-run", "fig2", "-runs", "2", "-series"}); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
@@ -41,7 +43,7 @@ func TestRunFig2Series(t *testing.T) {
 
 func TestRunPolicy(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, []string{"-run", "policy", "-runs", "4"}); err != nil {
+	if err := run(context.Background(), &sb, io.Discard, []string{"-run", "policy", "-runs", "4"}); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"Discovery slot", "3.84s", "Tracking load"} {
@@ -56,7 +58,7 @@ func TestRunAblations(t *testing.T) {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			var sb strings.Builder
-			if err := run(&sb, []string{"-run", name, "-runs", "3", "-trials", "20"}); err != nil {
+			if err := run(context.Background(), &sb, io.Discard, []string{"-run", name, "-runs", "3", "-trials", "20"}); err != nil {
 				t.Fatal(err)
 			}
 			if len(sb.String()) < 100 {
@@ -68,14 +70,52 @@ func TestRunAblations(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, []string{"-run", "bogus"}); err == nil {
+	if err := run(context.Background(), &sb, io.Discard, []string{"-run", "bogus"}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, []string{"-nope"}); err == nil {
+	if err := run(context.Background(), &sb, io.Discard, []string{"-nope"}); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+// TestWorkersDoNotChangeOutput runs the same sweep serial and wide and
+// requires byte-identical stdout.
+func TestWorkersDoNotChangeOutput(t *testing.T) {
+	var serial, wide strings.Builder
+	if err := run(context.Background(), &serial, io.Discard,
+		[]string{"-run", "table1", "-trials", "80", "-workers", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), &wide, io.Discard,
+		[]string{"-run", "table1", "-trials", "80", "-workers", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != wide.String() {
+		t.Errorf("output differs across worker counts:\n-- workers=1 --\n%s\n-- workers=8 --\n%s",
+			serial.String(), wide.String())
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	var sb, errb strings.Builder
+	if err := run(context.Background(), &sb, &errb,
+		[]string{"-run", "table1", "-trials", "40", "-progress"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errb.String(), "40/40 trials") {
+		t.Errorf("progress stream missing completion line:\n%q", errb.String())
+	}
+}
+
+func TestCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var sb strings.Builder
+	if err := run(ctx, &sb, io.Discard, []string{"-run", "table1", "-trials", "200"}); err == nil {
+		t.Error("cancelled run reported success")
 	}
 }

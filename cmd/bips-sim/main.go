@@ -3,32 +3,52 @@
 // timeline of locate answers and the final tracking statistics.
 //
 //	bips-sim -users 5 -duration 5m -seed 7
+//
+// With -replicas > 1 it switches to Monte-Carlo mode: that many
+// independent deployments (each with its own RNG stream derived from
+// -seed and the replica index) run in parallel on a worker pool
+// (-workers, default GOMAXPROCS), and the per-replica tracking accuracy —
+// the fraction of timeline samples where a walking user was locatable —
+// is aggregated into a mean with a 95% confidence interval. Results do
+// not depend on the worker count.
+//
+//	bips-sim -replicas 32 -users 5 -duration 5m -workers 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
+	"os/signal"
 	"time"
 
 	"bips"
+	"bips/internal/runner"
+	"bips/internal/stats"
 )
 
 func main() {
-	if err := run(os.Stdout, os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Stdout, os.Stderr, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "bips-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, args []string) error {
+func run(ctx context.Context, w, errw io.Writer, args []string) error {
 	fs := flag.NewFlagSet("bips-sim", flag.ContinueOnError)
 	var (
 		users    = fs.Int("users", 5, "walking users")
 		duration = fs.Duration("duration", 5*time.Minute, "simulated time")
 		step     = fs.Duration("step", 30*time.Second, "timeline sampling step")
-		seed     = fs.Int64("seed", 7, "random seed")
+		seed     = fs.Int64("seed", 7, "root random seed")
+		replicas = fs.Int("replicas", 1, "independent deployments; > 1 switches to Monte-Carlo mode")
+		workers  = fs.Int("workers", 0, "worker goroutines for -replicas > 1 (default GOMAXPROCS)")
+		progress = fs.Bool("progress", false, "report replica progress on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -36,15 +56,41 @@ func run(w io.Writer, args []string) error {
 	if *users < 1 {
 		return fmt.Errorf("need at least one user")
 	}
+	if *replicas < 1 {
+		return fmt.Errorf("need at least one replica")
+	}
+	if *step <= 0 {
+		return fmt.Errorf("step must be positive")
+	}
+	if *duration <= 0 {
+		return fmt.Errorf("duration must be positive")
+	}
 
-	svc, err := bips.New(bips.Config{Seed: *seed})
+	if *replicas > 1 {
+		return runMonteCarlo(ctx, w, errw, mcConfig{
+			users:    *users,
+			duration: *duration,
+			step:     *step,
+			seed:     *seed,
+			replicas: *replicas,
+			workers:  *workers,
+			progress: *progress,
+		})
+	}
+	return runTimeline(w, *users, *duration, *step, *seed)
+}
+
+// runTimeline is the classic single-deployment mode with a printed
+// room-by-room timeline.
+func runTimeline(w io.Writer, users int, duration, step time.Duration, seed int64) error {
+	svc, err := bips.New(bips.Config{Seed: seed})
 	if err != nil {
 		return err
 	}
 	rooms := svc.Rooms()
 
-	names := make([]string, 0, *users)
-	for i := 0; i < *users; i++ {
+	names := make([]string, 0, users)
+	for i := 0; i < users; i++ {
 		name := fmt.Sprintf("user%02d", i+1)
 		if err := svc.Register(name, "pw"); err != nil {
 			return err
@@ -66,8 +112,8 @@ func run(w io.Writer, args []string) error {
 		fmt.Fprintf(w, "  %-14s", n)
 	}
 	fmt.Fprintln(w)
-	for elapsed := time.Duration(0); elapsed < *duration; elapsed += *step {
-		svc.Run(*step)
+	for elapsed := time.Duration(0); elapsed < duration; elapsed += step {
+		svc.Run(step)
 		fmt.Fprintf(w, "%-8s", svc.Now().Truncate(time.Second))
 		for _, n := range names {
 			cell := "(unseen)"
@@ -88,4 +134,98 @@ func run(w io.Writer, args []string) error {
 		}
 	}
 	return nil
+}
+
+type mcConfig struct {
+	users    int
+	duration time.Duration
+	step     time.Duration
+	seed     int64
+	replicas int
+	workers  int
+	progress bool
+}
+
+// replicaStats is one deployment's tracking outcome.
+type replicaStats struct {
+	// Located / Samples are the locate successes over all (user, step)
+	// timeline samples.
+	Located, Samples int
+}
+
+// runMonteCarlo runs independent replica deployments on a pool and
+// aggregates tracking accuracy.
+func runMonteCarlo(ctx context.Context, w, errw io.Writer, cfg mcConfig) error {
+	opts := []runner.Option{runner.WithWorkers(cfg.workers)}
+	if cfg.progress {
+		opts = append(opts, runner.WithProgress(func(done, total int) {
+			fmt.Fprintf(errw, "\rreplicas %d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(errw)
+			}
+		}))
+	}
+	pool := runner.NewPool(opts...)
+
+	var acc stats.Summary
+	err := runner.Run(ctx, pool, cfg.seed, cfg.replicas,
+		func(i int, rng *rand.Rand) (replicaStats, error) {
+			// Each replica's Service gets its own derived seed; the
+			// pool-provided stream is the canonical source so replica i
+			// is identical no matter which worker runs it.
+			return simulateReplica(rng.Int63(), cfg)
+		},
+		func(i int, r replicaStats) error {
+			if r.Samples > 0 {
+				acc.Add(float64(r.Located) / float64(r.Samples))
+			}
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "Monte-Carlo: %d replicas x %d users x %s (step %s)\n",
+		cfg.replicas, cfg.users, cfg.duration, cfg.step)
+	tb := stats.NewTable("Quantity", "Value")
+	tb.AddRow("Tracking accuracy (mean)", fmt.Sprintf("%.1f%%", acc.Mean()*100))
+	tb.AddRow("95% CI", fmt.Sprintf("±%.1f%%", acc.CI95()*100))
+	tb.AddRow("Worst replica", fmt.Sprintf("%.1f%%", acc.Min()*100))
+	tb.AddRow("Best replica", fmt.Sprintf("%.1f%%", acc.Max()*100))
+	_, werr := io.WriteString(w, tb.String())
+	return werr
+}
+
+// simulateReplica runs one deployment and counts locatable samples.
+func simulateReplica(seed int64, cfg mcConfig) (replicaStats, error) {
+	svc, err := bips.New(bips.Config{Seed: seed})
+	if err != nil {
+		return replicaStats{}, err
+	}
+	rooms := svc.Rooms()
+	names := make([]string, 0, cfg.users)
+	for i := 0; i < cfg.users; i++ {
+		name := fmt.Sprintf("user%02d", i+1)
+		if err := svc.Register(name, "pw"); err != nil {
+			return replicaStats{}, err
+		}
+		if _, err := svc.AddWalkingUser(name, "pw", rooms[i%len(rooms)]); err != nil {
+			return replicaStats{}, err
+		}
+		names = append(names, name)
+	}
+	svc.Start()
+	defer svc.Stop()
+
+	var out replicaStats
+	for elapsed := time.Duration(0); elapsed < cfg.duration; elapsed += cfg.step {
+		svc.Run(cfg.step)
+		for _, n := range names {
+			out.Samples++
+			if _, err := svc.Locate(names[0], n); err == nil {
+				out.Located++
+			}
+		}
+	}
+	return out, nil
 }

@@ -1,13 +1,15 @@
 package main
 
 import (
+	"context"
+	"io"
 	"strings"
 	"testing"
 )
 
 func TestSimRuns(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, []string{"-users", "2", "-duration", "1m", "-step", "20s", "-seed", "3"}); err != nil {
+	if err := run(context.Background(), &sb, io.Discard, []string{"-users", "2", "-duration", "1m", "-step", "20s", "-seed", "3"}); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -24,10 +26,54 @@ func TestSimRuns(t *testing.T) {
 
 func TestSimValidation(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, []string{"-users", "0"}); err == nil {
+	if err := run(context.Background(), &sb, io.Discard, []string{"-users", "0"}); err == nil {
 		t.Error("zero users accepted")
 	}
-	if err := run(&sb, []string{"-badflag"}); err == nil {
+	if err := run(context.Background(), &sb, io.Discard, []string{"-badflag"}); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+func TestMonteCarloMode(t *testing.T) {
+	var sb strings.Builder
+	args := []string{"-replicas", "4", "-users", "2", "-duration", "1m", "-step", "20s", "-seed", "3"}
+	if err := run(context.Background(), &sb, io.Discard, args); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Monte-Carlo: 4 replicas", "Tracking accuracy", "95% CI"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Worker count must not change the aggregate.
+	var serial, wide strings.Builder
+	if err := run(context.Background(), &serial, io.Discard, append(args, "-workers", "1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), &wide, io.Discard, append(args, "-workers", "8")); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != wide.String() {
+		t.Errorf("Monte-Carlo output differs across worker counts:\n-- 1 --\n%s\n-- 8 --\n%s",
+			serial.String(), wide.String())
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), &sb, io.Discard, []string{"-replicas", "0"}); err == nil {
+		t.Error("zero replicas accepted")
+	}
+	if err := run(context.Background(), &sb, io.Discard, []string{"-step", "0s"}); err == nil {
+		t.Error("zero step accepted")
+	}
+}
+
+func TestDurationValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), &sb, io.Discard, []string{"-replicas", "2", "-duration", "0s"}); err == nil {
+		t.Error("zero duration accepted")
 	}
 }

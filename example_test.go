@@ -1,0 +1,46 @@
+package bips_test
+
+import (
+	"fmt"
+	"time"
+
+	"bips"
+)
+
+// ExampleService is the quickstart deployment: two registered users placed
+// in rooms of the academic-department building, tracked by the cell
+// workstations, then located and routed to each other. All randomness is
+// derived from Config.Seed, so this output is reproducible.
+func ExampleService() {
+	svc, err := bips.New(bips.Config{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	svc.MustRegister("alice", "secret")
+	svc.MustRegister("bob", "secret")
+	if _, err := svc.AddStationaryUser("alice", "secret", "Lobby"); err != nil {
+		panic(err)
+	}
+	if _, err := svc.AddStationaryUser("bob", "secret", "Library"); err != nil {
+		panic(err)
+	}
+
+	svc.Start()
+	defer svc.Stop()
+	svc.Run(90 * time.Second) // simulated time: enough for discovery
+
+	loc, err := svc.Locate("alice", "bob")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("bob is in the", loc.RoomName)
+
+	path, err := svc.PathTo("alice", "bob")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("alice walks %.0f m via %v\n", path.Meters, path.RoomNames)
+	// Output:
+	// bob is in the Library
+	// alice walks 12 m via [Lobby Library]
+}

@@ -1,0 +1,3 @@
+module bips
+
+go 1.22

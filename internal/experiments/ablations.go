@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -8,6 +9,7 @@ import (
 	"bips/internal/baseband"
 	"bips/internal/inquiry"
 	"bips/internal/radio"
+	"bips/internal/runner"
 	"bips/internal/sim"
 	"bips/internal/stats"
 )
@@ -29,6 +31,11 @@ type CollisionAblation struct {
 // RunCollisionAblation reruns the Figure 2 workload for the given
 // populations under both collision policies.
 func RunCollisionAblation(seed int64, populations []int, runs int) (CollisionAblation, error) {
+	return RunCollisionAblationOn(context.Background(), runner.NewPool(), seed, populations, runs)
+}
+
+// RunCollisionAblationOn reruns the collision ablation on the given pool.
+func RunCollisionAblationOn(ctx context.Context, p *runner.Pool, seed int64, populations []int, runs int) (CollisionAblation, error) {
 	if len(populations) == 0 {
 		populations = []int{10, 20}
 	}
@@ -36,26 +43,31 @@ func RunCollisionAblation(seed int64, populations []int, runs int) (CollisionAbl
 		runs = 30
 	}
 	measure := func(seed int64, n int, pol radio.CollisionPolicy) (at1, at6, coll float64, err error) {
-		rng := rand.New(rand.NewSource(seed))
 		var s1, s6, sc stats.Summary
-		for i := 0; i < runs; i++ {
-			res, rerr := inquiry.RunSwarm(rng, inquiry.SwarmConfig{
-				Slaves:    n,
-				Cycle:     inquiry.DutyCycle{Inquiry: sim.TicksPerSecond, Period: 5 * sim.TicksPerSecond},
-				Collision: pol,
+		err = runner.Run(ctx, p, seed, runs,
+			func(i int, rng *rand.Rand) (inquiry.SwarmResult, error) {
+				return inquiry.RunSwarm(rng, inquiry.SwarmConfig{
+					Slaves:    n,
+					Cycle:     inquiry.DutyCycle{Inquiry: sim.TicksPerSecond, Period: 5 * sim.TicksPerSecond},
+					Collision: pol,
+				})
+			},
+			func(i int, res inquiry.SwarmResult) error {
+				s1.Add(res.DiscoveredBy(sim.TicksPerSecond))
+				s6.Add(res.DiscoveredBy(6 * sim.TicksPerSecond))
+				sc.Add(float64(res.Collisions))
+				return nil
 			})
-			if rerr != nil {
-				return 0, 0, 0, rerr
-			}
-			s1.Add(res.DiscoveredBy(sim.TicksPerSecond))
-			s6.Add(res.DiscoveredBy(6 * sim.TicksPerSecond))
-			sc.Add(float64(res.Collisions))
+		if err != nil {
+			return 0, 0, 0, err
 		}
 		return s1.Mean(), s6.Mean(), sc.Mean(), nil
 	}
 	var out CollisionAblation
 	for i, n := range populations {
-		// Same per-population seed for both policies: paired runs.
+		// Same per-population seed for both policies: run j under
+		// "destroy all" and run j under "none" share the derived stream
+		// (seed+i, j), so the comparison is strictly paired.
 		pseed := seed + int64(i)
 		w1, w6, wc, err := measure(pseed, n, radio.CollideDestroyAll)
 		if err != nil {
@@ -111,6 +123,16 @@ type ScanAblation struct {
 // RunScanAblation reruns the Table 1 trial under several slave scan
 // configurations.
 func RunScanAblation(seed int64, trials int) ScanAblation {
+	a, err := RunScanAblationOn(context.Background(), runner.NewPool(), seed, trials)
+	if err != nil {
+		// Unreachable without cancellation: trials never fail.
+		panic(err)
+	}
+	return a
+}
+
+// RunScanAblationOn reruns the scan ablation on the given pool.
+func RunScanAblationOn(ctx context.Context, p *runner.Pool, seed int64, trials int) (ScanAblation, error) {
 	if trials <= 0 {
 		trials = 200
 	}
@@ -129,15 +151,21 @@ func RunScanAblation(seed int64, trials int) ScanAblation {
 	}
 	var out ScanAblation
 	for i, c := range configs {
-		rng := rand.New(rand.NewSource(seed + int64(i)))
 		var s stats.Summary
-		for j := 0; j < trials; j++ {
-			r := inquiry.RunTrial(rng, inquiry.TrialConfig{
-				Mode:     c.mode,
-				Interval: c.interval,
-				Window:   c.window,
+		err := runner.Run(ctx, p, seed+int64(i), trials,
+			func(j int, rng *rand.Rand) (inquiry.TrialResult, error) {
+				return inquiry.RunTrial(rng, inquiry.TrialConfig{
+					Mode:     c.mode,
+					Interval: c.interval,
+					Window:   c.window,
+				}), nil
+			},
+			func(j int, r inquiry.TrialResult) error {
+				s.Add(r.Time.Seconds())
+				return nil
 			})
-			s.Add(r.Time.Seconds())
+		if err != nil {
+			return ScanAblation{}, err
 		}
 		interval := c.interval
 		if interval == 0 {
@@ -156,7 +184,7 @@ func RunScanAblation(seed int64, trials int) ScanAblation {
 			CI95:         s.CI95(),
 		})
 	}
-	return out
+	return out, nil
 }
 
 // Render writes the scan ablation table.
@@ -189,6 +217,11 @@ type DutyAblation struct {
 // randomly phased slaves discovered within one slot under standard train
 // alternation (the Section 5 situation).
 func RunDutyAblation(seed int64, runs int) (DutyAblation, error) {
+	return RunDutyAblationOn(context.Background(), runner.NewPool(), seed, runs)
+}
+
+// RunDutyAblationOn reruns the discovery-slot sweep on the given pool.
+func RunDutyAblationOn(ctx context.Context, p *runner.Pool, seed int64, runs int) (DutyAblation, error) {
 	if runs <= 0 {
 		runs = 30
 	}
@@ -198,21 +231,24 @@ func RunDutyAblation(seed int64, runs int) (DutyAblation, error) {
 	var out DutyAblation
 	out.CycleSecs = cycle
 	for i, slotSecs := range slots {
-		rng := rand.New(rand.NewSource(seed + int64(i)))
 		slot := sim.FromSeconds(slotSecs)
 		var cov stats.Summary
-		for j := 0; j < runs; j++ {
-			res, err := inquiry.RunSwarm(rng, inquiry.SwarmConfig{
-				Slaves:         20,
-				Cycle:          inquiry.DutyCycle{Inquiry: slot, Period: slot + sim.TicksPerSecond},
-				Horizon:        slot,
-				Policy:         inquiry.TrainsAlternate,
-				TrainAScanOnly: &f,
+		err := runner.Run(ctx, p, seed+int64(i), runs,
+			func(j int, rng *rand.Rand) (inquiry.SwarmResult, error) {
+				return inquiry.RunSwarm(rng, inquiry.SwarmConfig{
+					Slaves:         20,
+					Cycle:          inquiry.DutyCycle{Inquiry: slot, Period: slot + sim.TicksPerSecond},
+					Horizon:        slot,
+					Policy:         inquiry.TrainsAlternate,
+					TrainAScanOnly: &f,
+				})
+			},
+			func(j int, res inquiry.SwarmResult) error {
+				cov.Add(res.DiscoveredBy(slot))
+				return nil
 			})
-			if err != nil {
-				return DutyAblation{}, err
-			}
-			cov.Add(res.DiscoveredBy(slot))
+		if err != nil {
+			return DutyAblation{}, err
 		}
 		out.Rows = append(out.Rows, DutyAblationRow{
 			SlotSecs: slotSecs,

@@ -11,9 +11,17 @@
 //
 // Plus the ablations DESIGN.md calls out: collision handling on/off, slave
 // scan-interval sensitivity, and the discovery-slot length sweep.
+//
+// Every experiment is a sweep of independent Monte-Carlo trials executed on
+// a runner.Pool: trial i draws all its randomness from a stream derived
+// from (root seed, i), and results are folded into running aggregates in
+// index order. Results are therefore bit-identical at any worker count.
+// The RunXxx functions are convenience wrappers over the RunXxxOn variants
+// using a GOMAXPROCS-sized pool and no cancellation.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -21,6 +29,7 @@ import (
 	"bips/internal/inquiry"
 	"bips/internal/mobility"
 	"bips/internal/radio"
+	"bips/internal/runner"
 	"bips/internal/sim"
 	"bips/internal/stats"
 )
@@ -48,29 +57,48 @@ var PaperTable1 = Table1Result{
 // RunTable1 regenerates Table 1 with the given number of trials (the paper
 // uses 500).
 func RunTable1(seed int64, trials int) Table1Result {
+	r, err := RunTable1On(context.Background(), runner.NewPool(), seed, trials)
+	if err != nil {
+		// Unreachable without cancellation: trials never fail.
+		panic(err)
+	}
+	return r
+}
+
+// RunTable1On regenerates Table 1 on the given pool. Trial i's master
+// train, slave phases and backoffs are drawn from the stream derived from
+// (seed, i); summaries accumulate in trial order, so the result is
+// identical at any worker count.
+func RunTable1On(ctx context.Context, p *runner.Pool, seed int64, trials int) (Table1Result, error) {
 	if trials <= 0 {
 		trials = 500
 	}
-	rng := rand.New(rand.NewSource(seed))
 	var same, diff, mixed stats.Summary
 	var sameN, diffN int
-	for i := 0; i < trials; i++ {
-		r := inquiry.RunTrial(rng, inquiry.TrialConfig{})
-		secs := r.Time.Seconds()
-		mixed.Add(secs)
-		if r.SameTrain {
-			same.Add(secs)
-			sameN++
-		} else {
-			diff.Add(secs)
-			diffN++
-		}
+	err := runner.Run(ctx, p, seed, trials,
+		func(i int, rng *rand.Rand) (inquiry.TrialResult, error) {
+			return inquiry.RunTrial(rng, inquiry.TrialConfig{}), nil
+		},
+		func(i int, r inquiry.TrialResult) error {
+			secs := r.Time.Seconds()
+			mixed.Add(secs)
+			if r.SameTrain {
+				same.Add(secs)
+				sameN++
+			} else {
+				diff.Add(secs)
+				diffN++
+			}
+			return nil
+		})
+	if err != nil {
+		return Table1Result{}, err
 	}
 	return Table1Result{
 		Same:      Table1Row{Label: "Same", Cases: sameN, AvgSecs: same.Mean(), CI95: same.CI95()},
 		Different: Table1Row{Label: "Different", Cases: diffN, AvgSecs: diff.Mean(), CI95: diff.CI95()},
 		Mixed:     Table1Row{Label: "Mixed", Cases: trials, AvgSecs: mixed.Mean(), CI95: mixed.CI95()},
-	}
+	}, nil
 }
 
 // Render writes the regenerated table next to the paper's values.
@@ -148,30 +176,24 @@ type Fig2Result struct {
 // inquiry (train A only) with 4 s of connection management; slaves always
 // in inquiry scan starting on train A frequencies.
 func RunFig2(seed int64, cfg Fig2Config) (Fig2Result, error) {
+	return RunFig2On(context.Background(), runner.NewPool(), seed, cfg)
+}
+
+// RunFig2On regenerates Figure 2 on the given pool. The sweep is the flat
+// cross product population × run, so parallelism spans populations: slow
+// 20-slave runs overlap with fast 2-slave runs.
+func RunFig2On(ctx context.Context, p *runner.Pool, seed int64, cfg Fig2Config) (Fig2Result, error) {
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(seed))
 	cycle := inquiry.DutyCycle{Inquiry: sim.TicksPerSecond, Period: 5 * sim.TicksPerSecond}
 	var out Fig2Result
-	for _, n := range cfg.Populations {
-		var samples []float64
-		total := 0
-		var collisions stats.Summary
-		for run := 0; run < cfg.Runs; run++ {
-			res, err := inquiry.RunSwarm(rng, inquiry.SwarmConfig{
-				Slaves:    n,
-				Cycle:     cycle,
-				Horizon:   cfg.Horizon,
-				Collision: cfg.Collision,
-			})
-			if err != nil {
-				return Fig2Result{}, err
-			}
-			for _, t := range res.Times {
-				samples = append(samples, t.Seconds())
-			}
-			total += n
-			collisions.Add(float64(res.Collisions))
-		}
+
+	// Per-population accumulation; trial index i maps to population
+	// i/cfg.Runs, run i%cfg.Runs. Because consumption is in index order, a
+	// population's runs arrive contiguously and in order.
+	var samples []float64
+	total := 0
+	var collisions stats.Summary
+	flush := func(n int) {
 		cdf := stats.NewCDF(samples, total)
 		out.Curves = append(out.Curves, Fig2Curve{
 			Slaves:     n,
@@ -181,6 +203,32 @@ func RunFig2(seed int64, cfg Fig2Config) (Fig2Result, error) {
 			At11s:      cdf.At(11.0),
 			Collisions: collisions.Mean(),
 		})
+		samples = samples[:0]
+		total = 0
+		collisions = stats.Summary{}
+	}
+	err := runner.Run(ctx, p, seed, len(cfg.Populations)*cfg.Runs,
+		func(i int, rng *rand.Rand) (inquiry.SwarmResult, error) {
+			return inquiry.RunSwarm(rng, inquiry.SwarmConfig{
+				Slaves:    cfg.Populations[i/cfg.Runs],
+				Cycle:     cycle,
+				Horizon:   cfg.Horizon,
+				Collision: cfg.Collision,
+			})
+		},
+		func(i int, res inquiry.SwarmResult) error {
+			for _, t := range res.Times {
+				samples = append(samples, t.Seconds())
+			}
+			total += res.Slaves
+			collisions.Add(float64(res.Collisions))
+			if (i+1)%cfg.Runs == 0 {
+				flush(cfg.Populations[i/cfg.Runs])
+			}
+			return nil
+		})
+	if err != nil {
+		return Fig2Result{}, err
 	}
 	return out, nil
 }
@@ -244,32 +292,42 @@ var PaperPolicyNumbers = PolicyResult{
 // simulation: 20 slaves with random train phases, master running one
 // 3.84 s slot with standard train alternation.
 func RunPolicy(seed int64, runs int) (PolicyResult, error) {
+	return RunPolicyOn(context.Background(), runner.NewPool(), seed, runs)
+}
+
+// RunPolicyOn regenerates the Section 5 analysis on the given pool.
+func RunPolicyOn(ctx context.Context, p *runner.Pool, seed int64, runs int) (PolicyResult, error) {
 	if runs <= 0 {
 		runs = 40
 	}
-	rng := rand.New(rand.NewSource(seed))
 
 	slot := sim.FromSeconds(3.84)
 	var coverage stats.Summary
 	f := false
-	for i := 0; i < runs; i++ {
-		res, err := inquiry.RunSwarm(rng, inquiry.SwarmConfig{
-			Slaves:  20,
-			Cycle:   inquiry.DutyCycle{Inquiry: slot, Period: 20 * sim.TicksPerSecond},
-			Horizon: slot, // one slot only
-			Policy:  inquiry.TrainsAlternate,
-			// Random listening trains: the realistic Section 5
-			// situation ("the starting trains cannot be defined
-			// by the programmer").
-			TrainAScanOnly: &f,
+	err := runner.Run(ctx, p, seed, runs,
+		func(i int, rng *rand.Rand) (inquiry.SwarmResult, error) {
+			return inquiry.RunSwarm(rng, inquiry.SwarmConfig{
+				Slaves:  20,
+				Cycle:   inquiry.DutyCycle{Inquiry: slot, Period: 20 * sim.TicksPerSecond},
+				Horizon: slot, // one slot only
+				Policy:  inquiry.TrainsAlternate,
+				// Random listening trains: the realistic Section 5
+				// situation ("the starting trains cannot be defined
+				// by the programmer").
+				TrainAScanOnly: &f,
+			})
+		},
+		func(i int, res inquiry.SwarmResult) error {
+			coverage.Add(res.DiscoveredBy(slot))
+			return nil
 		})
-		if err != nil {
-			return PolicyResult{}, err
-		}
-		coverage.Add(res.DiscoveredBy(slot))
+	if err != nil {
+		return PolicyResult{}, err
 	}
 
-	crossing, err := mobility.MeasureCrossing(rng,
+	// The crossing measurement gets the stream one past the sweep's last
+	// trial, keeping it independent of the coverage runs.
+	crossing, err := mobility.MeasureCrossing(runner.NewRand(seed, runs),
 		radio.DefaultCoverageRadiusMeters, 1.3, 1.3, 100000)
 	if err != nil {
 		return PolicyResult{}, err

@@ -1,6 +1,10 @@
 package experiments
 
 import (
+	"context"
+	"reflect"
+
+	"bips/internal/runner"
 	"strings"
 	"testing"
 )
@@ -250,5 +254,58 @@ func TestDutyAblation(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "operating point") {
 		t.Error("render missing note")
+	}
+}
+
+// TestDeterministicAcrossWorkerCounts is the engine's core guarantee: the
+// same root seed produces byte-identical results at any worker count.
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	ctx := context.Background()
+	serial := runner.NewPool(runner.WithWorkers(1))
+	wide := runner.NewPool(runner.WithWorkers(8))
+
+	t1a, err := RunTable1On(ctx, serial, 2003, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1b, err := RunTable1On(ctx, wide, 2003, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1a != t1b {
+		t.Errorf("Table1 differs across worker counts:\n1: %+v\n8: %+v", t1a, t1b)
+	}
+
+	f2a, err := RunFig2On(ctx, serial, 42, Fig2Config{Populations: []int{2, 10}, Runs: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2b, err := RunFig2On(ctx, wide, 42, Fig2Config{Populations: []int{2, 10}, Runs: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f2a, f2b) {
+		t.Errorf("Fig2 differs across worker counts:\n1: %+v\n8: %+v", f2a, f2b)
+	}
+
+	pa, err := RunPolicyOn(ctx, serial, 7, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := RunPolicyOn(ctx, wide, 7, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != pb {
+		t.Errorf("Policy differs across worker counts:\n1: %+v\n8: %+v", pa, pb)
+	}
+}
+
+// TestTable1Cancellation checks a sweep stops cleanly mid-flight.
+func TestTable1Cancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunTable1On(ctx, runner.NewPool(runner.WithWorkers(4)), 1, 500); err == nil {
+		t.Fatal("cancelled sweep reported success")
 	}
 }

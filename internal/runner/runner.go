@@ -1,0 +1,234 @@
+// Package runner executes Monte-Carlo trials on a worker pool with
+// deterministic per-trial randomness.
+//
+// Every experiment in this repository is a sweep of independent trials
+// (Table 1's 500 inquiry trials, Figure 2's per-population runs, the
+// ablations). The runner gives each trial its own rand.Rand whose seed is
+// derived from the sweep's root seed and the trial index by a splittable
+// mixing function (splitmix64), so the stream a trial sees depends only on
+// (root seed, index) — never on which worker ran it or in what order.
+// Results are handed to a single consumer in strict index order. Together
+// these make every aggregate bit-identical at any worker count:
+//
+//	workers=1 and workers=8 produce byte-for-byte the same tables.
+//
+// Memory stays flat at millions of trials: the consumer streams results
+// into running aggregates (see internal/stats), and the reorder window
+// that restores index order is bounded, applying backpressure to the
+// dispatcher instead of buffering the whole sweep.
+package runner
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// errIncomplete guards against a sweep ending without error, cancellation
+// or full coverage; it indicates a runner bug, not a caller mistake.
+var errIncomplete = errors.New("runner: sweep ended before all trials were consumed")
+
+// golden is 2^64/phi, the splitmix64 sequence increment.
+const golden = 0x9E3779B97F4A7C15
+
+// TrialSeed derives the RNG seed of one trial from the sweep's root seed
+// and the trial index using the splitmix64 output function. Distinct
+// (root, trial) pairs map to well-separated seeds, so per-trial streams
+// are independent for all practical purposes.
+func TrialSeed(root int64, trial int) int64 {
+	z := uint64(root) + (uint64(trial)+1)*golden
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// NewRand returns the dedicated random stream of one trial.
+func NewRand(root int64, trial int) *rand.Rand {
+	return rand.New(rand.NewSource(TrialSeed(root, trial)))
+}
+
+// Pool is a reusable trial executor. The zero value is not valid; use
+// NewPool. A Pool carries no per-sweep state and may be shared by
+// consecutive sweeps.
+type Pool struct {
+	workers  int
+	progress func(done, total int)
+}
+
+// Option configures a Pool.
+type Option func(*Pool)
+
+// WithWorkers overrides the worker count (default GOMAXPROCS). Values
+// below 1 are ignored.
+func WithWorkers(n int) Option {
+	return func(p *Pool) {
+		if n >= 1 {
+			p.workers = n
+		}
+	}
+}
+
+// WithProgress installs a progress callback, invoked from the consumer
+// goroutine roughly every 5% of the sweep and once at completion with
+// done == total. The callback must not block for long: it is on the
+// result-draining path.
+func WithProgress(fn func(done, total int)) Option {
+	return func(p *Pool) { p.progress = fn }
+}
+
+// NewPool builds a Pool sized by GOMAXPROCS unless overridden.
+func NewPool(opts ...Option) *Pool {
+	p := &Pool{workers: runtime.GOMAXPROCS(0)}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Workers returns the configured worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// item carries one trial's outcome to the sequencer.
+type item[T any] struct {
+	i   int
+	v   T
+	err error
+}
+
+// Run executes trials 0..trials-1 on the pool. Each trial i runs
+// trial(i, rng) with rng = NewRand(seed, i) on some worker; consume(i, v)
+// then runs on the caller's goroutine in strict index order. The first
+// error — from a trial (lowest index wins), from consume, or ctx — cancels
+// the sweep and is returned. On cancellation consume is never called again,
+// so aggregates reflect an index prefix of the sweep.
+func Run[T any](ctx context.Context, p *Pool, seed int64, trials int,
+	trial func(i int, rng *rand.Rand) (T, error),
+	consume func(i int, v T) error) error {
+
+	if trials <= 0 {
+		return nil
+	}
+	workers := p.workers
+	if workers > trials {
+		workers = trials
+	}
+
+	every := trials / 20
+	if every < 1 {
+		every = 1
+	}
+	tick := func(done int) {
+		if p.progress != nil && (done%every == 0 || done == trials) {
+			p.progress(done, trials)
+		}
+	}
+
+	if workers <= 1 {
+		for i := 0; i < trials; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			v, err := trial(i, NewRand(seed, i))
+			if err != nil {
+				return err
+			}
+			if err := consume(i, v); err != nil {
+				return err
+			}
+			tick(i + 1)
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// The reorder window: at most `window` trials are dispatched but not
+	// yet consumed, which bounds both the results channel and the pending
+	// map regardless of sweep length.
+	window := 4 * workers
+	sem := make(chan struct{}, window)
+	indices := make(chan int)
+	results := make(chan item[T], window)
+
+	go func() { // dispatcher
+		defer close(indices)
+		for i := 0; i < trials; i++ {
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			select {
+			case indices <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				v, err := trial(i, NewRand(seed, i))
+				select {
+				case results <- item[T]{i: i, v: v, err: err}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Sequencer: restore index order, stream into consume.
+	pending := make(map[int]item[T], window)
+	next := 0
+	var sweepErr error
+	fail := func(err error) {
+		if sweepErr == nil {
+			sweepErr = err
+			cancel()
+		}
+	}
+	for it := range results {
+		pending[it.i] = it
+		for sweepErr == nil {
+			nit, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			<-sem
+			if nit.err != nil {
+				fail(nit.err)
+				break
+			}
+			if err := consume(next, nit.v); err != nil {
+				fail(err)
+				break
+			}
+			next++
+			tick(next)
+		}
+	}
+	if sweepErr != nil {
+		return sweepErr
+	}
+	if next < trials {
+		// Workers stopped early: external cancellation.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return errIncomplete
+	}
+	return nil
+}

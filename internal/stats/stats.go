@@ -39,6 +39,27 @@ func (s *Summary) Add(x float64) {
 	s.m2 += d * (x - s.mean)
 }
 
+// Merge folds another summary into s, as if every sample of o had been
+// Added after s's own (Chan et al.'s parallel Welford update). It lets
+// per-shard summaries accumulated independently be combined into one
+// without retaining samples.
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := float64(s.n + o.n)
+	d := o.mean - s.mean
+	s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/n
+	s.mean += d * float64(o.n) / n
+	s.min = math.Min(s.min, o.min)
+	s.max = math.Max(s.max, o.max)
+	s.n += o.n
+}
+
 // AddAll accumulates all samples.
 func (s *Summary) AddAll(xs []float64) {
 	for _, x := range xs {

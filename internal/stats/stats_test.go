@@ -208,3 +208,37 @@ func TestTableRendering(t *testing.T) {
 	tb.AddRow("a", "b", "c", "d")
 	_ = tb.String()
 }
+
+func TestSummaryMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 1001)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 5
+	}
+	var whole Summary
+	whole.AddAll(xs)
+	for _, cut := range []int{0, 1, 500, 1000, 1001} {
+		var a, b Summary
+		a.AddAll(xs[:cut])
+		b.AddAll(xs[cut:])
+		a.Merge(b)
+		if a.N() != whole.N() {
+			t.Fatalf("cut %d: n = %d, want %d", cut, a.N(), whole.N())
+		}
+		if math.Abs(a.Mean()-whole.Mean()) > 1e-9 {
+			t.Errorf("cut %d: mean = %v, want %v", cut, a.Mean(), whole.Mean())
+		}
+		if math.Abs(a.Var()-whole.Var()) > 1e-9 {
+			t.Errorf("cut %d: var = %v, want %v", cut, a.Var(), whole.Var())
+		}
+		if a.Min() != whole.Min() || a.Max() != whole.Max() {
+			t.Errorf("cut %d: extremes %v/%v, want %v/%v", cut, a.Min(), a.Max(), whole.Min(), whole.Max())
+		}
+	}
+	// Merging into an empty summary copies.
+	var empty Summary
+	empty.Merge(whole)
+	if empty != whole {
+		t.Error("merge into empty summary not a copy")
+	}
+}
