@@ -7,7 +7,13 @@
 //	bips-experiment -run ablation-collision  # collision handling on/off
 //	bips-experiment -run ablation-scan       # slave scan parameter sweep
 //	bips-experiment -run ablation-duty       # discovery-slot length sweep
+//	bips-experiment -run tracking            # whole-building tracking vs floor plan
 //	bips-experiment -run all
+//
+// The tracking experiment goes beyond the paper: it deploys the full
+// service (via the public bips API) over differently shaped floor plans
+// and compares end-to-end tracking accuracy. It is excluded from -run all
+// because it simulates whole deployments rather than single procedures.
 //
 // Trials execute on a worker pool (-workers, default GOMAXPROCS) with
 // per-trial RNG streams derived from -seed, so every table is bit-identical
@@ -19,11 +25,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"os/signal"
+	"time"
 
+	"bips"
 	"bips/internal/experiments"
+	"bips/internal/replica"
 	"bips/internal/runner"
+	"bips/internal/stats"
 )
 
 func main() {
@@ -38,7 +49,7 @@ func main() {
 func run(ctx context.Context, w, errw io.Writer, args []string) error {
 	fs := flag.NewFlagSet("bips-experiment", flag.ContinueOnError)
 	var (
-		which    = fs.String("run", "all", "experiment: table1|fig2|policy|ablation-collision|ablation-scan|ablation-duty|all")
+		which    = fs.String("run", "all", "experiment: table1|fig2|policy|ablation-collision|ablation-scan|ablation-duty|tracking|all")
 		seed     = fs.Int64("seed", 2003, "root random seed; per-trial streams are derived from it")
 		trials   = fs.Int("trials", 500, "trials for table1/ablation-scan")
 		runs     = fs.Int("runs", 40, "independent runs per configuration")
@@ -51,7 +62,7 @@ func run(ctx context.Context, w, errw io.Writer, args []string) error {
 	}
 
 	switch *which {
-	case "table1", "fig2", "policy", "ablation-collision", "ablation-scan", "ablation-duty", "all":
+	case "table1", "fig2", "policy", "ablation-collision", "ablation-scan", "ablation-duty", "tracking", "all":
 	default:
 		return fmt.Errorf("unknown experiment %q", *which)
 	}
@@ -148,5 +159,70 @@ func run(ctx context.Context, w, errw io.Writer, args []string) error {
 		}
 		fmt.Fprintln(w)
 	}
+	// Whole-deployment simulation, deliberately not part of "all".
+	if *which == "tracking" {
+		label = "tracking"
+		if err := runTracking(ctx, pool, w, *seed, *runs, func(s string) { label = s }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// trackingPlans are the floor-plan shapes the tracking experiment
+// compares: the paper's department, an open grid, and a long hallway.
+func trackingPlans() []struct {
+	name string
+	plan *bips.FloorPlan
+} {
+	return []struct {
+		name string
+		plan *bips.FloorPlan
+	}{
+		{"academic 2x5", bips.AcademicPlan()},
+		{"grid 3x3", bips.GridPlan(3, 3, 0)},
+		{"corridor 9", bips.CorridorPlan(9, 0)},
+	}
+}
+
+// runTracking measures end-to-end tracking accuracy — the fraction of
+// 30 s timeline samples at which a walking user was locatable — for each
+// floor-plan shape, over `runs` independent deployments per shape.
+func runTracking(ctx context.Context, pool *runner.Pool, w io.Writer, seed int64, runs int, setLabel func(string)) error {
+	const (
+		users    = 4
+		duration = 3 * time.Minute
+		step     = 30 * time.Second
+	)
+	fmt.Fprintf(w, "== Tracking accuracy vs floor plan (%d users x %s, %d deployments each) ==\n",
+		users, duration, runs)
+	tb := stats.NewTable("Floor plan", "Rooms", "Accuracy", "95% CI")
+	for _, tp := range trackingPlans() {
+		setLabel("tracking " + tp.name)
+		var acc stats.Summary
+		err := runner.Run(ctx, pool, seed, runs,
+			func(i int, rng *rand.Rand) (replica.Result, error) {
+				return replica.Run(rng.Int63(), replica.Config{
+					Users:    users,
+					Duration: duration,
+					Step:     step,
+					Plan:     tp.plan,
+				})
+			},
+			func(i int, r replica.Result) error {
+				acc.Add(r.Fraction())
+				return nil
+			})
+		if err != nil {
+			return err
+		}
+		tb.AddRow(tp.name, fmt.Sprintf("%d", len(tp.plan.Rooms)),
+			fmt.Sprintf("%.1f%%", acc.Mean()*100),
+			fmt.Sprintf("±%.1f%%", acc.CI95()*100))
+	}
+	if _, err := io.WriteString(w, tb.String()); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
 	return nil
 }

@@ -4,7 +4,12 @@
 //	bips-query -server 127.0.0.1:7700 login alice secret AA:BB:CC:DD:EE:01
 //	bips-query -server 127.0.0.1:7700 locate alice bob
 //	bips-query -server 127.0.0.1:7700 path alice bob
+//	bips-query -server 127.0.0.1:7700 rooms
 //	bips-query -server 127.0.0.1:7700 logout alice
+//
+// -timeout (default 5s) bounds the whole exchange — dial, request and
+// response — so an unreachable or wedged server fails fast instead of
+// hanging.
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"net"
 	"os"
 	"strings"
+	"time"
 
 	"bips/internal/wire"
 )
@@ -25,12 +31,13 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: bips-query [-server addr] {login user pw dev | logout user | locate querier target | path querier target}")
+	return fmt.Errorf("usage: bips-query [-server addr] [-timeout d] {login user pw dev | logout user | locate querier target | path querier target | rooms}")
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("bips-query", flag.ContinueOnError)
 	serverAddr := fs.String("server", "127.0.0.1:7700", "central server address")
+	timeout := fs.Duration("timeout", 5*time.Second, "dial + exchange timeout (0 waits forever)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -39,9 +46,18 @@ func run(args []string) error {
 		return usage()
 	}
 
-	conn, err := net.Dial("tcp", *serverAddr)
+	// The client is one-shot: a single budget covers dial, request and
+	// response, so a server that accepts but never answers also fails
+	// within -timeout.
+	start := time.Now()
+	conn, err := net.DialTimeout("tcp", *serverAddr, *timeout)
 	if err != nil {
 		return err
+	}
+	if *timeout > 0 {
+		if err := conn.SetDeadline(start.Add(*timeout)); err != nil {
+			return err
+		}
 	}
 	client := wire.NewClient(wire.NewCodec(conn))
 	defer client.Close()
@@ -89,6 +105,18 @@ func run(args []string) error {
 		}
 		fmt.Printf("shortest path to %s (%.0f m): %s\n",
 			rest[2], res.TotalMeters, strings.Join(res.Names, " -> "))
+	case "rooms":
+		if len(rest) != 1 {
+			return usage()
+		}
+		var res wire.RoomsResult
+		if err := client.Call(wire.MsgRooms, wire.RoomsQuery{}, &res); err != nil {
+			return err
+		}
+		fmt.Printf("%-4s %-20s %8s %8s\n", "id", "name", "x (m)", "y (m)")
+		for _, r := range res.Rooms {
+			fmt.Printf("%-4d %-20s %8.1f %8.1f\n", r.ID, r.Name, r.X, r.Y)
+		}
 	default:
 		return usage()
 	}

@@ -1,11 +1,14 @@
 // Command bips-server runs the BIPS central server over TCP: the user
-// registry, the location database and the navigation service for the
-// built-in academic-department building.
+// registry, the location database and the navigation service. By default
+// it serves the built-in academic-department building; -plan loads any
+// floor plan from a JSON file (see bips.FloorPlan, and
+// bips.AcademicPlan().Save to write a template to edit).
 //
 //	bips-server -listen :7700 -user alice:secret -user bob:secret
+//	bips-server -plan museum.json -user guide:secret
 //
 // Workstations (bips-station) connect and push presence deltas; clients
-// (bips-query) log users in and ask locate/path queries.
+// (bips-query) log users in and ask locate/path/rooms queries.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"bips"
 	"bips/internal/building"
 	"bips/internal/locdb"
 	"bips/internal/registry"
@@ -43,13 +47,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bips-server", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7700", "TCP listen address")
+	planPath := fs.String("plan", "", "floor-plan JSON file (default: built-in academic department)")
 	var users userList
 	fs.Var(&users, "user", "register user:password (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	bld, err := building.AcademicDepartment()
+	bld, err := loadBuilding(*planPath)
 	if err != nil {
 		return err
 	}
@@ -70,4 +75,22 @@ func run(args []string) error {
 	}
 	log.Printf("BIPS central server listening on %s (%d rooms)", l.Addr(), bld.NumRooms())
 	return srv.Serve(l)
+}
+
+// loadBuilding compiles the -plan file, or falls back to the built-in
+// academic-department preset.
+func loadBuilding(path string) (*building.Building, error) {
+	if path == "" {
+		return building.AcademicDepartment()
+	}
+	plan, err := bips.LoadFloorPlan(path)
+	if err != nil {
+		return nil, err
+	}
+	bld, err := plan.Compile()
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("loaded floor plan %q from %s (%d rooms)", plan.Name, path, bld.NumRooms())
+	return bld, nil
 }

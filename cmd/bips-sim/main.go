@@ -1,8 +1,11 @@
-// Command bips-sim runs a whole-building BIPS simulation: the academic
-// department preset with walking users tracked by every cell, printing a
-// timeline of locate answers and the final tracking statistics.
+// Command bips-sim runs a whole-building BIPS simulation: walking users
+// tracked by every cell, printing a timeline of locate answers and the
+// final tracking statistics. By default it deploys the academic-department
+// preset; -plan runs any floor plan from a JSON file (write a template
+// with bips.AcademicPlan().Save, or see bips.GridPlan/CorridorPlan).
 //
 //	bips-sim -users 5 -duration 5m -seed 7
+//	bips-sim -plan museum.json -users 8 -duration 10m
 //
 // With -replicas > 1 it switches to Monte-Carlo mode: that many
 // independent deployments (each with its own RNG stream derived from
@@ -26,6 +29,7 @@ import (
 	"time"
 
 	"bips"
+	"bips/internal/replica"
 	"bips/internal/runner"
 	"bips/internal/stats"
 )
@@ -46,6 +50,7 @@ func run(ctx context.Context, w, errw io.Writer, args []string) error {
 		duration = fs.Duration("duration", 5*time.Minute, "simulated time")
 		step     = fs.Duration("step", 30*time.Second, "timeline sampling step")
 		seed     = fs.Int64("seed", 7, "root random seed")
+		planPath = fs.String("plan", "", "floor-plan JSON file (default: built-in academic department)")
 		replicas = fs.Int("replicas", 1, "independent deployments; > 1 switches to Monte-Carlo mode")
 		workers  = fs.Int("workers", 0, "worker goroutines for -replicas > 1 (default GOMAXPROCS)")
 		progress = fs.Bool("progress", false, "report replica progress on stderr")
@@ -65,6 +70,15 @@ func run(ctx context.Context, w, errw io.Writer, args []string) error {
 	if *duration <= 0 {
 		return fmt.Errorf("duration must be positive")
 	}
+	var plan *bips.FloorPlan
+	if *planPath != "" {
+		var err error
+		if plan, err = bips.LoadFloorPlan(*planPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "floor plan %q: %d rooms, %d corridors\n",
+			plan.Name, len(plan.Rooms), len(plan.Corridors))
+	}
 
 	if *replicas > 1 {
 		return runMonteCarlo(ctx, w, errw, mcConfig{
@@ -72,52 +86,44 @@ func run(ctx context.Context, w, errw io.Writer, args []string) error {
 			duration: *duration,
 			step:     *step,
 			seed:     *seed,
+			plan:     plan,
 			replicas: *replicas,
 			workers:  *workers,
 			progress: *progress,
 		})
 	}
-	return runTimeline(w, *users, *duration, *step, *seed)
+	return runTimeline(w, *users, *duration, *step, *seed, plan)
 }
 
 // runTimeline is the classic single-deployment mode with a printed
-// room-by-room timeline.
-func runTimeline(w io.Writer, users int, duration, step time.Duration, seed int64) error {
-	svc, err := bips.New(bips.Config{Seed: seed})
+// room-by-room timeline. The deployment setup is the shared replica unit,
+// so timeline and Monte-Carlo mode cannot drift apart.
+func runTimeline(w io.Writer, users int, duration, step time.Duration, seed int64, plan *bips.FloorPlan) error {
+	svc, deployed, err := replica.New(seed, replica.Config{
+		Users: users, Duration: duration, Step: step, Plan: plan,
+	})
 	if err != nil {
 		return err
 	}
-	rooms := svc.Rooms()
-
-	names := make([]string, 0, users)
-	for i := 0; i < users; i++ {
-		name := fmt.Sprintf("user%02d", i+1)
-		if err := svc.Register(name, "pw"); err != nil {
-			return err
-		}
-		start := rooms[i%len(rooms)]
-		dev, err := svc.AddWalkingUser(name, "pw", start)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "%s walking from %q on device %s\n", name, start, dev)
-		names = append(names, name)
+	for _, u := range deployed {
+		fmt.Fprintf(w, "%s walking from %q on device %s\n", u.Name, u.Start, u.Device)
 	}
 
 	svc.Start()
 	defer svc.Stop()
 
 	fmt.Fprintf(w, "\n%-8s", "t")
-	for _, n := range names {
-		fmt.Fprintf(w, "  %-14s", n)
+	for _, u := range deployed {
+		fmt.Fprintf(w, "  %-14s", u.Name)
 	}
 	fmt.Fprintln(w)
+	querier := deployed[0].Name
 	for elapsed := time.Duration(0); elapsed < duration; elapsed += step {
 		svc.Run(step)
 		fmt.Fprintf(w, "%-8s", svc.Now().Truncate(time.Second))
-		for _, n := range names {
+		for _, u := range deployed {
 			cell := "(unseen)"
-			if loc, err := svc.Locate(names[0], n); err == nil {
+			if loc, err := svc.Locate(querier, u.Name); err == nil {
 				cell = loc.RoomName
 			}
 			fmt.Fprintf(w, "  %-14s", cell)
@@ -126,11 +132,12 @@ func runTimeline(w io.Writer, users int, duration, step time.Duration, seed int6
 	}
 
 	// Final pairwise navigation demo.
-	if len(names) >= 2 {
-		if p, err := svc.PathTo(names[0], names[1]); err == nil {
-			fmt.Fprintf(w, "\n%s -> %s: %.0f m via %v\n", names[0], names[1], p.Meters, p.RoomNames)
+	if len(deployed) >= 2 {
+		a, b := deployed[0].Name, deployed[1].Name
+		if p, err := svc.PathTo(a, b); err == nil {
+			fmt.Fprintf(w, "\n%s -> %s: %.0f m via %v\n", a, b, p.Meters, p.RoomNames)
 		} else {
-			fmt.Fprintf(w, "\n%s -> %s: %v\n", names[0], names[1], err)
+			fmt.Fprintf(w, "\n%s -> %s: %v\n", a, b, err)
 		}
 	}
 	return nil
@@ -141,16 +148,10 @@ type mcConfig struct {
 	duration time.Duration
 	step     time.Duration
 	seed     int64
+	plan     *bips.FloorPlan
 	replicas int
 	workers  int
 	progress bool
-}
-
-// replicaStats is one deployment's tracking outcome.
-type replicaStats struct {
-	// Located / Samples are the locate successes over all (user, step)
-	// timeline samples.
-	Located, Samples int
 }
 
 // runMonteCarlo runs independent replica deployments on a pool and
@@ -169,15 +170,20 @@ func runMonteCarlo(ctx context.Context, w, errw io.Writer, cfg mcConfig) error {
 
 	var acc stats.Summary
 	err := runner.Run(ctx, pool, cfg.seed, cfg.replicas,
-		func(i int, rng *rand.Rand) (replicaStats, error) {
+		func(i int, rng *rand.Rand) (replica.Result, error) {
 			// Each replica's Service gets its own derived seed; the
 			// pool-provided stream is the canonical source so replica i
 			// is identical no matter which worker runs it.
-			return simulateReplica(rng.Int63(), cfg)
+			return replica.Run(rng.Int63(), replica.Config{
+				Users:    cfg.users,
+				Duration: cfg.duration,
+				Step:     cfg.step,
+				Plan:     cfg.plan,
+			})
 		},
-		func(i int, r replicaStats) error {
+		func(i int, r replica.Result) error {
 			if r.Samples > 0 {
-				acc.Add(float64(r.Located) / float64(r.Samples))
+				acc.Add(r.Fraction())
 			}
 			return nil
 		})
@@ -194,38 +200,4 @@ func runMonteCarlo(ctx context.Context, w, errw io.Writer, cfg mcConfig) error {
 	tb.AddRow("Best replica", fmt.Sprintf("%.1f%%", acc.Max()*100))
 	_, werr := io.WriteString(w, tb.String())
 	return werr
-}
-
-// simulateReplica runs one deployment and counts locatable samples.
-func simulateReplica(seed int64, cfg mcConfig) (replicaStats, error) {
-	svc, err := bips.New(bips.Config{Seed: seed})
-	if err != nil {
-		return replicaStats{}, err
-	}
-	rooms := svc.Rooms()
-	names := make([]string, 0, cfg.users)
-	for i := 0; i < cfg.users; i++ {
-		name := fmt.Sprintf("user%02d", i+1)
-		if err := svc.Register(name, "pw"); err != nil {
-			return replicaStats{}, err
-		}
-		if _, err := svc.AddWalkingUser(name, "pw", rooms[i%len(rooms)]); err != nil {
-			return replicaStats{}, err
-		}
-		names = append(names, name)
-	}
-	svc.Start()
-	defer svc.Stop()
-
-	var out replicaStats
-	for elapsed := time.Duration(0); elapsed < cfg.duration; elapsed += cfg.step {
-		svc.Run(cfg.step)
-		for _, n := range names {
-			out.Samples++
-			if _, err := svc.Locate(names[0], n); err == nil {
-				out.Located++
-			}
-		}
-	}
-	return out, nil
 }

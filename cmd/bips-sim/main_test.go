@@ -3,8 +3,11 @@ package main
 import (
 	"context"
 	"io"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"bips"
 )
 
 func TestSimRuns(t *testing.T) {
@@ -21,6 +24,36 @@ func TestSimRuns(t *testing.T) {
 	// Three timeline rows for a 1m run sampled every 20s.
 	if got := strings.Count(out, "\n"); got < 8 {
 		t.Errorf("output too short (%d lines)", got)
+	}
+}
+
+// TestSimCustomPlan runs a floor plan loaded from JSON end-to-end: the
+// timeline tracks walking users through the custom rooms and the final
+// navigation demo answers a PathTo query over them.
+func TestSimCustomPlan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := bips.GridPlan(3, 3, 12).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	args := []string{"-plan", path, "-users", "2", "-duration", "3m", "-step", "30s", "-seed", "2"}
+	if err := run(context.Background(), &sb, io.Discard, args); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`floor plan "grid-3x3": 9 rooms, 12 corridors`, "Room A1", "user01 -> user02"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The navigation demo line must answer with an actual path ("N m via
+	// [...]"), not an error.
+	if !strings.Contains(out, "m via [Room") {
+		t.Errorf("no PathTo answer over the custom plan:\n%s", out)
+	}
+
+	if err := run(context.Background(), &sb, io.Discard, []string{"-plan", "/nonexistent.json"}); err == nil {
+		t.Error("missing plan file accepted")
 	}
 }
 

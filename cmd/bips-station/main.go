@@ -40,6 +40,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("bips-station", flag.ContinueOnError)
 	var (
 		serverAddr = fs.String("server", "127.0.0.1:7700", "central server address")
+		timeout    = fs.Duration("timeout", 5*time.Second, "connect timeout (0 waits forever)")
 		room       = fs.Int("room", 1, "room id this station covers")
 		devices    = fs.Int("devices", 3, "synthetic mobile devices in the cell")
 		duration   = fs.Duration("duration", 2*time.Minute, "simulated running time")
@@ -50,7 +51,7 @@ func run(args []string) error {
 		return err
 	}
 
-	conn, err := net.Dial("tcp", *serverAddr)
+	conn, err := net.DialTimeout("tcp", *serverAddr, *timeout)
 	if err != nil {
 		return err
 	}

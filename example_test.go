@@ -10,9 +10,9 @@ import (
 // ExampleService is the quickstart deployment: two registered users placed
 // in rooms of the academic-department building, tracked by the cell
 // workstations, then located and routed to each other. All randomness is
-// derived from Config.Seed, so this output is reproducible.
+// derived from the seed option, so this output is reproducible.
 func ExampleService() {
-	svc, err := bips.New(bips.Config{Seed: 1})
+	svc, err := bips.New(bips.WithSeed(1))
 	if err != nil {
 		panic(err)
 	}
@@ -43,4 +43,73 @@ func ExampleService() {
 	// Output:
 	// bob is in the Library
 	// alice walks 12 m via [Lobby Library]
+}
+
+// ExampleFloorPlan deploys the service over a custom building: rooms and
+// corridors assembled with the builder API, compiled at New, and queried
+// through the precomputed navigation service.
+func ExampleFloorPlan() {
+	plan := bips.NewFloorPlan("gallery").
+		AddRoom("Foyer", 0, 0).
+		AddRoom("West Wing", 14, 0).
+		AddRoom("East Wing", 0, 14).
+		AddRoom("Vault", 14, 14).
+		Connect("Foyer", "West Wing").
+		Connect("Foyer", "East Wing").
+		ConnectDistance("East Wing", "Vault", 20) // detour past the barrier
+
+	svc, err := bips.New(bips.WithSeed(1), bips.WithBuilding(plan))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("rooms:", svc.Rooms())
+
+	path, err := svc.PathBetween("West Wing", "Vault")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("West Wing -> Vault: %.0f m via %v\n", path.Meters, path.RoomNames)
+	// Output:
+	// rooms: [Foyer West Wing East Wing Vault]
+	// West Wing -> Vault: 48 m via [West Wing Foyer East Wing Vault]
+}
+
+// ExampleService_Subscribe consumes the typed event stream: logins and
+// the presence deltas the workstations feed into the central location
+// database, each stamped with its simulated time.
+func ExampleService_Subscribe() {
+	svc, err := bips.New(bips.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	sub := svc.Subscribe()
+	defer sub.Close()
+
+	svc.MustRegister("alice", "secret")
+	if _, err := svc.AddStationaryUser("alice", "secret", "Seminar Room"); err != nil {
+		panic(err)
+	}
+	svc.Start()
+	defer svc.Stop()
+	svc.Run(90 * time.Second)
+	if err := svc.Logout("alice"); err != nil {
+		panic(err)
+	}
+
+	for {
+		select {
+		case e := <-sub.Events():
+			if e.RoomName != "" {
+				fmt.Printf("%-12s %s in %s\n", e.Type, e.User, e.RoomName)
+			} else {
+				fmt.Printf("%-12s %s\n", e.Type, e.User)
+			}
+		default:
+			return
+		}
+	}
+	// Output:
+	// login        alice
+	// user-entered alice in Seminar Room
+	// logout       alice
 }

@@ -10,6 +10,7 @@ import (
 	"log"
 	"math/rand"
 
+	"bips"
 	"bips/internal/inquiry"
 	"bips/internal/sim"
 	"bips/internal/stats"
@@ -58,5 +59,13 @@ func run() error {
 		100*res.DiscoveredBy(sim.TicksPerSecond),
 		100*res.DiscoveredBy(6*sim.TicksPerSecond),
 		res.Collisions)
+
+	// These dynamics are what the production schedule is derived from.
+	pol := bips.PaperPolicy()
+	fmt.Printf("\n(Section 5 derives the deployment policy from them: a %.2fs slot\n"+
+		" per %.1fs cycle, ~%.0f%% per-slot coverage, %.0f%% tracking load —\n"+
+		" select it with bips.WithPolicy(bips.PaperPolicy()))\n",
+		pol.DiscoverySlot.Seconds(), pol.Cycle.Seconds(),
+		pol.ExpectedCoverage*100, pol.Load*100)
 	return nil
 }

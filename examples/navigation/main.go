@@ -1,6 +1,8 @@
-// Navigation: the shortest-path service in isolation — build a custom
-// building topology, precompute all pairs off-line (the paper's startup
-// procedure), and answer path queries between every pair of rooms.
+// Navigation: the shortest-path service in isolation — describe a custom
+// building with the public FloorPlan builder, compile it into a deployment
+// (all pairs precomputed off-line, the paper's startup procedure), and
+// answer path queries between every pair of rooms with PathBetween. No
+// internal packages, no tracking: pure topology.
 package main
 
 import (
@@ -8,8 +10,7 @@ import (
 	"log"
 	"strings"
 
-	"bips/internal/building"
-	"bips/internal/radio"
+	"bips"
 )
 
 func main() {
@@ -19,51 +20,56 @@ func main() {
 }
 
 func run() error {
-	// A small two-floor wing: ids 1-4 on the ground floor, 5-8 above,
-	// stairs connecting 2-6 (weights in meters; explicit where the
-	// walking distance differs from the Euclidean one).
-	rooms := []building.Room{
-		{ID: 1, Name: "Entrance", Center: radio.Point{X: 0, Y: 0}, Station: building.StationAddr(1)},
-		{ID: 2, Name: "Hall", Center: radio.Point{X: 15, Y: 0}, Station: building.StationAddr(2)},
-		{ID: 3, Name: "Archive", Center: radio.Point{X: 30, Y: 0}, Station: building.StationAddr(3)},
-		{ID: 4, Name: "Workshop", Center: radio.Point{X: 45, Y: 0}, Station: building.StationAddr(4)},
-		{ID: 5, Name: "Reading Room", Center: radio.Point{X: 0, Y: 20}, Station: building.StationAddr(5)},
-		{ID: 6, Name: "Stairs Landing", Center: radio.Point{X: 15, Y: 20}, Station: building.StationAddr(6)},
-		{ID: 7, Name: "Server Room", Center: radio.Point{X: 30, Y: 20}, Station: building.StationAddr(7)},
-		{ID: 8, Name: "Roof Lab", Center: radio.Point{X: 45, Y: 20}, Station: building.StationAddr(8)},
+	// A small two-floor wing: four rooms on the ground floor, four
+	// above, a staircase connecting Hall and Stairs Landing. Distances
+	// default to the Euclidean separation; the staircase is longer than
+	// the straight line, so it gets an explicit walking distance.
+	plan := bips.NewFloorPlan("two-floor-wing").
+		AddRoom("Entrance", 0, 0).
+		AddRoom("Hall", 15, 0).
+		AddRoom("Archive", 30, 0).
+		AddRoom("Workshop", 45, 0).
+		AddRoom("Reading Room", 0, 20).
+		AddRoom("Stairs Landing", 15, 20).
+		AddRoom("Server Room", 30, 20).
+		AddRoom("Roof Lab", 45, 20).
+		Connect("Entrance", "Hall").
+		Connect("Hall", "Archive").
+		Connect("Archive", "Workshop").
+		Connect("Reading Room", "Stairs Landing").
+		Connect("Stairs Landing", "Server Room").
+		Connect("Server Room", "Roof Lab").
+		ConnectDistance("Hall", "Stairs Landing", 28)
+	if err := plan.Validate(); err != nil {
+		return err
 	}
-	corridors := []building.Corridor{
-		{A: 1, B: 2}, {A: 2, B: 3}, {A: 3, B: 4},
-		{A: 5, B: 6}, {A: 6, B: 7}, {A: 7, B: 8},
-		// The staircase is longer than the straight-line distance.
-		{A: 2, B: 6, Distance: 28},
-	}
-	bld, err := building.New(rooms, corridors)
+
+	svc, err := bips.New(bips.WithBuilding(plan))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("topology: %d rooms, %d corridors, connected=%v\n",
-		bld.NumRooms(), bld.Graph().NumEdges(), bld.Graph().Connected())
+	fmt.Printf("floor plan %q: %d rooms, %d corridors\n",
+		plan.Name, len(plan.Rooms), len(plan.Corridors))
 
-	// All shortest paths were precomputed at construction; queries are
-	// table lookups (the paper: "the computation of the shortest path
+	// All shortest paths were precomputed at New; PathBetween is a
+	// table lookup (the paper: "the computation of the shortest path
 	// has no impact on BIPS online activities").
 	fmt.Println("\nfrom Entrance to every room:")
-	for _, r := range bld.Rooms() {
-		p, err := bld.ShortestPath(1, r.ID)
+	for _, room := range svc.Rooms() {
+		p, err := svc.PathBetween("Entrance", room)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("  %-15s %5.1f m  %s\n",
-			r.Name, float64(p.Total), strings.Join(bld.PathNames(p), " -> "))
+			room, p.Meters, strings.Join(p.RoomNames, " -> "))
 	}
 
 	// The staircase detour shows up in cross-floor paths.
-	p, err := bld.ShortestPath(4, 8)
+	p, err := svc.PathBetween("Workshop", "Roof Lab")
 	if err != nil {
 		return err
 	}
 	fmt.Printf("\nWorkshop -> Roof Lab (%.1f m): %s\n",
-		float64(p.Total), strings.Join(bld.PathNames(p), " -> "))
+		p.Meters, strings.Join(p.RoomNames, " -> "))
 	return nil
 }

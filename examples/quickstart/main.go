@@ -19,7 +19,10 @@ func main() {
 }
 
 func run() error {
-	svc, err := bips.New(bips.Config{Seed: 1})
+	// Functional options configure the deployment; with no options New
+	// uses the built-in academic department, seed 0, and the paper's
+	// 3.84 s / 15.4 s scheduling policy.
+	svc, err := bips.New(bips.WithSeed(1))
 	if err != nil {
 		return err
 	}
@@ -58,5 +61,13 @@ func run() error {
 	}
 	fmt.Printf("alice's shortest path to bob (%.0f m):\n  %s\n",
 		path.Meters, strings.Join(path.RoomNames, " -> "))
+
+	// Snapshot is the batch form of Locate: every logged-in user with a
+	// known fix, at one consistent simulated instant.
+	fmt.Println("\nsnapshot of everyone BIPS is tracking:")
+	for _, u := range svc.Snapshot() {
+		fmt.Printf("  %-6s %s  in %q (seen %v ago)\n",
+			u.User, u.Device, u.RoomName, u.Age.Truncate(time.Second))
+	}
 	return nil
 }

@@ -1,7 +1,10 @@
 // Tracking: the paper's motivating scenario — students, visitors and staff
 // walking around an academic department while BIPS tracks them room by
-// room. Shows handovers between cells, departures, and the delta-update
-// statistics of the central location database.
+// room. Instead of polling Locate and diffing, this example subscribes to
+// the service's event stream: every login and every presence delta the
+// workstations push into the central location database arrives as a typed
+// event with its simulated timestamp — handovers between cells, departures
+// out of coverage, all driven by the paper's delta-update design.
 package main
 
 import (
@@ -19,10 +22,13 @@ func main() {
 }
 
 func run() error {
-	svc, err := bips.New(bips.Config{Seed: 42})
+	svc, err := bips.New(bips.WithSeed(42))
 	if err != nil {
 		return err
 	}
+
+	sub := svc.Subscribe()
+	defer sub.Close()
 
 	people := []struct{ name, start string }{
 		{"professor", "Office A"},
@@ -40,26 +46,36 @@ func run() error {
 	svc.Start()
 	defer svc.Stop()
 
-	fmt.Println("t        person      cell")
-	fmt.Println("--------------------------------")
-	last := map[string]string{}
+	fmt.Println("t        event         person      cell")
+	fmt.Println("---------------------------------------------")
 	for i := 0; i < 20; i++ {
 		svc.Run(15 * time.Second)
-		for _, p := range people {
-			cell := "(out of coverage)"
-			if loc, err := svc.Locate("professor", p.name); err == nil {
-				cell = loc.RoomName
-			}
-			if cell != last[p.name] {
-				fmt.Printf("%-8s %-11s %s\n",
-					svc.Now().Truncate(time.Second), p.name, cell)
-				last[p.name] = cell
-			}
-		}
+		drain(sub)
 	}
 
-	fmt.Println("\nThe tracking above is driven purely by presence deltas:")
-	fmt.Println("workstations report only new presences and new absences,")
-	fmt.Println("the paper's load-reduction design (Section 2).")
+	fmt.Println("\nEvery line above is one presence delta: workstations report")
+	fmt.Println("only new presences and new absences, the paper's load-reduction")
+	fmt.Println("design (Section 2). The location database fans them out to")
+	fmt.Println("subscribers as typed events with simulated timestamps.")
 	return nil
+}
+
+// drain prints the events buffered during the last Run slice.
+func drain(sub *bips.Subscription) {
+	for {
+		select {
+		case e, ok := <-sub.Events():
+			if !ok {
+				return
+			}
+			cell := e.RoomName
+			if cell == "" {
+				cell = "-"
+			}
+			fmt.Printf("%-8s %-13s %-11s %s\n",
+				e.At.Truncate(time.Second), e.Type, e.User, cell)
+		default:
+			return
+		}
+	}
 }

@@ -1,0 +1,300 @@
+package bips
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"bips/internal/building"
+	"bips/internal/radio"
+)
+
+// ErrBadPlan reports an invalid floor plan.
+var ErrBadPlan = errors.New("bips: invalid floor plan")
+
+// defaultSpacing is the room spacing (meters) the generators fall back to
+// when none is given: the academic-department preset's 12 m grid, which
+// keeps adjacent 10 m coverage discs from containing each other's centers.
+const defaultSpacing = 12.0
+
+// FloorPlan is a declarative building description: named rooms at floor
+// coordinates and the corridors connecting them. It is the unit of
+// deployment topology in the public API — build one with AddRoom/Connect
+// (or the GridPlan/CorridorPlan generators, or LoadFloorPlan for JSON
+// files) and pass it to New via WithBuilding. The zero value is an empty
+// plan ready for AddRoom.
+//
+// Room names are the public identifiers used throughout the Service API
+// (AddStationaryUser, PathBetween, ...). Compilation assigns the internal
+// room ids and workstation radio addresses in declaration order.
+type FloorPlan struct {
+	// Name labels the plan (optional, informational).
+	Name string `json:"name,omitempty"`
+	// Rooms are the significant rooms, each hosting one workstation.
+	Rooms []PlanRoom `json:"rooms"`
+	// Corridors are the walkable connections between rooms.
+	Corridors []PlanCorridor `json:"corridors"`
+}
+
+// PlanRoom is one room of a FloorPlan.
+type PlanRoom struct {
+	Name string `json:"name"`
+	// X, Y position the room's workstation on the floor, in meters.
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// PlanCorridor connects two rooms of a FloorPlan by name.
+type PlanCorridor struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Distance is the walking distance in meters; zero means "use the
+	// Euclidean distance between the room positions".
+	Distance float64 `json:"distance,omitempty"`
+}
+
+// NewFloorPlan returns an empty named plan for fluent construction:
+//
+//	plan := bips.NewFloorPlan("wing-b").
+//		AddRoom("Entrance", 0, 0).
+//		AddRoom("Hall", 15, 0).
+//		Connect("Entrance", "Hall")
+func NewFloorPlan(name string) *FloorPlan {
+	return &FloorPlan{Name: name}
+}
+
+// AddRoom appends a room at (x, y) meters and returns the plan for
+// chaining.
+func (p *FloorPlan) AddRoom(name string, x, y float64) *FloorPlan {
+	p.Rooms = append(p.Rooms, PlanRoom{Name: name, X: x, Y: y})
+	return p
+}
+
+// Connect appends a corridor between two rooms at their Euclidean
+// distance and returns the plan for chaining.
+func (p *FloorPlan) Connect(from, to string) *FloorPlan {
+	p.Corridors = append(p.Corridors, PlanCorridor{From: from, To: to})
+	return p
+}
+
+// ConnectDistance appends a corridor with an explicit walking distance
+// (meters), for paths longer than the straight line — staircases, detours.
+func (p *FloorPlan) ConnectDistance(from, to string, meters float64) *FloorPlan {
+	p.Corridors = append(p.Corridors, PlanCorridor{From: from, To: to, Distance: meters})
+	return p
+}
+
+// Validate checks the plan: at least one room, unique non-empty room
+// names, corridors referencing existing rooms, no self-loops, no negative
+// distances. Compile validates implicitly; Validate is for early feedback
+// while assembling plans.
+func (p *FloorPlan) Validate() error {
+	if len(p.Rooms) == 0 {
+		return fmt.Errorf("%w: no rooms", ErrBadPlan)
+	}
+	seen := make(map[string]bool, len(p.Rooms))
+	for i, r := range p.Rooms {
+		if r.Name == "" {
+			return fmt.Errorf("%w: room %d has no name", ErrBadPlan, i)
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("%w: duplicate room name %q", ErrBadPlan, r.Name)
+		}
+		seen[r.Name] = true
+	}
+	for _, c := range p.Corridors {
+		if !seen[c.From] {
+			return fmt.Errorf("%w: corridor end %q is not a room", ErrBadPlan, c.From)
+		}
+		if !seen[c.To] {
+			return fmt.Errorf("%w: corridor end %q is not a room", ErrBadPlan, c.To)
+		}
+		if c.From == c.To {
+			return fmt.Errorf("%w: corridor %q-%q is a self-loop", ErrBadPlan, c.From, c.To)
+		}
+		if c.Distance < 0 {
+			return fmt.Errorf("%w: corridor %q-%q has negative distance", ErrBadPlan, c.From, c.To)
+		}
+	}
+	return nil
+}
+
+// Compile validates the plan and builds the immutable internal topology:
+// room ids and workstation addresses assigned in declaration order, the
+// navigation graph assembled, and all shortest paths precomputed (the
+// paper's off-line startup procedure). External callers normally never
+// need the result — pass the plan to WithBuilding instead; Compile is
+// exported for the in-module commands that wire internal components
+// directly.
+func (p *FloorPlan) Compile() (*building.Building, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ids := make(map[string]building.RoomID, len(p.Rooms))
+	rooms := make([]building.Room, 0, len(p.Rooms))
+	for i, r := range p.Rooms {
+		id := building.RoomID(i + 1)
+		ids[r.Name] = id
+		rooms = append(rooms, building.Room{
+			ID:      id,
+			Name:    r.Name,
+			Center:  radio.Point{X: r.X, Y: r.Y},
+			Station: building.StationAddr(i + 1),
+		})
+	}
+	corridors := make([]building.Corridor, 0, len(p.Corridors))
+	for _, c := range p.Corridors {
+		corridors = append(corridors, building.Corridor{
+			A: ids[c.From], B: ids[c.To], Distance: c.Distance,
+		})
+	}
+	bld, err := building.New(rooms, corridors)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPlan, err)
+	}
+	return bld, nil
+}
+
+// JSON renders the plan as indented JSON, the on-disk format read back by
+// LoadFloorPlan and the -plan flag of bips-sim and bips-server.
+func (p *FloorPlan) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("bips: encode plan: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// Save writes the plan as JSON to path.
+func (p *FloorPlan) Save(path string) error {
+	data, err := p.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ParseFloorPlan decodes a JSON plan and validates it.
+func ParseFloorPlan(data []byte) (*FloorPlan, error) {
+	var p FloorPlan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPlan, err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// LoadFloorPlan reads and validates a JSON plan file.
+func LoadFloorPlan(path string) (*FloorPlan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bips: load plan: %w", err)
+	}
+	p, err := ParseFloorPlan(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// GridPlan generates a cols x rows grid of rooms spaced spacing meters
+// apart, every room connected to its right and lower neighbors — the
+// floor shape of an open-plan office or exhibition hall. Rooms are named
+// "Room A1".."Room A<cols>" for the first row, "Room B1".. for the
+// second, and so on. A non-positive spacing selects the 12 m default.
+func GridPlan(cols, rows int, spacing float64) *FloorPlan {
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	if spacing <= 0 {
+		spacing = defaultSpacing
+	}
+	p := NewFloorPlan(fmt.Sprintf("grid-%dx%d", cols, rows))
+	name := func(row, col int) string {
+		return fmt.Sprintf("Room %s%d", rowLabel(row), col+1)
+	}
+	for row := 0; row < rows; row++ {
+		for col := 0; col < cols; col++ {
+			p.AddRoom(name(row, col), float64(col)*spacing, float64(row)*spacing)
+		}
+	}
+	for row := 0; row < rows; row++ {
+		for col := 0; col < cols; col++ {
+			if col+1 < cols {
+				p.Connect(name(row, col), name(row, col+1))
+			}
+			if row+1 < rows {
+				p.Connect(name(row, col), name(row+1, col))
+			}
+		}
+	}
+	return p
+}
+
+// rowLabel renders row indices as spreadsheet-style letters: A..Z, AA...
+func rowLabel(row int) string {
+	label := ""
+	for {
+		label = string(rune('A'+row%26)) + label
+		row = row/26 - 1
+		if row < 0 {
+			return label
+		}
+	}
+}
+
+// CorridorPlan generates n rooms in a single line spaced spacing meters
+// apart, each connected to the next — the long-hallway shape of a hotel
+// floor or a hospital ward. Rooms are named "Room 1".."Room <n>". A
+// non-positive spacing selects the 12 m default.
+func CorridorPlan(n int, spacing float64) *FloorPlan {
+	if n < 1 {
+		n = 1
+	}
+	if spacing <= 0 {
+		spacing = defaultSpacing
+	}
+	p := NewFloorPlan(fmt.Sprintf("corridor-%d", n))
+	name := func(i int) string { return fmt.Sprintf("Room %d", i+1) }
+	for i := 0; i < n; i++ {
+		p.AddRoom(name(i), float64(i)*spacing, 0)
+	}
+	for i := 0; i+1 < n; i++ {
+		p.Connect(name(i), name(i+1))
+	}
+	return p
+}
+
+// AcademicPlan returns the built-in academic-department preset as an
+// editable FloorPlan: two parallel five-room corridors with stairwell
+// cross-links, the environment the paper's introduction motivates. It
+// compiles to the exact building New deploys by default, so it is the
+// natural starting point for customized plans (and for -plan files:
+// AcademicPlan().Save("dept.json")).
+func AcademicPlan() *FloorPlan {
+	names := []string{
+		"Lobby", "Office A", "Office B", "Lab 1", "Lab 2",
+		"Library", "Seminar Room", "Office C", "Office D", "Cafeteria",
+	}
+	p := NewFloorPlan("academic-department")
+	for i, name := range names {
+		col := i % 5
+		row := i / 5
+		p.AddRoom(name, float64(col)*defaultSpacing, float64(row)*defaultSpacing)
+	}
+	// North corridor, south corridor, stairwell cross-links.
+	for _, pair := range [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4},
+		{5, 6}, {6, 7}, {7, 8}, {8, 9},
+		{0, 5}, {2, 7}, {4, 9},
+	} {
+		p.Connect(names[pair[0]], names[pair[1]])
+	}
+	return p
+}

@@ -1,0 +1,196 @@
+package bips
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"bips/internal/building"
+)
+
+// TestAcademicPlanGolden pins the on-disk JSON format: the academic
+// preset must serialize byte-for-byte to the committed golden file, so
+// accidental format changes (field renames, indentation) are caught.
+func TestAcademicPlanGolden(t *testing.T) {
+	got, err := AcademicPlan().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "academic_plan.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("AcademicPlan JSON drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestFloorPlanJSONRoundTrip(t *testing.T) {
+	orig := GridPlan(3, 2, 9).ConnectDistance("Room A1", "Room B3", 40)
+	data, err := orig.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseFloorPlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Errorf("round trip diverged:\norig %+v\nback %+v", orig, back)
+	}
+
+	// And through a file.
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := orig.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFloorPlan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, loaded) {
+		t.Errorf("file round trip diverged:\norig %+v\nback %+v", orig, loaded)
+	}
+}
+
+// TestAcademicPlanCompilesToPreset proves the public plan and the
+// internal preset describe the same building.
+func TestAcademicPlanCompilesToPreset(t *testing.T) {
+	fromPlan, err := AcademicPlan().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	preset, err := building.AcademicDepartment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromPlan.Rooms(), preset.Rooms()) {
+		t.Errorf("rooms diverged:\nplan   %+v\npreset %+v", fromPlan.Rooms(), preset.Rooms())
+	}
+	for _, a := range preset.Rooms() {
+		for _, b := range preset.Rooms() {
+			dp, err1 := fromPlan.Distance(a.ID, b.ID)
+			dq, err2 := preset.Distance(a.ID, b.ID)
+			if (err1 == nil) != (err2 == nil) || dp != dq {
+				t.Fatalf("distance %d-%d: plan %v/%v preset %v/%v", a.ID, b.ID, dp, err1, dq, err2)
+			}
+		}
+	}
+}
+
+func TestFloorPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan *FloorPlan
+	}{
+		{"empty", NewFloorPlan("x")},
+		{"unnamed room", NewFloorPlan("x").AddRoom("", 0, 0)},
+		{"duplicate room", NewFloorPlan("x").AddRoom("A", 0, 0).AddRoom("A", 1, 1)},
+		{"unknown corridor end", NewFloorPlan("x").AddRoom("A", 0, 0).Connect("A", "B")},
+		{"self loop", NewFloorPlan("x").AddRoom("A", 0, 0).Connect("A", "A")},
+		{"negative distance", NewFloorPlan("x").AddRoom("A", 0, 0).AddRoom("B", 1, 0).ConnectDistance("A", "B", -1)},
+	}
+	for _, tc := range cases {
+		if err := tc.plan.Validate(); !errors.Is(err, ErrBadPlan) {
+			t.Errorf("%s: err = %v, want ErrBadPlan", tc.name, err)
+		}
+		if _, err := tc.plan.Compile(); !errors.Is(err, ErrBadPlan) {
+			t.Errorf("%s: Compile err = %v, want ErrBadPlan", tc.name, err)
+		}
+	}
+}
+
+func TestGeneratorShapes(t *testing.T) {
+	g := GridPlan(3, 2, 9)
+	if len(g.Rooms) != 6 {
+		t.Errorf("grid rooms = %d, want 6", len(g.Rooms))
+	}
+	// Horizontal: (cols-1)*rows = 4, vertical: cols*(rows-1) = 3.
+	if len(g.Corridors) != 7 {
+		t.Errorf("grid corridors = %d, want 7", len(g.Corridors))
+	}
+	if g.Rooms[0].Name != "Room A1" || g.Rooms[5].Name != "Room B3" {
+		t.Errorf("grid names = %q..%q", g.Rooms[0].Name, g.Rooms[5].Name)
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+
+	c := CorridorPlan(5, 7)
+	if len(c.Rooms) != 5 || len(c.Corridors) != 4 {
+		t.Errorf("corridor shape = %d rooms, %d corridors", len(c.Rooms), len(c.Corridors))
+	}
+	if c.Rooms[4].X != 28 {
+		t.Errorf("corridor spacing: last room at x=%v, want 28", c.Rooms[4].X)
+	}
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+
+	// Degenerate inputs clamp instead of failing.
+	if p := GridPlan(0, 0, -1); len(p.Rooms) != 1 {
+		t.Errorf("clamped grid rooms = %d", len(p.Rooms))
+	}
+}
+
+func TestRowLabel(t *testing.T) {
+	for _, tc := range []struct {
+		row  int
+		want string
+	}{{0, "A"}, {25, "Z"}, {26, "AA"}, {27, "AB"}, {52, "BA"}} {
+		if got := rowLabel(tc.row); got != tc.want {
+			t.Errorf("rowLabel(%d) = %q, want %q", tc.row, got, tc.want)
+		}
+	}
+}
+
+// TestCustomPlanEndToEnd is the acceptance scenario: a building defined
+// entirely through the public FloorPlan API runs the full tracking
+// pipeline and answers locate and navigation queries.
+func TestCustomPlanEndToEnd(t *testing.T) {
+	plan := NewFloorPlan("clinic").
+		AddRoom("Reception", 0, 0).
+		AddRoom("Ward A", 12, 0).
+		AddRoom("Ward B", 24, 0).
+		AddRoom("Pharmacy", 24, 12).
+		Connect("Reception", "Ward A").
+		Connect("Ward A", "Ward B").
+		ConnectDistance("Ward B", "Pharmacy", 15)
+	svc, err := New(WithSeed(3), WithBuilding(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.MustRegister("nurse", "pw")
+	svc.MustRegister("patient", "pw")
+	if _, err := svc.AddStationaryUser("nurse", "pw", "Reception"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.AddStationaryUser("patient", "pw", "Pharmacy"); err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	defer svc.Stop()
+	svc.Run(90 * time.Second)
+
+	loc, err := svc.Locate("nurse", "patient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.RoomName != "Pharmacy" {
+		t.Errorf("patient located in %q", loc.RoomName)
+	}
+	path, err := svc.PathTo("nurse", "patient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 12.0 + 12 + 15; path.Meters != want {
+		t.Errorf("path = %+v, want %v m", path, want)
+	}
+	if path.RoomNames[0] != "Reception" || path.RoomNames[len(path.RoomNames)-1] != "Pharmacy" {
+		t.Errorf("path rooms = %v", path.RoomNames)
+	}
+}

@@ -126,6 +126,32 @@ func (b *Building) RoomOfStation(addr baseband.BDAddr) (RoomID, bool) {
 // NumRooms returns the number of rooms.
 func (b *Building) NumRooms() int { return len(b.rooms) }
 
+// Bounds returns the bounding box of the room centers. Callers sizing
+// mobility areas should add their own margin.
+func (b *Building) Bounds() (min, max radio.Point) {
+	first := true
+	for _, r := range b.rooms {
+		if first {
+			min, max = r.Center, r.Center
+			first = false
+			continue
+		}
+		if r.Center.X < min.X {
+			min.X = r.Center.X
+		}
+		if r.Center.Y < min.Y {
+			min.Y = r.Center.Y
+		}
+		if r.Center.X > max.X {
+			max.X = r.Center.X
+		}
+		if r.Center.Y > max.Y {
+			max.Y = r.Center.Y
+		}
+	}
+	return min, max
+}
+
 // Graph returns the navigation graph (callers must not mutate it).
 func (b *Building) Graph() *graph.Graph { return b.g }
 

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"bips/internal/baseband"
 	"bips/internal/building"
@@ -48,11 +49,26 @@ type SystemConfig struct {
 }
 
 // System is a fully wired BIPS deployment.
+//
+// Locking contract: the discrete-event kernel is single-threaded, so every
+// operation that advances or mutates it (Run, Start, Stop, AddMobile,
+// Login, Logout) takes mu for writing, while the read-only queries (Now,
+// Locate, PathTo, LocateAll) take it for reading and may therefore run
+// from many goroutines concurrently with one stepping goroutine. Run
+// releases the write lock between bounded step chunks so readers are never
+// starved for a whole simulated run. Direct access to the exported Kernel
+// and Medium fields is NOT synchronized; treat them as construction-time
+// wiring unless the system is quiescent. Building is immutable and always
+// safe. Server delegates to the registry and location database, which
+// carry their own locks.
 type System struct {
 	Kernel   *sim.Kernel
 	Medium   *radio.Medium
 	Building *building.Building
 	Server   *server.Server
+
+	// mu splits the step path (write) from the query path (read).
+	mu sync.RWMutex
 
 	cfg          SystemConfig
 	rng          *rand.Rand
@@ -122,15 +138,29 @@ func (s *System) Workstation(room graph.NodeID) (*workstation.Workstation, bool)
 	return ws, ok
 }
 
+// Cycle returns the workstation duty cycle the system was built with.
+func (s *System) Cycle() inquiry.DutyCycle { return s.cfg.Cycle }
+
 // RegisterUser runs the off-line registration procedure.
 func (s *System) RegisterUser(id registry.UserID, name, password string, rights ...registry.Right) error {
 	return s.Server.Registry().Register(id, name, password, rights...)
+}
+
+// NewWalker builds a random-waypoint walker under the system lock:
+// walker construction draws its first waypoint from the kernel RNG, which
+// must not race with the step path.
+func (s *System) NewWalker(cfg mobility.WalkerConfig) (*mobility.Walker, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return mobility.NewWalker(cfg, s.Kernel.Rand())
 }
 
 // AddMobile creates a handheld, registers its radio with every cell, and
 // returns it. The device answers inquiries from any workstation whose
 // coverage disc contains it.
 func (s *System) AddMobile(cfg device.Config) (*device.Mobile, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, dup := s.mobiles[cfg.Addr]; dup {
 		return nil, fmt.Errorf("core: device %v already added", cfg.Addr)
 	}
@@ -148,33 +178,102 @@ func (s *System) AddMobile(cfg device.Config) (*device.Mobile, error) {
 	return m, nil
 }
 
-// Login binds a registered user to a device address.
-func (s *System) Login(id registry.UserID, password string, dev baseband.BDAddr) error {
-	return s.Server.Login(wire.Login{
+// Login binds a registered user to a device address. A non-nil notify
+// runs under the system lock immediately after a successful bind, with
+// the simulated bind time — before the step path can reveal the device —
+// so callers can publish causally ordered notifications.
+func (s *System) Login(id registry.UserID, password string, dev baseband.BDAddr, notify func(at sim.Tick)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.Server.Login(wire.Login{
 		User:     string(id),
 		Password: password,
 		Device:   wire.FormatAddr(dev),
 	})
+	if err != nil {
+		return err
+	}
+	if notify != nil {
+		notify(s.Kernel.Now())
+	}
+	return nil
 }
 
-// Logout releases the binding and stops tracking the device.
-func (s *System) Logout(id registry.UserID) error {
-	return s.Server.Logout(wire.Logout{User: string(id)})
+// Logout releases the binding and stops tracking the device. notify runs
+// like Login's: under the lock, after success, before further deltas.
+func (s *System) Logout(id registry.UserID, notify func(at sim.Tick)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.Server.Logout(wire.Logout{User: string(id)}); err != nil {
+		return err
+	}
+	if notify != nil {
+		notify(s.Kernel.Now())
+	}
+	return nil
 }
 
-// Locate answers "where is user X" on behalf of the querier.
+// Locate answers "where is user X" on behalf of the querier. It is safe to
+// call from any goroutine, including while Run is stepping.
 func (s *System) Locate(querier, target registry.UserID) (wire.LocateResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.Server.Locate(wire.Locate{Querier: string(querier), Target: string(target)})
 }
 
 // PathTo answers the headline query: the shortest path the querier must
-// walk to reach the target user.
+// walk to reach the target user. Safe for concurrent use like Locate.
 func (s *System) PathTo(querier, target registry.UserID) (wire.PathResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.Server.Path(wire.PathQuery{Querier: string(querier), Target: string(target)})
+}
+
+// UserLocation is one entry of a LocateAll batch answer.
+type UserLocation struct {
+	User     registry.UserID
+	Device   baseband.BDAddr
+	Room     graph.NodeID
+	RoomName string
+	// At is the simulated tick the presence was recorded.
+	At sim.Tick
+}
+
+// LocateAll returns the position of every logged-in user with a known
+// fix, in ascending user order, together with the simulated time the
+// batch was taken at. It is an administrative snapshot: no per-user
+// access checks are applied. Safe for concurrent use like Locate.
+func (s *System) LocateAll() ([]UserLocation, sim.Tick) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	reg, db := s.Server.Registry(), s.Server.DB()
+	var out []UserLocation
+	for _, id := range reg.Online() {
+		dev, err := reg.DeviceOf(id)
+		if err != nil {
+			continue
+		}
+		fix, err := db.Locate(dev)
+		if err != nil {
+			// Logged in but not yet seen by any cell.
+			continue
+		}
+		name := ""
+		if r, ok := s.Building.Room(fix.Piconet); ok {
+			name = r.Name
+		}
+		out = append(out, UserLocation{
+			User: id, Device: dev,
+			Room: fix.Piconet, RoomName: name, At: fix.At,
+		})
+	}
+	return out, s.Kernel.Now()
 }
 
 // Start begins every workstation's operational cycle.
 func (s *System) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.running {
 		return
 	}
@@ -192,6 +291,8 @@ func (s *System) Start() {
 
 // Stop halts all workstations.
 func (s *System) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if !s.running {
 		return
 	}
@@ -201,13 +302,41 @@ func (s *System) Stop() {
 	}
 }
 
-// Run advances the simulation by d ticks.
+// runChunk bounds how long Run holds the write lock: one simulated second
+// of events per acquisition, so concurrent readers interleave with long
+// runs instead of waiting for the whole duration.
+const runChunk = sim.TicksPerSecond
+
+// Run advances the simulation by d ticks. It is intended for a single
+// stepping goroutine; queries may run concurrently from any number of
+// other goroutines. Chunking does not change the event order, so results
+// are identical with or without concurrent readers.
 func (s *System) Run(d sim.Tick) {
-	s.Kernel.RunUntil(s.Kernel.Now() + d)
+	s.mu.Lock()
+	target := s.Kernel.Now() + d
+	for {
+		now := s.Kernel.Now()
+		if now >= target {
+			s.mu.Unlock()
+			return
+		}
+		limit := target
+		if c := now + runChunk; c < target {
+			limit = c
+		}
+		s.Kernel.RunUntil(limit)
+		// Release briefly so pending readers get a turn.
+		s.mu.Unlock()
+		s.mu.Lock()
+	}
 }
 
-// Now returns the current simulated time.
-func (s *System) Now() sim.Tick { return s.Kernel.Now() }
+// Now returns the current simulated time. Safe for concurrent use.
+func (s *System) Now() sim.Tick {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.Kernel.Now()
+}
 
 // --- Section 5: scheduling-policy derivation ------------------------------
 

@@ -50,7 +50,7 @@ func TestStationaryUserIsTrackedAndLocated(t *testing.T) {
 	if _, err := s.AddMobile(device.Config{Addr: dev, Start: lobby.Center}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Login("bob", pw, dev); err != nil {
+	if err := s.Login("bob", pw, dev, nil); err != nil {
 		t.Fatal(err)
 	}
 	s.Start()
@@ -78,10 +78,10 @@ func TestPathBetweenTwoUsers(t *testing.T) {
 	if _, err := s.AddMobile(device.Config{Addr: devB, Start: cafeteria.Center}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Login("alice", pw, devA); err != nil {
+	if err := s.Login("alice", pw, devA, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Login("bob", pw, devB); err != nil {
+	if err := s.Login("bob", pw, devB, nil); err != nil {
 		t.Fatal(err)
 	}
 	s.Start()
@@ -116,7 +116,7 @@ func TestWalkingUserHandsOverBetweenCells(t *testing.T) {
 	if _, err := s.AddMobile(device.Config{Addr: dev, Walker: w}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Login("bob", pw, dev); err != nil {
+	if err := s.Login("bob", pw, dev, nil); err != nil {
 		t.Fatal(err)
 	}
 	s.Start()
@@ -142,7 +142,7 @@ func TestLogoutStopsTracking(t *testing.T) {
 	if _, err := s.AddMobile(device.Config{Addr: dev, Start: lobby.Center}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Login("bob", pw, dev); err != nil {
+	if err := s.Login("bob", pw, dev, nil); err != nil {
 		t.Fatal(err)
 	}
 	s.Start()
@@ -151,7 +151,7 @@ func TestLogoutStopsTracking(t *testing.T) {
 	if _, err := s.Locate("alice", "bob"); err != nil {
 		t.Fatalf("precondition: %v", err)
 	}
-	if err := s.Logout("bob"); err != nil {
+	if err := s.Logout("bob", nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := s.Locate("alice", "bob"); err == nil {
@@ -177,7 +177,7 @@ func TestSystemDeterminism(t *testing.T) {
 		if _, err := s.AddMobile(device.Config{Addr: dev, Start: lobby.Center}); err != nil {
 			t.Fatal(err)
 		}
-		if err := s.Login("bob", pw, dev); err != nil {
+		if err := s.Login("bob", pw, dev, nil); err != nil {
 			t.Fatal(err)
 		}
 		s.Start()

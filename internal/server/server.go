@@ -154,6 +154,19 @@ func (s *Server) Path(req wire.PathQuery) (wire.PathResult, error) {
 	}, nil
 }
 
+// RoomsInfo lists the building's rooms for the wire protocol's floor-plan
+// query.
+func (s *Server) RoomsInfo() wire.RoomsResult {
+	rooms := s.bld.Rooms()
+	out := wire.RoomsResult{Rooms: make([]wire.RoomInfo, 0, len(rooms))}
+	for _, r := range rooms {
+		out.Rooms = append(out.Rooms, wire.RoomInfo{
+			ID: r.ID, Name: r.Name, X: r.Center.X, Y: r.Center.Y,
+		})
+	}
+	return out
+}
+
 // --- Wire transport -------------------------------------------------------
 
 // errorCode maps business errors onto wire error codes.
@@ -272,6 +285,8 @@ func (s *Server) dispatch(env wire.Envelope) wire.Envelope {
 			return fail(err)
 		}
 		return ok(wire.MsgPathResult, res)
+	case wire.MsgRooms:
+		return ok(wire.MsgRoomsResult, s.RoomsInfo())
 	default:
 		return fail(fmt.Errorf("unknown message type %q", env.Type))
 	}

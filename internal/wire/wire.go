@@ -38,12 +38,16 @@ const (
 	MsgLocate MsgType = "locate"
 	// MsgPath asks for the shortest path to a user.
 	MsgPath MsgType = "path"
+	// MsgRooms asks for the server's floor plan.
+	MsgRooms MsgType = "rooms"
 	// MsgOK is the empty success response.
 	MsgOK MsgType = "ok"
 	// MsgLocateResult answers MsgLocate.
 	MsgLocateResult MsgType = "locate.result"
 	// MsgPathResult answers MsgPath.
 	MsgPathResult MsgType = "path.result"
+	// MsgRoomsResult answers MsgRooms.
+	MsgRoomsResult MsgType = "rooms.result"
 	// MsgError is the failure response.
 	MsgError MsgType = "error"
 )
@@ -105,6 +109,23 @@ type PathResult struct {
 	Rooms       []graph.NodeID `json:"rooms"`
 	Names       []string       `json:"names"`
 	TotalMeters float64        `json:"totalMeters"`
+}
+
+// RoomsQuery asks for the server's room list; it has no parameters.
+type RoomsQuery struct{}
+
+// RoomInfo describes one room of the server's building.
+type RoomInfo struct {
+	ID   graph.NodeID `json:"id"`
+	Name string       `json:"name"`
+	// X, Y are the workstation's floor coordinates in meters.
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// RoomsResult answers RoomsQuery with the rooms in ascending id order.
+type RoomsResult struct {
+	Rooms []RoomInfo `json:"rooms"`
 }
 
 // Error is the failure response body.

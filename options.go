@@ -1,0 +1,128 @@
+package bips
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bips/internal/building"
+	"bips/internal/inquiry"
+	"bips/internal/sim"
+)
+
+// ErrBadOption reports an invalid option value passed to New.
+var ErrBadOption = errors.New("bips: invalid option")
+
+// Option configures a Service at construction time. Options are applied
+// in order, so a later option overrides an earlier one. The deprecated
+// Config struct also satisfies Option, which keeps pre-options callers of
+// New compiling unchanged.
+type Option interface {
+	apply(*settings) error
+}
+
+// optionFunc adapts a function to the Option interface.
+type optionFunc func(*settings) error
+
+func (f optionFunc) apply(s *settings) error { return f(s) }
+
+// settings is the resolved construction state an Option mutates.
+type settings struct {
+	seed   int64
+	cycle  inquiry.DutyCycle
+	bld    *building.Building
+	radius float64
+}
+
+// WithSeed sets the root random seed. All randomness (radio phases,
+// backoffs, walkers) derives from it: identical seeds and identical call
+// sequences replay identically. The default seed is 0.
+func WithSeed(seed int64) Option {
+	return optionFunc(func(s *settings) error {
+		s.seed = seed
+		return nil
+	})
+}
+
+// WithDutyCycle overrides the workstation operational cycle: a discovery
+// slot of slot per cycle of period. Both must be positive and slot must
+// not exceed period. The default is the paper's 3.84 s / 15.4 s policy.
+func WithDutyCycle(slot, period time.Duration) Option {
+	return optionFunc(func(s *settings) error {
+		if slot <= 0 || period <= 0 {
+			return fmt.Errorf("%w: duty cycle %v/%v must be positive", ErrBadOption, slot, period)
+		}
+		s.cycle = inquiry.DutyCycle{
+			Inquiry: sim.FromDuration(slot),
+			Period:  sim.FromDuration(period),
+		}
+		return nil
+	})
+}
+
+// WithPolicy schedules the workstations with the given derived policy
+// (for example PaperPolicy, or a Policy built from other train-split
+// assumptions). It is shorthand for WithDutyCycle(p.DiscoverySlot,
+// p.Cycle).
+func WithPolicy(p Policy) Option {
+	return WithDutyCycle(p.DiscoverySlot, p.Cycle)
+}
+
+// WithBuilding deploys the service over the given floor plan instead of
+// the built-in academic department. The plan is compiled (validated, the
+// navigation graph built, all shortest paths precomputed) at New.
+func WithBuilding(plan *FloorPlan) Option {
+	return optionFunc(func(s *settings) error {
+		if plan == nil {
+			return fmt.Errorf("%w: nil floor plan", ErrBadOption)
+		}
+		bld, err := plan.Compile()
+		if err != nil {
+			return err
+		}
+		s.bld = bld
+		return nil
+	})
+}
+
+// WithCoverageRadius overrides the 10 m default workstation coverage
+// radius (in meters).
+func WithCoverageRadius(meters float64) Option {
+	return optionFunc(func(s *settings) error {
+		if meters <= 0 {
+			return fmt.Errorf("%w: coverage radius %v must be positive", ErrBadOption, meters)
+		}
+		s.radius = meters
+		return nil
+	})
+}
+
+// Config is the pre-options configuration form.
+//
+// Deprecated: use the functional options WithSeed, WithDutyCycle,
+// WithPolicy and WithBuilding instead. Config remains accepted by New —
+// it satisfies Option — so existing callers keep compiling.
+type Config struct {
+	// Seed drives all randomness (radio phases, backoffs, walkers).
+	Seed int64
+	// DiscoverySlot and CyclePeriod override the workstation duty
+	// cycle. Zero values select the paper's 3.84 s / 15.4 s policy.
+	DiscoverySlot time.Duration
+	CyclePeriod   time.Duration
+}
+
+// apply makes Config an Option: the deprecated shim maps the struct
+// fields onto the equivalent functional options.
+func (c Config) apply(s *settings) error {
+	s.seed = c.Seed
+	if c.DiscoverySlot != 0 || c.CyclePeriod != 0 {
+		// Preserve the historical behavior exactly: the pair is passed
+		// through unvalidated here and rejected by the core validator,
+		// so callers relying on New's error keep getting it.
+		s.cycle = inquiry.DutyCycle{
+			Inquiry: sim.FromDuration(c.DiscoverySlot),
+			Period:  sim.FromDuration(c.CyclePeriod),
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package bips
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNewDefaults(t *testing.T) {
+	svc, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot, period := svc.DutyCycle()
+	pol := PaperPolicy()
+	if slot != pol.DiscoverySlot || period != pol.Cycle {
+		t.Errorf("default duty cycle = %v/%v, want paper policy %v/%v",
+			slot, period, pol.DiscoverySlot, pol.Cycle)
+	}
+	if rooms := svc.Rooms(); len(rooms) != 10 {
+		t.Errorf("default building rooms = %v", rooms)
+	}
+}
+
+func TestWithDutyCycleOverride(t *testing.T) {
+	svc, err := New(WithSeed(5), WithDutyCycle(time.Second, 5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot, period := svc.DutyCycle()
+	if slot != time.Second || period != 5*time.Second {
+		t.Errorf("duty cycle = %v/%v, want 1s/5s", slot, period)
+	}
+}
+
+func TestWithPolicy(t *testing.T) {
+	svc, err := New(WithPolicy(PaperPolicy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot, period := svc.DutyCycle()
+	if slot != PaperPolicy().DiscoverySlot || period != PaperPolicy().Cycle {
+		t.Errorf("duty cycle = %v/%v", slot, period)
+	}
+}
+
+func TestOptionOrdering(t *testing.T) {
+	// Later options override earlier ones.
+	svc, err := New(WithSeed(1), WithSeed(2),
+		WithDutyCycle(time.Second, 10*time.Second),
+		WithDutyCycle(2*time.Second, 20*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot, period := svc.DutyCycle()
+	if slot != 2*time.Second || period != 20*time.Second {
+		t.Errorf("duty cycle = %v/%v, want the later 2s/20s", slot, period)
+	}
+}
+
+func TestBadOptionsRejected(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Option
+	}{
+		{"negative slot", WithDutyCycle(-time.Second, 5*time.Second)},
+		{"zero period", WithDutyCycle(time.Second, 0)},
+		{"nil plan", WithBuilding(nil)},
+		{"zero radius", WithCoverageRadius(0)},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.opt); !errors.Is(err, ErrBadOption) {
+			t.Errorf("%s: err = %v, want ErrBadOption", tc.name, err)
+		}
+	}
+	// Slot > period is rejected by the core cycle validator.
+	if _, err := New(WithDutyCycle(10*time.Second, time.Second)); err == nil {
+		t.Error("slot > period accepted")
+	}
+}
+
+// TestConfigShimEquivalence proves the deprecated Config form configures
+// the exact same deployment as the functional options.
+func TestConfigShimEquivalence(t *testing.T) {
+	run := func(svc *Service) string {
+		svc.MustRegister("alice", "pw")
+		svc.MustRegister("bob", "pw")
+		if _, err := svc.AddStationaryUser("bob", "pw", "Lab 1"); err != nil {
+			t.Fatal(err)
+		}
+		svc.Start()
+		defer svc.Stop()
+		svc.Run(90 * time.Second)
+		loc, err := svc.Locate("alice", "bob")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return loc.RoomName + loc.Age.String()
+	}
+
+	old, err := New(Config{Seed: 11, DiscoverySlot: time.Second, CyclePeriod: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modern, err := New(WithSeed(11), WithDutyCycle(time.Second, 5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := run(old), run(modern); a != b {
+		t.Errorf("Config shim diverged from options: %q vs %q", a, b)
+	}
+}
+
+func TestWithBuildingCustomRooms(t *testing.T) {
+	svc, err := New(WithBuilding(CorridorPlan(4, 12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rooms := svc.Rooms()
+	want := []string{"Room 1", "Room 2", "Room 3", "Room 4"}
+	if len(rooms) != len(want) {
+		t.Fatalf("rooms = %v", rooms)
+	}
+	for i, r := range rooms {
+		if r != want[i] {
+			t.Errorf("rooms[%d] = %q, want %q", i, r, want[i])
+		}
+	}
+	p, err := svc.PathBetween("Room 1", "Room 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Meters != 36 {
+		t.Errorf("corridor end-to-end = %v m, want 36", p.Meters)
+	}
+}
