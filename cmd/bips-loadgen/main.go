@@ -1,0 +1,101 @@
+// Command bips-loadgen drives a BIPS central server with K concurrent
+// clients at a target request rate and reports throughput and latency
+// percentiles. It is the measuring stick of the serving layer: every
+// scaling change is judged by what this tool reports (see
+// docs/OPERATIONS.md for the benchmark recipe).
+//
+//	bips-server -listen :7700 -loadgen-users 16 &
+//	bips-loadgen -server 127.0.0.1:7700 -clients 8 -qps 50000 -duration 10s -mode mixed
+//	bips-loadgen -server 127.0.0.1:7700 -mode locate -users 16 -batch 32
+//
+// With -qps 0 the generator runs unthrottled and reports the saturation
+// throughput. -mode rooms needs no server-side setup; -mode locate and
+// -mode mixed need the server started with -loadgen-users >= -users.
+// -stats additionally fetches the server's MsgStats snapshot after the
+// run.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"bips/internal/loadgen"
+	"bips/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal("bips-loadgen: ", err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bips-loadgen", flag.ContinueOnError)
+	var (
+		serverAddr = fs.String("server", "127.0.0.1:7700", "central server address")
+		clients    = fs.Int("clients", 4, "concurrent connections")
+		pipeline   = fs.Int("pipeline", 8, "concurrent in-flight calls per connection")
+		qps        = fs.Float64("qps", 0, "target aggregate requests/second (0 = unthrottled)")
+		duration   = fs.Duration("duration", 5*time.Second, "run length")
+		mode       = fs.String("mode", "rooms", "request mix: rooms | locate | mixed")
+		batch      = fs.Int("batch", 1, "sub-requests per MsgBatch envelope (1 = no batching)")
+		users      = fs.Int("users", 8, "synthetic users for locate/mixed (server needs -loadgen-users >= this)")
+		password   = fs.String("password", "loadgen", "synthetic users' password")
+		useV1      = fs.Bool("v1", false, "use wire protocol v1 (newline JSON) instead of v2 frames")
+		seed       = fs.Int64("seed", 1, "request-mix random seed")
+		stats      = fs.Bool("stats", false, "fetch and print the server's MsgStats after the run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := loadgen.Config{
+		Addr:     *serverAddr,
+		Clients:  *clients,
+		Pipeline: *pipeline,
+		QPS:      *qps,
+		Duration: *duration,
+		Mode:     loadgen.Mode(*mode),
+		Batch:    *batch,
+		Users:    *users,
+		Password: *password,
+		V1:       *useV1,
+		Seed:     *seed,
+	}
+	log.Printf("driving %s: %d conns x %d pipeline, mode=%s batch=%d qps=%v for %v",
+		cfg.Addr, *clients, *pipeline, *mode, *batch, *qps, *duration)
+	rep, err := loadgen.Run(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+
+	if *stats {
+		if err := printStats(*serverAddr); err != nil {
+			return fmt.Errorf("stats: %w", err)
+		}
+	}
+	return nil
+}
+
+// printStats fetches and renders the server's metrics snapshot.
+func printStats(addr string) error {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	client := wire.NewClient(wire.NewFrameCodec(conn))
+	defer client.Close()
+	var res wire.StatsResult
+	if err := client.Call(wire.MsgStats, wire.StatsQuery{}, &res); err != nil {
+		return err
+	}
+	fmt.Println("\nserver stats:")
+	wire.PrintStats(os.Stdout, res)
+	return nil
+}

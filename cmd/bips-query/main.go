@@ -6,10 +6,14 @@
 //	bips-query -server 127.0.0.1:7700 path alice bob
 //	bips-query -server 127.0.0.1:7700 rooms
 //	bips-query -server 127.0.0.1:7700 logout alice
+//	bips-query -server 127.0.0.1:7700 -stats
 //
 // -timeout (default 5s) bounds the whole exchange — dial, request and
 // response — so an unreachable or wedged server fails fast instead of
-// hanging.
+// hanging. -stats fetches and prints the server's metrics snapshot (the
+// MsgStats query of docs/PROTOCOL.md) after the subcommand, or on its own
+// when no subcommand is given. -v1 forces the newline-JSON wire protocol
+// v1; the default is v2 length-prefixed frames.
 package main
 
 import (
@@ -31,18 +35,20 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: bips-query [-server addr] [-timeout d] {login user pw dev | logout user | locate querier target | path querier target | rooms}")
+	return fmt.Errorf("usage: bips-query [-server addr] [-timeout d] [-v1] [-stats] {login user pw dev | logout user | locate querier target | path querier target | rooms}")
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("bips-query", flag.ContinueOnError)
 	serverAddr := fs.String("server", "127.0.0.1:7700", "central server address")
 	timeout := fs.Duration("timeout", 5*time.Second, "dial + exchange timeout (0 waits forever)")
+	stats := fs.Bool("stats", false, "fetch and print the server's metrics snapshot")
+	useV1 := fs.Bool("v1", false, "use wire protocol v1 (newline JSON) instead of v2 frames")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
-	if len(rest) == 0 {
+	if len(rest) == 0 && !*stats {
 		return usage()
 	}
 
@@ -59,9 +65,17 @@ func run(args []string) error {
 			return err
 		}
 	}
-	client := wire.NewClient(wire.NewCodec(conn))
+	var client *wire.Client
+	if *useV1 {
+		client = wire.NewClient(wire.NewCodec(conn))
+	} else {
+		client = wire.NewClient(wire.NewFrameCodec(conn))
+	}
 	defer client.Close()
 
+	if len(rest) == 0 {
+		return printStats(client)
+	}
 	switch rest[0] {
 	case "login":
 		if len(rest) != 4 {
@@ -120,5 +134,20 @@ func run(args []string) error {
 	default:
 		return usage()
 	}
+	if *stats {
+		fmt.Println()
+		return printStats(client)
+	}
+	return nil
+}
+
+// printStats fetches the server's metrics snapshot over the open
+// connection and renders it.
+func printStats(client *wire.Client) error {
+	var res wire.StatsResult
+	if err := client.Call(wire.MsgStats, wire.StatsQuery{}, &res); err != nil {
+		return err
+	}
+	wire.PrintStats(os.Stdout, res)
 	return nil
 }

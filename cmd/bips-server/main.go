@@ -6,9 +6,17 @@
 //
 //	bips-server -listen :7700 -user alice:secret -user bob:secret
 //	bips-server -plan museum.json -user guide:secret
+//	bips-server -shards 32 -inflight 128 -loadgen-users 16
 //
 // Workstations (bips-station) connect and push presence deltas; clients
-// (bips-query) log users in and ask locate/path/rooms queries.
+// (bips-query) log users in and ask locate/path/rooms queries, over wire
+// protocol v1 or v2 (sniffed per connection, see docs/PROTOCOL.md).
+//
+// -shards splits the location database into independently locked shards
+// (default 16); -inflight bounds concurrently executing requests per
+// connection; -loadgen-users N registers the synthetic users user0..N-1
+// with password "loadgen" that bips-loadgen's locate/mixed modes expect.
+// Tuning guidance lives in docs/OPERATIONS.md.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 
 	"bips"
 	"bips/internal/building"
+	"bips/internal/loadgen"
 	"bips/internal/locdb"
 	"bips/internal/registry"
 	"bips/internal/server"
@@ -48,6 +57,9 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("bips-server", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7700", "TCP listen address")
 	planPath := fs.String("plan", "", "floor-plan JSON file (default: built-in academic department)")
+	shards := fs.Int("shards", locdb.DefaultShards, "location-database shard count")
+	inflight := fs.Int("inflight", server.DefaultMaxInFlight, "max concurrently executing requests per connection")
+	loadgenUsers := fs.Int("loadgen-users", 0, `register N synthetic users user0..userN-1 (password "loadgen") for bips-loadgen`)
 	var users userList
 	fs.Var(&users, "user", "register user:password (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -67,13 +79,28 @@ func run(args []string) error {
 		}
 		log.Printf("registered user %q", parts[0])
 	}
+	for i := 0; i < *loadgenUsers; i++ {
+		name := loadgen.UserName(i)
+		if err := reg.Register(registry.UserID(name), name, "loadgen",
+			registry.RightLocate, registry.RightTrackable); err != nil {
+			return err
+		}
+	}
+	if *loadgenUsers > 0 {
+		log.Printf("registered %d loadgen users", *loadgenUsers)
+	}
 
-	srv := server.New(reg, locdb.New(), bld)
+	db, err := locdb.NewSharded(*shards, locdb.DefaultHistoryLimit)
+	if err != nil {
+		return err
+	}
+	srv := server.New(reg, db, bld, server.WithMaxInFlight(*inflight))
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
-	log.Printf("BIPS central server listening on %s (%d rooms)", l.Addr(), bld.NumRooms())
+	log.Printf("BIPS central server listening on %s (%d rooms, %d locdb shards, %d in-flight/conn)",
+		l.Addr(), bld.NumRooms(), db.NumShards(), srv.MaxInFlight())
 	return srv.Serve(l)
 }
 

@@ -1,0 +1,86 @@
+package bips_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches [text](target) markdown links. Image links and inline
+// code are close enough in shape that targets are filtered afterwards.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsLinks is the link checker CI runs over README.md and docs/:
+// every relative link in the project documentation must point at a file
+// that exists in the repository. External links (http/https) and pure
+// anchors are not checked.
+func TestDocsLinks(t *testing.T) {
+	files := []string{"README.md"}
+	entries, err := os.ReadDir("docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".md") {
+			files = append(files, filepath.Join("docs", e.Name()))
+		}
+	}
+	if len(files) < 4 {
+		t.Fatalf("expected README + at least 3 docs, found %v", files)
+	}
+
+	checked := 0
+	for _, file := range files {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			// Strip a section anchor from relative links.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s links to %q, which does not resolve (%s)", file, m[1], resolved)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Error("link checker found no relative links at all — regexp broken?")
+	}
+}
+
+// TestDocsCrossReferences: the three core docs must cross-link each
+// other and README must reach all of them, so a reader can navigate the
+// doc set from any entry point.
+func TestDocsCrossReferences(t *testing.T) {
+	wantLinks := map[string][]string{
+		"README.md":            {"docs/PROTOCOL.md", "docs/OPERATIONS.md", "docs/ARCHITECTURE.md"},
+		"docs/PROTOCOL.md":     {"ARCHITECTURE.md", "OPERATIONS.md"},
+		"docs/OPERATIONS.md":   {"PROTOCOL.md", "ARCHITECTURE.md"},
+		"docs/ARCHITECTURE.md": {"PROTOCOL.md", "OPERATIONS.md"},
+	}
+	for file, targets := range wantLinks {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, target := range targets {
+			if !strings.Contains(string(raw), "("+target) {
+				t.Errorf("%s does not link to %s", file, target)
+			}
+		}
+	}
+}

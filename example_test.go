@@ -74,6 +74,37 @@ func ExampleFloorPlan() {
 	// West Wing -> Vault: 48 m via [West Wing Foyer East Wing Vault]
 }
 
+// ExampleWithShards deploys the service with a sharded central location
+// database: presence deltas and location queries for different devices
+// take independent shard locks instead of contending on one mutex, which
+// is what lets a campus-scale server saturate its cores. Sharding never
+// changes query answers — only who waits on which lock.
+func ExampleWithShards() {
+	svc, err := bips.New(bips.WithSeed(1), bips.WithShards(32))
+	if err != nil {
+		panic(err)
+	}
+	svc.MustRegister("alice", "secret")
+	svc.MustRegister("bob", "secret")
+	if _, err := svc.AddStationaryUser("alice", "secret", "Lobby"); err != nil {
+		panic(err)
+	}
+	if _, err := svc.AddStationaryUser("bob", "secret", "Library"); err != nil {
+		panic(err)
+	}
+	svc.Start()
+	defer svc.Stop()
+	svc.Run(90 * time.Second)
+
+	loc, err := svc.Locate("alice", "bob")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("bob is in the", loc.RoomName, "(same answer on any shard count)")
+	// Output:
+	// bob is in the Library (same answer on any shard count)
+}
+
 // ExampleService_Subscribe consumes the typed event stream: logins and
 // the presence deltas the workstations feed into the central location
 // database, each stamped with its simulated time.

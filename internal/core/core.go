@@ -46,6 +46,9 @@ type SystemConfig struct {
 	Cycle inquiry.DutyCycle
 	// CoverageRadius overrides the 10 m default when non-zero.
 	CoverageRadius float64
+	// Shards is the location-database shard count; 0 selects
+	// locdb.DefaultShards.
+	Shards int
 }
 
 // System is a fully wired BIPS deployment.
@@ -106,7 +109,15 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		workstations: make(map[graph.NodeID]*workstation.Workstation),
 		mobiles:      make(map[baseband.BDAddr]*device.Mobile),
 	}
-	s.Server = server.New(registry.New(), locdb.New(), bld)
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = locdb.DefaultShards
+	}
+	db, err := locdb.NewSharded(shards, locdb.DefaultHistoryLimit)
+	if err != nil {
+		return nil, err
+	}
+	s.Server = server.New(registry.New(), db, bld)
 
 	for _, room := range bld.Rooms() {
 		room := room
@@ -243,19 +254,21 @@ type UserLocation struct {
 // fix, in ascending user order, together with the simulated time the
 // batch was taken at. It is an administrative snapshot: no per-user
 // access checks are applied. Safe for concurrent use like Locate.
+//
+// It reads the location database through the per-shard snapshot path
+// (locdb.DB.All), so repeated snapshot polling on a quiescent building is
+// lock-free instead of taking one read lock per online user.
 func (s *System) LocateAll() ([]UserLocation, sim.Tick) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	reg, db := s.Server.Registry(), s.Server.DB()
-	var out []UserLocation
-	for _, id := range reg.Online() {
-		dev, err := reg.DeviceOf(id)
+	fixes := db.All()
+	out := make([]UserLocation, 0, len(fixes))
+	for _, fix := range fixes {
+		id, err := reg.UserOf(fix.Device)
 		if err != nil {
-			continue
-		}
-		fix, err := db.Locate(dev)
-		if err != nil {
-			// Logged in but not yet seen by any cell.
+			// A fix can outlive its binding only transiently; skip it
+			// like the anonymous devices the server never tracks.
 			continue
 		}
 		name := ""
@@ -263,10 +276,11 @@ func (s *System) LocateAll() ([]UserLocation, sim.Tick) {
 			name = r.Name
 		}
 		out = append(out, UserLocation{
-			User: id, Device: dev,
+			User: id, Device: fix.Device,
 			Room: fix.Piconet, RoomName: name, At: fix.At,
 		})
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
 	return out, s.Kernel.Now()
 }
 

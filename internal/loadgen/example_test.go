@@ -1,0 +1,65 @@
+package loadgen_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"bips/internal/building"
+	"bips/internal/loadgen"
+	"bips/internal/locdb"
+	"bips/internal/registry"
+	"bips/internal/server"
+)
+
+// ExampleRun drives an in-process BIPS server with the mixed workload
+// (presence deltas + locate queries, batched over pipelined v2
+// connections) and reports what completed. Against a remote server only
+// the Addr changes — and the server must pre-register the synthetic users
+// (bips-server -loadgen-users).
+func ExampleRun() {
+	// An in-process server standing in for `bips-server -loadgen-users 4`.
+	bld, err := building.AcademicDepartment()
+	if err != nil {
+		panic(err)
+	}
+	reg := registry.New()
+	for i := 0; i < 4; i++ {
+		name := loadgen.UserName(i)
+		if err := reg.Register(registry.UserID(name), name, "loadgen",
+			registry.RightLocate, registry.RightTrackable); err != nil {
+			panic(err)
+		}
+	}
+	db, err := locdb.NewSharded(8, locdb.DefaultHistoryLimit)
+	if err != nil {
+		panic(err)
+	}
+	srv := server.New(reg, db, bld)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		Addr:     l.Addr().String(),
+		Clients:  2,
+		Pipeline: 4,
+		Mode:     loadgen.ModeMixed,
+		Batch:    8,
+		Users:    4,
+		Duration: 200 * time.Millisecond,
+		Seed:     1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("completed some requests:", rep.Requests > 0)
+	fmt.Println("errors:", rep.Errors)
+	// Output:
+	// completed some requests: true
+	// errors: 0
+}

@@ -1,0 +1,395 @@
+// Package loadgen is the BIPS load-generator client: it drives a central
+// server with K concurrent connections at a target aggregate request rate
+// and reports throughput and latency percentiles. It exists so every
+// scaling change to the serving layer can measure itself against the same
+// workload; cmd/bips-loadgen is the command-line wrapper and
+// docs/OPERATIONS.md holds the benchmark recipe.
+//
+// The generator opens Clients persistent connections (wire v2 frames by
+// default, v1 JSON lines with V1), runs Pipeline concurrent callers per
+// connection so requests are pipelined on the socket, and paces each
+// caller to its share of the aggregate QPS target. Latency is measured
+// per envelope round trip; with Batch > 1 each envelope carries that many
+// batched sub-requests, which all count toward the request total.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bips/internal/baseband"
+	"bips/internal/metrics"
+	"bips/internal/wire"
+)
+
+// Mode selects the request mix.
+type Mode string
+
+// Request mixes.
+const (
+	// ModeRooms issues floor-plan queries: pure reads with no setup
+	// requirements, the simplest smoke workload.
+	ModeRooms Mode = "rooms"
+	// ModeLocate issues locate queries between the synthetic users; the
+	// generator logs them in and places them during setup.
+	ModeLocate Mode = "locate"
+	// ModeMixed interleaves presence deltas (one third) with locate
+	// queries (two thirds) — the paper's serving mix at campus scale.
+	ModeMixed Mode = "mixed"
+)
+
+// Config parameterizes a load-generation run.
+type Config struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Clients is the number of persistent connections (default 4).
+	Clients int
+	// Pipeline is the number of concurrent callers per connection
+	// (default 8); each caller keeps one request in flight, so
+	// Clients*Pipeline bounds total in-flight requests.
+	Pipeline int
+	// QPS is the target aggregate request rate; 0 runs unthrottled.
+	QPS float64
+	// Duration bounds the run (default 5s).
+	Duration time.Duration
+	// Mode is the request mix (default ModeRooms).
+	Mode Mode
+	// Batch > 1 wraps that many sub-requests into each MsgBatch
+	// envelope.
+	Batch int
+	// V1 selects the newline-JSON protocol instead of v2 frames.
+	V1 bool
+	// Users is the number of synthetic users for ModeLocate/ModeMixed
+	// (default 8). They must be pre-registered on the server as
+	// "user0".."userN-1" with Password — bips-server's -loadgen-users
+	// flag does exactly that.
+	Users int
+	// Password is the synthetic users' password (default "loadgen").
+	Password string
+	// Seed drives the request randomness (which user locates whom).
+	Seed int64
+}
+
+func (c *Config) fill() error {
+	if c.Addr == "" {
+		return errors.New("loadgen: no server address")
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Mode == "" {
+		c.Mode = ModeRooms
+	}
+	switch c.Mode {
+	case ModeRooms, ModeLocate, ModeMixed:
+	default:
+		return fmt.Errorf("loadgen: unknown mode %q", c.Mode)
+	}
+	if c.Batch < 1 {
+		c.Batch = 1
+	}
+	if c.Users <= 0 {
+		c.Users = 8
+	}
+	if c.Password == "" {
+		c.Password = "loadgen"
+	}
+	return nil
+}
+
+// UserName returns the i-th synthetic user id, the naming contract
+// between the generator and server-side registration.
+func UserName(i int) string { return fmt.Sprintf("user%d", i) }
+
+// UserDevice returns the i-th synthetic user's device address.
+func UserDevice(i int) baseband.BDAddr {
+	return baseband.BDAddr(0xE000_0000_0000 + uint64(i+1))
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	// Requests counts completed requests; batched sub-requests count
+	// individually.
+	Requests int64
+	// Errors counts failed calls (transport or MsgError).
+	Errors int64
+	// Elapsed is the measured wall time of the request phase.
+	Elapsed time.Duration
+	// QPS is Requests/Elapsed.
+	QPS float64
+	// Latency percentiles of the envelope round trip.
+	P50, P90, P99, Max, Mean time.Duration
+}
+
+// String renders the report as the one block bips-loadgen prints.
+func (r Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "requests   %d\n", r.Requests)
+	fmt.Fprintf(&sb, "errors     %d\n", r.Errors)
+	fmt.Fprintf(&sb, "elapsed    %v\n", r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&sb, "throughput %.0f req/s\n", r.QPS)
+	fmt.Fprintf(&sb, "latency    p50=%v p90=%v p99=%v max=%v mean=%v",
+		r.P50, r.P90, r.P99, r.Max, r.Mean)
+	return sb.String()
+}
+
+// setupGrace bounds how long setup plus final drain may take on top of
+// the configured Duration before a wedged server is given up on. A var
+// so tests can shrink it.
+var setupGrace = 15 * time.Second
+
+// Run executes one load-generation run against the server at cfg.Addr.
+// Setup (login + initial placement for the locate modes) happens before
+// the clock starts; cancelling the context aborts the run. Run always
+// returns within roughly Duration + 2*setupGrace even against a server
+// that accepts connections but never answers: past that hard deadline
+// (or on ctx cancellation) the connections are force-closed, which
+// unblocks every pending call.
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	if err := cfg.fill(); err != nil {
+		return Report{}, err
+	}
+
+	clients := make([]*wire.Client, cfg.Clients)
+	for i := range clients {
+		c, err := dial(cfg)
+		if err != nil {
+			for _, prev := range clients[:i] {
+				prev.Close()
+			}
+			return Report{}, err
+		}
+		clients[i] = c
+	}
+	var closeOnce sync.Once
+	closeAll := func() {
+		closeOnce.Do(func() {
+			for _, c := range clients {
+				c.Close()
+			}
+		})
+	}
+	defer closeAll()
+	// Abort watcher: caller cancellation or the hard deadline closes the
+	// connections while setup or workers may be blocked in calls.
+	hardCtx, hardCancel := context.WithTimeout(ctx, cfg.Duration+2*setupGrace)
+	defer hardCancel()
+	go func() {
+		<-hardCtx.Done()
+		closeAll()
+	}()
+
+	rooms, err := setup(cfg, clients[0])
+	if err != nil {
+		if hErr := hardCtx.Err(); hErr != nil {
+			return Report{}, fmt.Errorf("loadgen: setup aborted (%v): %w", hErr, err)
+		}
+		return Report{}, err
+	}
+
+	var (
+		requests atomic.Int64
+		errCount atomic.Int64
+		hist     metrics.Histogram
+	)
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	workers := cfg.Clients * cfg.Pipeline
+	// Each worker paces itself to its share of the aggregate target:
+	// worker w's n-th request is due at start + n*interval.
+	var interval time.Duration
+	if cfg.QPS > 0 {
+		perWorker := cfg.QPS / float64(workers)
+		interval = time.Duration(float64(time.Second) * float64(cfg.Batch) / perWorker)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		client := clients[w%cfg.Clients]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			for n := int64(0); ; n++ {
+				if interval > 0 {
+					due := start.Add(time.Duration(n) * interval)
+					if d := time.Until(due); d > 0 {
+						select {
+						case <-runCtx.Done():
+							return
+						case <-time.After(d):
+						}
+					}
+				}
+				if runCtx.Err() != nil {
+					return
+				}
+				t0 := time.Now()
+				done, err := issue(cfg, client, rng, rooms)
+				hist.ObserveDuration(time.Since(t0))
+				requests.Add(done)
+				if err != nil {
+					errCount.Add(1)
+					// A top-level *wire.Error is a served response; any
+					// other error is transport-level (EOF, closed, write
+					// failure) and the connection is dead — every further
+					// call would fail instantly, turning the rest of the
+					// run into a busy error loop. Stop this worker.
+					var werr *wire.Error
+					if !errors.As(err, &werr) {
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := hist.Snapshot()
+	toDur := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+	rep := Report{
+		Requests: requests.Load(),
+		Errors:   errCount.Load(),
+		Elapsed:  elapsed,
+		P50:      toDur(snap.Quantile(0.50)),
+		P90:      toDur(snap.Quantile(0.90)),
+		P99:      toDur(snap.Quantile(0.99)),
+		Max:      toDur(snap.Max),
+		Mean:     toDur(snap.Mean()),
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(rep.Requests) / elapsed.Seconds()
+	}
+	return rep, nil
+}
+
+func dial(cfg Config) (*wire.Client, error) {
+	conn, err := net.DialTimeout("tcp", cfg.Addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.V1 {
+		return wire.NewClient(wire.NewCodec(conn)), nil
+	}
+	return wire.NewClient(wire.NewFrameCodec(conn)), nil
+}
+
+// setup fetches the room list and, for the locate modes, logs the
+// synthetic users in and places each in a room. It returns the room ids.
+func setup(cfg Config, client *wire.Client) ([]wire.RoomInfo, error) {
+	var rooms wire.RoomsResult
+	if err := client.Call(wire.MsgRooms, wire.RoomsQuery{}, &rooms); err != nil {
+		return nil, fmt.Errorf("loadgen: rooms query: %w", err)
+	}
+	if len(rooms.Rooms) == 0 {
+		return nil, errors.New("loadgen: server has no rooms")
+	}
+	if cfg.Mode == ModeRooms {
+		return rooms.Rooms, nil
+	}
+	for i := 0; i < cfg.Users; i++ {
+		// Logout first so back-to-back runs against the same server
+		// work: a previous run leaves the synthetic users logged in.
+		// The error (not logged in, on a fresh server) is expected.
+		_ = client.Call(wire.MsgLogout, wire.Logout{User: UserName(i)}, nil)
+		if err := client.Call(wire.MsgLogin, wire.Login{
+			User:     UserName(i),
+			Password: cfg.Password,
+			Device:   wire.FormatAddr(UserDevice(i)),
+		}, nil); err != nil {
+			return nil, fmt.Errorf("loadgen: login %s (is the server registered with matching -loadgen-users?): %w", UserName(i), err)
+		}
+		room := rooms.Rooms[i%len(rooms.Rooms)]
+		if err := client.Call(wire.MsgPresence, wire.Presence{
+			Device:  wire.FormatAddr(UserDevice(i)),
+			Room:    room.ID,
+			At:      0,
+			Present: true,
+		}, nil); err != nil {
+			return nil, fmt.Errorf("loadgen: place %s: %w", UserName(i), err)
+		}
+	}
+	return rooms.Rooms, nil
+}
+
+// issue sends one envelope (a single request, or a MsgBatch of cfg.Batch
+// sub-requests) and returns how many requests completed.
+func issue(cfg Config, client *wire.Client, rng *rand.Rand, rooms []wire.RoomInfo) (int64, error) {
+	if cfg.Batch <= 1 {
+		t, body := nextRequest(cfg, rng, rooms)
+		return 1, call(client, t, body)
+	}
+	var b wire.Batch
+	for i := 0; i < cfg.Batch; i++ {
+		t, body := nextRequest(cfg, rng, rooms)
+		if err := b.Add(t, body); err != nil {
+			return 0, err
+		}
+	}
+	var res wire.BatchResult
+	if err := client.Call(wire.MsgBatch, b, &res); err != nil {
+		return 0, err
+	}
+	// Inner errors (e.g. a locate racing a presence move) count as
+	// completed requests; the serving layer answered them.
+	return int64(len(res.Responses)), nil
+}
+
+// nextRequest picks one request from the configured mix.
+func nextRequest(cfg Config, rng *rand.Rand, rooms []wire.RoomInfo) (wire.MsgType, any) {
+	switch cfg.Mode {
+	case ModeLocate:
+		return locateRequest(cfg, rng)
+	case ModeMixed:
+		if rng.Intn(3) == 0 {
+			u := rng.Intn(cfg.Users)
+			room := rooms[rng.Intn(len(rooms))]
+			return wire.MsgPresence, wire.Presence{
+				Device:  wire.FormatAddr(UserDevice(u)),
+				Room:    room.ID,
+				At:      0,
+				Present: true,
+			}
+		}
+		return locateRequest(cfg, rng)
+	default:
+		return wire.MsgRooms, wire.RoomsQuery{}
+	}
+}
+
+func locateRequest(cfg Config, rng *rand.Rand) (wire.MsgType, any) {
+	querier := rng.Intn(cfg.Users)
+	target := rng.Intn(cfg.Users)
+	return wire.MsgLocate, wire.Locate{
+		Querier: UserName(querier),
+		Target:  UserName(target),
+	}
+}
+
+// call issues one non-batch request, tolerating business-level MsgError
+// responses (the request completed; the answer was an error body).
+func call(client *wire.Client, t wire.MsgType, body any) error {
+	err := client.Call(t, body, nil)
+	var werr *wire.Error
+	if errors.As(err, &werr) {
+		return nil
+	}
+	return err
+}

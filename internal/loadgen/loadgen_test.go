@@ -1,0 +1,247 @@
+package loadgen
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"bips/internal/building"
+	"bips/internal/locdb"
+	"bips/internal/registry"
+	"bips/internal/server"
+)
+
+// startServer runs an in-process bips-server on a loopback port with the
+// loadgen naming contract pre-registered, mirroring
+// `bips-server -loadgen-users N`.
+func startServer(t *testing.T, users int) string {
+	t.Helper()
+	bld, err := building.AcademicDepartment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New()
+	for i := 0; i < users; i++ {
+		if err := reg.Register(registry.UserID(UserName(i)), UserName(i), "loadgen",
+			registry.RightLocate, registry.RightTrackable); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db, err := locdb.NewSharded(8, locdb.DefaultHistoryLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(reg, db, bld)
+	s.Logf = t.Logf
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(l) }()
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+		if err := <-serveDone; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return l.Addr().String()
+}
+
+// TestSmoke10kQPS is the CI smoke acceptance run: the generator must
+// sustain at least 10k requests/second against a local server. Batched v2
+// pipelining makes that comfortable even on one core; the throughput
+// floor is only asserted without the race detector (instrumentation
+// slows the server itself).
+func TestSmoke10kQPS(t *testing.T) {
+	addr := startServer(t, 8)
+	rep, err := Run(context.Background(), Config{
+		Addr:     addr,
+		Clients:  4,
+		Pipeline: 4,
+		Mode:     ModeMixed,
+		Batch:    32,
+		Users:    8,
+		Duration: time.Second,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("report:\n%s", rep)
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d", rep.Errors)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if !raceEnabled {
+		if rep.QPS < 10000 {
+			t.Errorf("throughput = %.0f req/s, want >= 10000", rep.QPS)
+		}
+	}
+	if rep.P50 <= 0 || rep.Max < rep.P50 {
+		t.Errorf("latency percentiles inconsistent: %+v", rep)
+	}
+}
+
+// TestPacedRun: with a QPS target the generator must throttle itself —
+// the point of pacing is reproducible load, so overshoot is a bug.
+func TestPacedRun(t *testing.T) {
+	addr := startServer(t, 2)
+	const target = 400.0
+	rep, err := Run(context.Background(), Config{
+		Addr:     addr,
+		Clients:  2,
+		Pipeline: 2,
+		QPS:      target,
+		Mode:     ModeRooms,
+		Duration: 500 * time.Millisecond,
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("report:\n%s", rep)
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d", rep.Errors)
+	}
+	if rep.QPS > target*1.5 {
+		t.Errorf("throughput %.0f overshoots target %.0f", rep.QPS, target)
+	}
+	if rep.Requests < 10 {
+		t.Errorf("only %d requests in a paced run", rep.Requests)
+	}
+}
+
+// TestV1Fallback: the generator also speaks v1, which doubles as an
+// end-to-end test of the server's version sniffing under load.
+func TestV1Fallback(t *testing.T) {
+	addr := startServer(t, 4)
+	rep, err := Run(context.Background(), Config{
+		Addr:     addr,
+		Clients:  2,
+		Pipeline: 2,
+		Mode:     ModeLocate,
+		V1:       true,
+		Users:    4,
+		Duration: 300 * time.Millisecond,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Requests == 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := Run(context.Background(), Config{Addr: "x", Mode: "bogus"}); err == nil {
+		t.Error("bogus mode accepted")
+	}
+}
+
+// TestWedgedServerDoesNotHang: a server that accepts connections but
+// never answers must not hang Run forever — the hard deadline closes the
+// connections and setup fails.
+func TestWedgedServerDoesNotHang(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // accept and go silent
+		}
+	}()
+
+	oldGrace := setupGrace
+	setupGrace = 200 * time.Millisecond
+	defer func() { setupGrace = oldGrace }()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(context.Background(), Config{
+			Addr:     l.Addr().String(),
+			Mode:     ModeRooms,
+			Duration: 100 * time.Millisecond,
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("run against a wedged server succeeded")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run hung against a wedged server")
+	}
+}
+
+// TestCancelledContextAborts: cancelling the caller's context aborts a
+// run blocked on an unresponsive server immediately.
+func TestCancelledContextAborts(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, Config{
+			Addr:     l.Addr().String(),
+			Mode:     ModeRooms,
+			Duration: time.Minute,
+		})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("cancelled run reported success")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after ctx cancellation")
+	}
+}
+
+// TestUnregisteredUsersFail: pointing a locate-mode run at a server
+// without the loadgen users must fail loudly at setup, not silently
+// produce an all-error run.
+func TestUnregisteredUsersFail(t *testing.T) {
+	addr := startServer(t, 0)
+	_, err := Run(context.Background(), Config{
+		Addr:     addr,
+		Mode:     ModeLocate,
+		Users:    2,
+		Duration: 100 * time.Millisecond,
+	})
+	if err == nil {
+		t.Error("run against unregistered users succeeded")
+	}
+}

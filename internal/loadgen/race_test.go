@@ -1,0 +1,7 @@
+//go:build race
+
+package loadgen
+
+// raceEnabled relaxes throughput assertions when the race detector's
+// instrumentation is slowing the server under test.
+const raceEnabled = true

@@ -1,0 +1,74 @@
+package locdb
+
+import (
+	"testing"
+
+	"bips/internal/baseband"
+	"bips/internal/graph"
+	"bips/internal/sim"
+)
+
+// The BenchmarkLocdb pair measures the campus-scale serving mix — mostly
+// Locate queries with a steady trickle of presence deltas, from many
+// goroutines at once — against a single-mutex database and a sharded one.
+// Run with:
+//
+//	go test -bench BenchmarkLocdb -cpu 4,8 ./internal/locdb
+//
+// On >= 4 cores the sharded variant should win clearly: the single mutex
+// serializes every delta against every query, while shards only collide
+// when two operations hash to the same shard.
+
+func benchmarkLocdb(b *testing.B, shards int) {
+	db, err := NewSharded(shards, DefaultHistoryLimit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const devices = 1024
+	const rooms = 32
+	for i := 0; i < devices; i++ {
+		db.SetPresence(baseband.BDAddr(0xB000_0000_0001+uint64(i)), graph.NodeID(i%rooms), 0)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			dev := baseband.BDAddr(0xB000_0000_0001 + uint64(i*2654435761)%devices)
+			if i%2 == 0 {
+				// A workstation delta: move the device to another room.
+				// Deltas are half the campus-scale mix — every room's
+				// workstation reports every cycle — and each one takes
+				// the write lock, so this is where the single mutex
+				// serializes the whole building. The room formula
+				// advances on every revisit of a device so the delta is
+				// a real move (map + history mutation), not the
+				// unchanged-piconet no-op.
+				room := graph.NodeID((i + i/devices) % rooms)
+				db.SetPresence(dev, room, sim.Tick(i))
+			} else {
+				db.Locate(dev)
+			}
+		}
+	})
+}
+
+func BenchmarkLocdbSingleMutex(b *testing.B) { benchmarkLocdb(b, 1) }
+func BenchmarkLocdbSharded(b *testing.B)     { benchmarkLocdb(b, 16) }
+
+// BenchmarkLocdbSnapshotAll measures the lock-free full-database read used
+// by administrative snapshot queries.
+func BenchmarkLocdbSnapshotAll(b *testing.B) {
+	db := New()
+	for i := 0; i < 1024; i++ {
+		db.SetPresence(baseband.BDAddr(0xB000_0000_0001+uint64(i)), graph.NodeID(i%32), 0)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if got := db.All(); len(got) != 1024 {
+				b.Fatalf("All returned %d fixes", len(got))
+			}
+		}
+	})
+}

@@ -5,6 +5,25 @@
 // detect a new presence or a new absence. The database answers the paper's
 // spatio-temporal query ("select the target actual piconet of the mobile
 // device BD_ADDR1 ...") and keeps a bounded movement history per device.
+//
+// # Sharding
+//
+// At campus scale one mutex around one map is the serving bottleneck: every
+// workstation delta and every Locate contends on it. The database is
+// therefore split into N independently locked shards, keyed by a mixed hash
+// of the device address. Operations on one device touch exactly one shard,
+// so presence deltas and queries for different devices proceed in parallel;
+// cross-shard views (Occupants, Present, All, Stats) visit the shards one
+// at a time and are therefore not a single atomic cut across devices —
+// each shard is internally consistent, which is exactly the consistency the
+// paper's delta protocol provides anyway (workstation reports race with
+// queries by design).
+//
+// The batch read path is additionally lock-free in the steady state: each
+// shard keeps an immutable snapshot of its current fixes, rebuilt only when
+// the shard has changed since the last snapshot and published through an
+// atomic pointer, so All on a quiescent shard costs two atomic loads and no
+// lock acquisition.
 package locdb
 
 import (
@@ -12,6 +31,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"bips/internal/baseband"
 	"bips/internal/graph"
@@ -21,10 +41,19 @@ import (
 // DefaultHistoryLimit bounds the per-device movement history.
 const DefaultHistoryLimit = 128
 
+// DefaultShards is the shard count used by New. It is sized for a
+// many-core server; WithShards / NewSharded override it.
+const DefaultShards = 16
+
+// MaxShards bounds the shard count to something sane.
+const MaxShards = 4096
+
 // Errors reported by the database.
 var (
 	// ErrNotPresent is returned when a device has no known position.
 	ErrNotPresent = errors.New("locdb: device not present in any piconet")
+	// ErrBadShards is returned for an out-of-range shard count.
+	ErrBadShards = errors.New("locdb: shard count out of range")
 )
 
 // Fix is one location fact: a device was present in a piconet at a time.
@@ -42,77 +71,183 @@ type Event struct {
 	Present bool `json:"present"`
 }
 
-// DB is the central location database. It is safe for concurrent use: in
-// the live system every workstation connection updates it concurrently with
-// user queries.
-type DB struct {
-	mu           sync.RWMutex
-	current      map[baseband.BDAddr]Fix
-	occupants    map[graph.NodeID]map[baseband.BDAddr]bool
-	history      map[baseband.BDAddr][]Fix
-	historyLimit int
-	subs         map[int]func(Event)
-	nextSub      int
-
-	updates  int64
-	queries  int64
-	absences int64
+// shardSnap is an immutable snapshot of one shard's current fixes,
+// published through shard.snap. version is the shard version it was built
+// at; when it still equals the shard's live version the snapshot is
+// current and readable without the shard lock.
+type shardSnap struct {
+	version uint64
+	fixes   []Fix
 }
 
-// New returns an empty database with the default history limit.
+// shard is one independently locked partition of the database. Every
+// device hashes to exactly one shard, which holds its current fix, its
+// history, and its room's occupant entry for that device.
+type shard struct {
+	mu        sync.RWMutex
+	current   map[baseband.BDAddr]Fix
+	occupants map[graph.NodeID]map[baseband.BDAddr]bool
+	history   map[baseband.BDAddr][]Fix
+
+	// version counts mutations; snap caches the last built snapshot.
+	version atomic.Uint64
+	snap    atomic.Pointer[shardSnap]
+
+	// Activity counters live per shard so the hot paths never touch a
+	// cache line shared across shards; Stats sums them.
+	updates  atomic.Int64
+	absences atomic.Int64
+	queries  atomic.Int64
+}
+
+func newShard() *shard {
+	s := &shard{
+		current:   make(map[baseband.BDAddr]Fix),
+		occupants: make(map[graph.NodeID]map[baseband.BDAddr]bool),
+		history:   make(map[baseband.BDAddr][]Fix),
+	}
+	s.snap.Store(&shardSnap{})
+	return s
+}
+
+// snapshot returns the shard's current fixes. In the steady state (no
+// mutation since the last call) it is lock-free: two atomic loads, no
+// mutex. After a mutation it rebuilds under the read lock and publishes
+// the result for subsequent callers. The returned slice is immutable.
+func (sh *shard) snapshot() []Fix {
+	v := sh.version.Load()
+	if s := sh.snap.Load(); s.version == v {
+		return s.fixes
+	}
+	sh.mu.RLock()
+	// Re-read under the lock: the version observed here is consistent
+	// with the map contents because mutators bump it while holding mu.
+	v = sh.version.Load()
+	fixes := make([]Fix, 0, len(sh.current))
+	for _, f := range sh.current {
+		fixes = append(fixes, f)
+	}
+	sh.mu.RUnlock()
+	sort.Slice(fixes, func(i, j int) bool { return fixes[i].Device < fixes[j].Device })
+	sh.snap.Store(&shardSnap{version: v, fixes: fixes})
+	return fixes
+}
+
+// DB is the central location database. It is safe for concurrent use: in
+// the live system every workstation connection updates it concurrently
+// with user queries, and the shards keep those updates from serializing
+// behind one lock.
+type DB struct {
+	shards       []*shard
+	historyLimit int
+
+	subsMu  sync.RWMutex
+	subs    map[int]func(Event)
+	nextSub int
+
+	// snapshotQueries counts All calls (the hot per-device counters are
+	// per shard).
+	snapshotQueries atomic.Int64
+}
+
+// New returns an empty database with DefaultShards shards and the default
+// history limit.
 func New() *DB {
-	return NewWithHistory(DefaultHistoryLimit)
+	db, err := NewSharded(DefaultShards, DefaultHistoryLimit)
+	if err != nil {
+		// Unreachable: the defaults are in range.
+		panic(err)
+	}
+	return db
 }
 
 // NewWithHistory returns an empty database keeping at most limit history
 // entries per device (0 disables history).
 func NewWithHistory(limit int) *DB {
+	db, err := NewSharded(DefaultShards, limit)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// NewSharded returns an empty database split into the given number of
+// shards, keeping at most limit history entries per device (negative
+// limits are clamped to 0, which disables history). shards must be in
+// [1, MaxShards]; a single shard reproduces the original global-mutex
+// behavior exactly.
+func NewSharded(shards, limit int) (*DB, error) {
+	if shards < 1 || shards > MaxShards {
+		return nil, fmt.Errorf("%w: %d (want 1..%d)", ErrBadShards, shards, MaxShards)
+	}
 	if limit < 0 {
 		limit = 0
 	}
-	return &DB{
-		current:      make(map[baseband.BDAddr]Fix),
-		occupants:    make(map[graph.NodeID]map[baseband.BDAddr]bool),
-		history:      make(map[baseband.BDAddr][]Fix),
+	db := &DB{
+		shards:       make([]*shard, shards),
 		historyLimit: limit,
 		subs:         make(map[int]func(Event)),
 	}
+	for i := range db.shards {
+		db.shards[i] = newShard()
+	}
+	return db, nil
+}
+
+// NumShards returns the shard count the database was built with.
+func (db *DB) NumShards() int { return len(db.shards) }
+
+// shardOf maps a device to its shard. The address bits are mixed
+// (splitmix64 finalizer) before reduction so that sequentially allocated
+// addresses — the common case for the simulator's device pool — spread
+// over all shards instead of clustering.
+func (db *DB) shardOf(dev baseband.BDAddr) *shard {
+	return db.shards[shardIndex(uint64(dev), len(db.shards))]
+}
+
+// shardIndex is the pure mapping function, exposed to tests.
+func shardIndex(v uint64, n int) int {
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return int(v % uint64(n))
 }
 
 // SetPresence records that the device is present in the piconet at the
 // given time. It implements the delta semantics: re-reporting an unchanged
 // piconet is a cheap no-op.
 func (db *DB) SetPresence(dev baseband.BDAddr, piconet graph.NodeID, at sim.Tick) {
-	db.mu.Lock()
-	prev, had := db.current[dev]
+	sh := db.shardOf(dev)
+	sh.mu.Lock()
+	prev, had := sh.current[dev]
 	if had && prev.Piconet == piconet {
-		db.mu.Unlock()
+		sh.mu.Unlock()
 		return
 	}
 	fix := Fix{Device: dev, Piconet: piconet, At: at}
 	if had {
-		delete(db.occupants[prev.Piconet], dev)
+		delete(sh.occupants[prev.Piconet], dev)
 	}
-	db.current[dev] = fix
-	occ := db.occupants[piconet]
+	sh.current[dev] = fix
+	occ := sh.occupants[piconet]
 	if occ == nil {
 		occ = make(map[baseband.BDAddr]bool)
-		db.occupants[piconet] = occ
+		sh.occupants[piconet] = occ
 	}
 	occ[dev] = true
 	if db.historyLimit > 0 {
-		h := append(db.history[dev], fix)
+		h := append(sh.history[dev], fix)
 		if len(h) > db.historyLimit {
 			h = h[len(h)-db.historyLimit:]
 		}
-		db.history[dev] = h
+		sh.history[dev] = h
 	}
-	db.updates++
-	subs := db.snapshotSubs()
-	db.mu.Unlock()
-	for _, fn := range subs {
-		fn(Event{Fix: fix, Present: true})
-	}
+	sh.version.Add(1)
+	sh.updates.Add(1)
+	sh.mu.Unlock()
+	db.notify(Event{Fix: fix, Present: true})
 }
 
 // SetAbsence records that the device left the given piconet at the given
@@ -120,41 +255,42 @@ func (db *DB) SetPresence(dev baseband.BDAddr, piconet graph.NodeID, at sim.Tick
 // device was already handed over) is ignored, so out-of-order reports from
 // two workstations cannot erase a newer presence.
 func (db *DB) SetAbsence(dev baseband.BDAddr, piconet graph.NodeID, at sim.Tick) {
-	db.mu.Lock()
-	cur, ok := db.current[dev]
+	sh := db.shardOf(dev)
+	sh.mu.Lock()
+	cur, ok := sh.current[dev]
 	if !ok || cur.Piconet != piconet {
-		db.mu.Unlock()
+		sh.mu.Unlock()
 		return
 	}
-	delete(db.current, dev)
-	delete(db.occupants[piconet], dev)
-	db.absences++
-	subs := db.snapshotSubs()
-	db.mu.Unlock()
-	fix := Fix{Device: dev, Piconet: piconet, At: at}
-	for _, fn := range subs {
-		fn(Event{Fix: fix, Present: false})
-	}
+	delete(sh.current, dev)
+	delete(sh.occupants[piconet], dev)
+	sh.version.Add(1)
+	sh.absences.Add(1)
+	sh.mu.Unlock()
+	db.notify(Event{Fix: Fix{Device: dev, Piconet: piconet, At: at}, Present: false})
 }
 
 // Drop removes every trace of a device (logout).
 func (db *DB) Drop(dev baseband.BDAddr) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if cur, ok := db.current[dev]; ok {
-		delete(db.occupants[cur.Piconet], dev)
+	sh := db.shardOf(dev)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cur, ok := sh.current[dev]; ok {
+		delete(sh.occupants[cur.Piconet], dev)
+		sh.version.Add(1)
 	}
-	delete(db.current, dev)
-	delete(db.history, dev)
+	delete(sh.current, dev)
+	delete(sh.history, dev)
 }
 
 // Locate answers the paper's spatio-temporal query: the actual piconet of
 // the device.
 func (db *DB) Locate(dev baseband.BDAddr) (Fix, error) {
-	db.mu.Lock()
-	db.queries++
-	fix, ok := db.current[dev]
-	db.mu.Unlock()
+	sh := db.shardOf(dev)
+	sh.queries.Add(1)
+	sh.mu.RLock()
+	fix, ok := sh.current[dev]
+	sh.mu.RUnlock()
 	if !ok {
 		return Fix{}, fmt.Errorf("%w: %v", ErrNotPresent, dev)
 	}
@@ -166,9 +302,10 @@ func (db *DB) Locate(dev baseband.BDAddr) (Fix, error) {
 // consults the bounded movement history, so it can only see as far back as
 // the history limit allows.
 func (db *DB) LocateAt(dev baseband.BDAddr, at sim.Tick) (Fix, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	h := db.history[dev]
+	sh := db.shardOf(dev)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	h := sh.history[dev]
 	// History is append-only in time order: binary search for the last
 	// fix with Fix.At <= at.
 	lo, hi := 0, len(h)
@@ -187,24 +324,42 @@ func (db *DB) LocateAt(dev baseband.BDAddr, at sim.Tick) (Fix, error) {
 }
 
 // Occupants returns the devices currently present in the piconet, in
-// ascending address order.
+// ascending address order. Devices of one room live on many shards, so the
+// view is assembled shard by shard; it is consistent per shard but not one
+// atomic cut across all of them.
 func (db *DB) Occupants(piconet graph.NodeID) []baseband.BDAddr {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	occ := db.occupants[piconet]
-	out := make([]baseband.BDAddr, 0, len(occ))
-	for dev := range occ {
-		out = append(out, dev)
+	var out []baseband.BDAddr
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		for dev := range sh.occupants[piconet] {
+			out = append(out, dev)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
+// All returns every current fix, in ascending device order. It uses the
+// per-shard snapshot path: on a quiescent database it performs no lock
+// acquisition at all, which is what makes frequent full-building snapshot
+// queries cheap while workstations keep reporting.
+func (db *DB) All() []Fix {
+	db.snapshotQueries.Add(1)
+	var out []Fix
+	for _, sh := range db.shards {
+		out = append(out, sh.snapshot()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })
+	return out
+}
+
 // History returns the device's recorded movement history, oldest first.
 func (db *DB) History(dev baseband.BDAddr) []Fix {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	h := db.history[dev]
+	sh := db.shardOf(dev)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	h := sh.history[dev]
 	out := make([]Fix, len(h))
 	copy(out, h)
 	return out
@@ -212,9 +367,13 @@ func (db *DB) History(dev baseband.BDAddr) []Fix {
 
 // Present returns the number of devices with a known position.
 func (db *DB) Present() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.current)
+	n := 0
+	for _, sh := range db.shards {
+		sh.mu.RLock()
+		n += len(sh.current)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Stats reports database activity counters.
@@ -222,41 +381,64 @@ type Stats struct {
 	Updates  int64 `json:"updates"`
 	Absences int64 `json:"absences"`
 	Queries  int64 `json:"queries"`
+	Present  int   `json:"present"`
+	Shards   int   `json:"shards"`
 }
 
-// Stats returns a snapshot of the activity counters.
+// Stats returns a snapshot of the activity counters. Queries counts both
+// per-device Locate calls and full-database All snapshots.
 func (db *DB) Stats() Stats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return Stats{Updates: db.updates, Absences: db.absences, Queries: db.queries}
+	st := Stats{
+		Queries: db.snapshotQueries.Load(),
+		Present: db.Present(),
+		Shards:  len(db.shards),
+	}
+	for _, sh := range db.shards {
+		st.Updates += sh.updates.Load()
+		st.Absences += sh.absences.Load()
+		st.Queries += sh.queries.Load()
+	}
+	return st
 }
 
 // Subscribe registers fn to be called on every presence change. It returns
 // an unsubscribe function. Callbacks run synchronously on the updating
-// goroutine and must not call back into the database.
+// goroutine, after the shard lock is released, and must not mutate the
+// database re-entrantly in a way that assumes ordering against other
+// updaters: with concurrent writers on different shards, callbacks for
+// different devices may interleave (the single-threaded simulator never
+// hits this; a multi-connection server does).
 func (db *DB) Subscribe(fn func(Event)) (cancel func()) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.subsMu.Lock()
+	defer db.subsMu.Unlock()
 	id := db.nextSub
 	db.nextSub++
 	db.subs[id] = fn
 	return func() {
-		db.mu.Lock()
-		defer db.mu.Unlock()
+		db.subsMu.Lock()
+		defer db.subsMu.Unlock()
 		delete(db.subs, id)
 	}
 }
 
-// snapshotSubs must be called with db.mu held.
-func (db *DB) snapshotSubs() []func(Event) {
-	out := make([]func(Event), 0, len(db.subs))
+// notify delivers an event to all subscribers in subscription order.
+func (db *DB) notify(ev Event) {
+	db.subsMu.RLock()
+	if len(db.subs) == 0 {
+		db.subsMu.RUnlock()
+		return
+	}
+	fns := make([]func(Event), 0, len(db.subs))
 	ids := make([]int, 0, len(db.subs))
 	for id := range db.subs {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
 	for _, id := range ids {
-		out = append(out, db.subs[id])
+		fns = append(fns, db.subs[id])
 	}
-	return out
+	db.subsMu.RUnlock()
+	for _, fn := range fns {
+		fn(ev)
+	}
 }

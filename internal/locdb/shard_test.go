@@ -1,0 +1,259 @@
+package locdb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"bips/internal/baseband"
+	"bips/internal/graph"
+	"bips/internal/sim"
+)
+
+// TestShardIndexStable: a device must always map to the same shard for a
+// fixed shard count — the whole design rests on it.
+func TestShardIndexStable(t *testing.T) {
+	for n := 1; n <= 64; n *= 2 {
+		for v := uint64(0); v < 1000; v += 37 {
+			a, b := shardIndex(v, n), shardIndex(v, n)
+			if a != b {
+				t.Fatalf("shardIndex(%d, %d) unstable: %d vs %d", v, n, a, b)
+			}
+			if a < 0 || a >= n {
+				t.Fatalf("shardIndex(%d, %d) = %d out of range", v, n, a)
+			}
+		}
+	}
+}
+
+// TestShardDistribution: sequentially allocated device addresses (the
+// simulator's allocation pattern) must spread over all shards, not cluster
+// on a few.
+func TestShardDistribution(t *testing.T) {
+	const n = 16
+	const devices = 16 * 200
+	counts := make([]int, n)
+	base := uint64(0xB000_0000_0001)
+	for i := 0; i < devices; i++ {
+		counts[shardIndex(base+uint64(i), n)]++
+	}
+	mean := devices / n
+	for i, c := range counts {
+		if c < mean/2 || c > mean*2 {
+			t.Errorf("shard %d holds %d devices, want within [%d, %d] of mean %d",
+				i, c, mean/2, mean*2, mean)
+		}
+	}
+}
+
+// TestShardedEquivalence: a sharded database and a single-shard database
+// fed the same operation sequence must answer every query identically.
+func TestShardedEquivalence(t *testing.T) {
+	single, err := NewSharded(1, DefaultHistoryLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewSharded(8, DefaultHistoryLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbs := []*DB{single, sharded}
+
+	const devices = 100
+	const rooms = 7
+	for step := 0; step < 1000; step++ {
+		dev := baseband.BDAddr(0xB000_0000_0001 + uint64(step*31%devices))
+		room := graph.NodeID(step * 17 % rooms)
+		at := sim.Tick(step)
+		switch step % 5 {
+		case 0, 1, 2:
+			for _, db := range dbs {
+				db.SetPresence(dev, room, at)
+			}
+		case 3:
+			for _, db := range dbs {
+				db.SetAbsence(dev, room, at)
+			}
+		case 4:
+			if step%20 == 4 {
+				for _, db := range dbs {
+					db.Drop(dev)
+				}
+			}
+		}
+	}
+
+	if g, w := sharded.Present(), single.Present(); g != w {
+		t.Fatalf("Present: sharded %d, single %d", g, w)
+	}
+	for i := 0; i < devices; i++ {
+		dev := baseband.BDAddr(0xB000_0000_0001 + uint64(i))
+		f1, err1 := single.Locate(dev)
+		f2, err2 := sharded.Locate(dev)
+		if (err1 == nil) != (err2 == nil) || f1 != f2 {
+			t.Fatalf("Locate(%v): single (%v, %v) vs sharded (%v, %v)", dev, f1, err1, f2, err2)
+		}
+		h1, h2 := single.History(dev), sharded.History(dev)
+		if len(h1) != len(h2) {
+			t.Fatalf("History(%v): single %d entries, sharded %d", dev, len(h1), len(h2))
+		}
+		for j := range h1 {
+			if h1[j] != h2[j] {
+				t.Fatalf("History(%v)[%d]: %v vs %v", dev, j, h1[j], h2[j])
+			}
+		}
+	}
+	for r := graph.NodeID(0); r < rooms; r++ {
+		o1, o2 := single.Occupants(r), sharded.Occupants(r)
+		if len(o1) != len(o2) {
+			t.Fatalf("Occupants(%d): single %v, sharded %v", r, o1, o2)
+		}
+		for j := range o1 {
+			if o1[j] != o2[j] {
+				t.Fatalf("Occupants(%d)[%d]: %v vs %v", r, j, o1[j], o2[j])
+			}
+		}
+	}
+	a1, a2 := single.All(), sharded.All()
+	if len(a1) != len(a2) {
+		t.Fatalf("All: single %d fixes, sharded %d", len(a1), len(a2))
+	}
+	for j := range a1 {
+		if a1[j] != a2[j] {
+			t.Fatalf("All[%d]: %v vs %v", j, a1[j], a2[j])
+		}
+	}
+}
+
+// TestAllSnapshotPath: All must reflect mutations immediately (the cached
+// snapshot is invalidated by the version counter) and must return sorted,
+// immutable results.
+func TestAllSnapshotPath(t *testing.T) {
+	db := New()
+	if got := db.All(); len(got) != 0 {
+		t.Fatalf("All on empty db = %v", got)
+	}
+	for i := 0; i < 50; i++ {
+		db.SetPresence(baseband.BDAddr(1000+i), graph.NodeID(i%5), sim.Tick(i))
+		all := db.All()
+		if len(all) != i+1 {
+			t.Fatalf("after %d inserts All has %d fixes", i+1, len(all))
+		}
+		for j := 1; j < len(all); j++ {
+			if all[j-1].Device >= all[j].Device {
+				t.Fatalf("All not sorted at %d: %v >= %v", j, all[j-1].Device, all[j].Device)
+			}
+		}
+	}
+	// Two consecutive calls on a quiescent shard must agree (and the
+	// second exercises the lock-free cached path).
+	a, b := db.All(), db.All()
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatalf("quiescent All disagreed at %d: %v vs %v", j, a[j], b[j])
+		}
+	}
+	db.SetAbsence(baseband.BDAddr(1000), graph.NodeID(0), 100)
+	if got := len(db.All()); got != 49 {
+		t.Fatalf("after absence All has %d fixes, want 49", got)
+	}
+}
+
+// TestNewShardedValidation rejects out-of-range shard counts.
+func TestNewShardedValidation(t *testing.T) {
+	for _, n := range []int{0, -1, MaxShards + 1} {
+		if _, err := NewSharded(n, 10); err == nil {
+			t.Errorf("NewSharded(%d) accepted", n)
+		}
+	}
+	db, err := NewSharded(3, 10)
+	if err != nil || db.NumShards() != 3 {
+		t.Fatalf("NewSharded(3) = %v, %v", db, err)
+	}
+}
+
+// TestShardedConcurrentHammer drives writers and readers across shards
+// under the race detector and checks final-state invariants.
+func TestShardedConcurrentHammer(t *testing.T) {
+	db, err := NewSharded(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				dev := baseband.BDAddr(0xC000_0000_0000 + uint64(w)<<16 + uint64(i%50))
+				room := graph.NodeID(i % 9)
+				db.SetPresence(dev, room, sim.Tick(i))
+				if i%3 == 0 {
+					db.Locate(dev)
+				}
+				if i%7 == 0 {
+					db.All()
+				}
+				if i%11 == 0 {
+					db.Occupants(room)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Every worker's 50 distinct devices must have exactly one fix.
+	if got, want := db.Present(), workers*50; got != want {
+		t.Fatalf("Present = %d, want %d", got, want)
+	}
+	if got, want := len(db.All()), workers*50; got != want {
+		t.Fatalf("len(All) = %d, want %d", got, want)
+	}
+	st := db.Stats()
+	if st.Updates == 0 || st.Queries == 0 {
+		t.Fatalf("stats counters not advancing: %+v", st)
+	}
+	if st.Shards != 8 || st.Present != workers*50 {
+		t.Fatalf("stats snapshot wrong: %+v", st)
+	}
+}
+
+// TestOccupantsAcrossShards: one room's devices hash to many shards; the
+// merged view must contain all of them exactly once.
+func TestOccupantsAcrossShards(t *testing.T) {
+	db, err := NewSharded(16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const room = graph.NodeID(3)
+	want := map[baseband.BDAddr]bool{}
+	for i := 0; i < 200; i++ {
+		dev := baseband.BDAddr(0xD000_0000_0000 + uint64(i))
+		db.SetPresence(dev, room, sim.Tick(i))
+		want[dev] = true
+	}
+	got := db.Occupants(room)
+	if len(got) != len(want) {
+		t.Fatalf("Occupants returned %d devices, want %d", len(got), len(want))
+	}
+	seen := map[baseband.BDAddr]bool{}
+	for _, dev := range got {
+		if seen[dev] {
+			t.Fatalf("duplicate occupant %v", dev)
+		}
+		seen[dev] = true
+		if !want[dev] {
+			t.Fatalf("unexpected occupant %v", dev)
+		}
+	}
+}
+
+func ExampleNewSharded() {
+	db, _ := NewSharded(4, DefaultHistoryLimit)
+	db.SetPresence(0xB00000000001, 7, 100)
+	fix, _ := db.Locate(0xB00000000001)
+	fmt.Printf("shards=%d room=%d\n", db.NumShards(), fix.Piconet)
+	// Output: shards=4 room=7
+}

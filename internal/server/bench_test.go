@@ -1,0 +1,121 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"bips/internal/building"
+	"bips/internal/locdb"
+	"bips/internal/registry"
+	"bips/internal/wire"
+)
+
+func benchServer(b *testing.B, shards int) *Server {
+	b.Helper()
+	bld, err := building.AcademicDepartment()
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := registry.New()
+	db, err := locdb.NewSharded(shards, locdb.DefaultHistoryLimit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(reg, db, bld)
+	s.Logf = nil
+	if err := reg.Register("alice", "alice", pw, registry.RightLocate, registry.RightTrackable); err != nil {
+		b.Fatal(err)
+	}
+	if err := reg.Register("bob", "bob", pw, registry.RightLocate, registry.RightTrackable); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Login(wire.Login{User: "alice", Password: pw, Device: wire.FormatAddr(devA)}); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Login(wire.Login{User: "bob", Password: pw, Device: wire.FormatAddr(devB)}); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.ApplyPresence(wire.Presence{Device: wire.FormatAddr(devB), Room: 6, At: 1, Present: true}); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkDispatchLocate measures the pure request-execution path (no
+// sockets): decode, registry authorization, sharded locdb lookup, encode.
+func BenchmarkDispatchLocate(b *testing.B) {
+	s := benchServer(b, locdb.DefaultShards)
+	env, err := wire.MarshalBody(wire.MsgLocate, 1, wire.Locate{Querier: "alice", Target: "bob"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp := s.dispatch(env)
+			if resp.Type != wire.MsgLocateResult {
+				b.Fatalf("response = %+v", resp)
+			}
+		}
+	})
+}
+
+// BenchmarkServeConnPipelined measures the full per-connection pipeline —
+// v2 framing, reader, bounded in-flight handlers, writer — over an
+// in-memory connection with a deeply pipelining client.
+func BenchmarkServeConnPipelined(b *testing.B) {
+	s := benchServer(b, locdb.DefaultShards)
+	cliConn, srvConn := net.Pipe()
+	go s.ServeConn(srvConn)
+	client := wire.NewClient(wire.NewFrameCodec(cliConn))
+	defer client.Close()
+
+	const pipeline = 16
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / pipeline
+	for w := 0; w < pipeline; w++ {
+		n := per
+		if w == 0 {
+			n += b.N % pipeline
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			var res wire.LocateResult
+			for i := 0; i < n; i++ {
+				if err := client.Call(wire.MsgLocate, wire.Locate{Querier: "alice", Target: "bob"}, &res); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+}
+
+// BenchmarkServeConnBatch measures the bulk path: one envelope carrying
+// 32 batched locate requests. Reported per sub-request.
+func BenchmarkServeConnBatch(b *testing.B) {
+	s := benchServer(b, locdb.DefaultShards)
+	cliConn, srvConn := net.Pipe()
+	go s.ServeConn(srvConn)
+	client := wire.NewClient(wire.NewFrameCodec(cliConn))
+	defer client.Close()
+
+	const batch = 32
+	var req wire.Batch
+	for i := 0; i < batch; i++ {
+		if err := req.Add(wire.MsgLocate, wire.Locate{Querier: "alice", Target: "bob"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n += batch {
+		var res wire.BatchResult
+		if err := client.Call(wire.MsgBatch, req, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

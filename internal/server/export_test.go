@@ -1,0 +1,8 @@
+package server
+
+import "bips/internal/wire"
+
+// SetBeforeHandle installs the test-only dispatch hook. It runs in the
+// handler goroutine before the request executes, so a test can stall
+// chosen message types and observe out-of-order completion.
+func (s *Server) SetBeforeHandle(fn func(wire.MsgType)) { s.beforeHandle = fn }

@@ -4,9 +4,23 @@
 // logout, locate, and the shortest-path navigation query that is the
 // service's headline feature.
 //
-// The same business-logic methods back two transports: the newline-JSON
-// TCP protocol of package wire (the Ethernet LAN of the paper) and direct
-// in-process calls used by the simulation and the examples.
+// The same business-logic methods back two transports: the wire protocol
+// over TCP (the Ethernet LAN of the paper, v1 newline-JSON or v2
+// length-prefixed frames, sniffed per connection) and direct in-process
+// calls used by the simulation and the examples.
+//
+// # Connection pipeline
+//
+// Every connection is served by a reader/writer goroutine pair. The reader
+// decodes requests and hands each to a handler goroutine, with at most
+// MaxInFlight requests executing per connection; the writer serializes
+// responses back onto the socket in completion order. Responses therefore
+// may arrive out of request order — the envelope Seq is the correlation id
+// that ties them back together — which is what lets one slow navigation
+// query overlap hundreds of cheap presence deltas on the same persistent
+// connection. Business state is safe under this concurrency: the registry
+// and the sharded location database carry their own locks and the building
+// is immutable after construction.
 package server
 
 import (
@@ -16,12 +30,34 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"bips/internal/building"
 	"bips/internal/locdb"
+	"bips/internal/metrics"
 	"bips/internal/registry"
 	"bips/internal/wire"
 )
+
+// DefaultMaxInFlight bounds concurrently executing requests per
+// connection. It trades per-connection memory (one goroutine plus one
+// buffered response slot each) against pipeline depth; see
+// docs/OPERATIONS.md for tuning guidance.
+const DefaultMaxInFlight = 64
+
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithMaxInFlight overrides DefaultMaxInFlight. Values below 1 are
+// clamped to 1 (strictly serial per-connection handling).
+func WithMaxInFlight(n int) Option {
+	return func(s *Server) {
+		if n < 1 {
+			n = 1
+		}
+		s.maxInFlight = n
+	}
+}
 
 // Server is the central BIPS server.
 type Server struct {
@@ -29,25 +65,57 @@ type Server struct {
 	db  *locdb.DB
 	bld *building.Building
 
+	maxInFlight int
+
+	// Metrics. The hot-path counters are resolved once at construction;
+	// everything is also reachable through the registry for MsgStats.
+	metrics   *metrics.Registry
+	reqCount  map[wire.MsgType]*metrics.Counter
+	reqOther  *metrics.Counter
+	errCount  *metrics.Counter
+	malformed *metrics.Counter
+	connTotal *metrics.Counter
+	latency   *metrics.Histogram
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]bool
 	wg       sync.WaitGroup
 	closed   bool
 
+	// beforeHandle, when non-nil, runs in the handler goroutine before
+	// dispatch. Tests use it to stall chosen message types and prove
+	// out-of-order completion.
+	beforeHandle func(wire.MsgType)
+
 	// Logf logs connection-level failures; defaults to log.Printf.
 	Logf func(format string, args ...any)
 }
 
 // New assembles a server from its three state components.
-func New(reg *registry.Registry, db *locdb.DB, bld *building.Building) *Server {
-	return &Server{
-		reg:   reg,
-		db:    db,
-		bld:   bld,
-		conns: make(map[net.Conn]bool),
-		Logf:  log.Printf,
+func New(reg *registry.Registry, db *locdb.DB, bld *building.Building, opts ...Option) *Server {
+	s := &Server{
+		reg:         reg,
+		db:          db,
+		bld:         bld,
+		maxInFlight: DefaultMaxInFlight,
+		metrics:     metrics.NewRegistry(),
+		conns:       make(map[net.Conn]bool),
+		Logf:        log.Printf,
 	}
+	s.reqCount = make(map[wire.MsgType]*metrics.Counter)
+	for _, t := range wire.AllMsgTypes {
+		s.reqCount[t] = s.metrics.Counter("server.requests." + string(t))
+	}
+	s.reqOther = s.metrics.Counter("server.requests.unknown")
+	s.errCount = s.metrics.Counter("server.errors")
+	s.malformed = s.metrics.Counter("server.malformed")
+	s.connTotal = s.metrics.Counter("server.connections")
+	s.latency = s.metrics.Histogram("server.dispatch")
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
 }
 
 // Registry exposes the user registry (for administrative tooling).
@@ -58,6 +126,12 @@ func (s *Server) DB() *locdb.DB { return s.db }
 
 // Building exposes the topology.
 func (s *Server) Building() *building.Building { return s.bld }
+
+// Metrics exposes the server's metric registry.
+func (s *Server) Metrics() *metrics.Registry { return s.metrics }
+
+// MaxInFlight reports the per-connection pipeline depth limit.
+func (s *Server) MaxInFlight() int { return s.maxInFlight }
 
 // --- Business logic -------------------------------------------------------
 
@@ -167,6 +241,35 @@ func (s *Server) RoomsInfo() wire.RoomsResult {
 	return out
 }
 
+// StatsResult snapshots the server's metrics for the MsgStats query: the
+// server's own counters and dispatch-latency histograms plus the location
+// database's activity counters under the "locdb." prefix.
+func (s *Server) StatsResult() wire.StatsResult {
+	snap := s.metrics.Snapshot()
+	out := wire.StatsResult{
+		Counters:   snap.Counters,
+		Histograms: make(map[string]wire.HistogramStats, len(snap.Histograms)),
+	}
+	for name, h := range snap.Histograms {
+		out.Histograms[name] = wire.HistogramStats{
+			Count: h.Count,
+			Sum:   h.Sum,
+			Min:   h.Min,
+			Max:   h.Max,
+			P50:   h.Quantile(0.50),
+			P90:   h.Quantile(0.90),
+			P99:   h.Quantile(0.99),
+		}
+	}
+	dbStats := s.db.Stats()
+	out.Counters["locdb.updates"] = dbStats.Updates
+	out.Counters["locdb.absences"] = dbStats.Absences
+	out.Counters["locdb.queries"] = dbStats.Queries
+	out.Counters["locdb.present"] = int64(dbStats.Present)
+	out.Counters["locdb.shards"] = int64(dbStats.Shards)
+	return out
+}
+
 // --- Wire transport -------------------------------------------------------
 
 // errorCode maps business errors onto wire error codes.
@@ -184,41 +287,123 @@ func errorCode(err error) string {
 		errors.Is(err, building.ErrUnknownRoom):
 		return wire.CodeNotFound
 	case errors.Is(err, registry.ErrBadDevice),
-		errors.Is(err, registry.ErrEmptyUserID):
+		errors.Is(err, registry.ErrEmptyUserID),
+		errors.Is(err, wire.ErrMalformed):
 		return wire.CodeBadRequest
 	default:
 		return wire.CodeInternal
 	}
 }
 
-// ServeConn handles one protocol connection until EOF. It is exported so
-// tests and in-memory deployments can drive the server over net.Pipe.
-func (s *Server) ServeConn(conn io.ReadWriter) {
-	codec := wire.NewCodec(conn)
-	for {
-		env, err := codec.Recv()
-		if err != nil {
-			return
-		}
-		resp := s.dispatch(env)
-		if err := codec.Send(resp); err != nil {
-			return
-		}
+// errorEnvelope builds a best-effort MsgError response.
+func errorEnvelope(seq uint64, err error) wire.Envelope {
+	resp, merr := wire.MarshalBody(wire.MsgError, seq, wire.Error{
+		Code:    errorCode(err),
+		Message: err.Error(),
+	})
+	if merr != nil {
+		// Marshalling a flat struct cannot fail; fall back to an empty
+		// error envelope.
+		return wire.Envelope{Type: wire.MsgError, Seq: seq}
 	}
+	return resp
 }
 
-func (s *Server) dispatch(env wire.Envelope) wire.Envelope {
-	fail := func(err error) wire.Envelope {
-		resp, merr := wire.MarshalBody(wire.MsgError, env.Seq, wire.Error{
-			Code:    errorCode(err),
-			Message: err.Error(),
-		})
-		if merr != nil {
-			// Marshalling a flat struct cannot fail; fall back to
-			// an empty error envelope.
-			return wire.Envelope{Type: wire.MsgError, Seq: env.Seq}
+// ServeConn handles one protocol connection until EOF. It is exported so
+// tests and in-memory deployments can drive the server over net.Pipe.
+//
+// The connection is served by this goroutine acting as the reader, one
+// writer goroutine serializing responses, and up to MaxInFlight transient
+// handler goroutines. A malformed message is answered with a MsgError
+// (correlation id 0, since a frame that failed to parse has no trustworthy
+// sequence number) and then the connection is closed; a transport error
+// just ends the connection.
+func (s *Server) ServeConn(conn io.ReadWriter) {
+	s.connTotal.Inc()
+	tr, terr := wire.ServerTransport(conn)
+	if tr == nil {
+		// Peek failed before a single byte arrived: nothing to answer.
+		return
+	}
+
+	// Writer goroutine: the single owner of tr.Send for responses. It
+	// keeps draining after a send failure so handler goroutines can
+	// never block on a dead connection.
+	out := make(chan wire.Envelope, s.maxInFlight+1)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		sendFailed := false
+		for env := range out {
+			if sendFailed {
+				continue
+			}
+			if err := tr.Send(env); err != nil {
+				sendFailed = true
+			}
 		}
-		return resp
+	}()
+	finish := func() {
+		close(out)
+		<-writerDone
+		// Close the underlying stream (when closable) so peers see EOF
+		// as soon as the final response is flushed — in particular after
+		// a malformed message was answered.
+		_ = tr.Close()
+	}
+
+	if terr != nil {
+		// The very first byte already ruled out both protocol versions.
+		s.malformed.Inc()
+		out <- errorEnvelope(0, terr)
+		finish()
+		return
+	}
+
+	var handlers sync.WaitGroup
+	sem := make(chan struct{}, s.maxInFlight)
+	for {
+		env, err := tr.Recv()
+		if err != nil {
+			if errors.Is(err, wire.ErrMalformed) {
+				// Answer with a reason before closing instead of
+				// silently dropping the connection.
+				s.malformed.Inc()
+				out <- errorEnvelope(0, err)
+			}
+			break
+		}
+		sem <- struct{}{}
+		handlers.Add(1)
+		go func(env wire.Envelope) {
+			defer handlers.Done()
+			defer func() { <-sem }()
+			if s.beforeHandle != nil {
+				s.beforeHandle(env.Type)
+			}
+			start := time.Now()
+			resp := s.dispatch(env)
+			s.latency.ObserveDuration(time.Since(start))
+			out <- resp
+		}(env)
+	}
+	handlers.Wait()
+	finish()
+}
+
+// dispatch executes one request envelope and returns the response
+// envelope. It is called from handler goroutines and must stay safe for
+// concurrent use; all mutable state it touches is behind the registry and
+// location-database locks.
+func (s *Server) dispatch(env wire.Envelope) wire.Envelope {
+	if c, ok := s.reqCount[env.Type]; ok {
+		c.Inc()
+	} else {
+		s.reqOther.Inc()
+	}
+	fail := func(err error) wire.Envelope {
+		s.errCount.Inc()
+		return errorEnvelope(env.Seq, err)
 	}
 	ok := func(t wire.MsgType, body any) wire.Envelope {
 		resp, err := wire.MarshalBody(t, env.Seq, body)
@@ -287,6 +472,27 @@ func (s *Server) dispatch(env wire.Envelope) wire.Envelope {
 		return ok(wire.MsgPathResult, res)
 	case wire.MsgRooms:
 		return ok(wire.MsgRoomsResult, s.RoomsInfo())
+	case wire.MsgStats:
+		return ok(wire.MsgStatsResult, s.StatsResult())
+	case wire.MsgBatch:
+		var b wire.Batch
+		if err := wire.UnmarshalBody(env, &b); err != nil {
+			return fail(err)
+		}
+		res := wire.BatchResult{Responses: make([]wire.Envelope, 0, len(b.Requests))}
+		for _, req := range b.Requests {
+			if req.Type == wire.MsgBatch {
+				s.errCount.Inc()
+				res.Responses = append(res.Responses,
+					errorEnvelope(req.Seq, fmt.Errorf("%w: nested batch", wire.ErrMalformed)))
+				continue
+			}
+			// Sequential execution in request order; inner failures
+			// become inner MsgError responses without aborting the
+			// batch.
+			res.Responses = append(res.Responses, s.dispatch(req))
+		}
+		return ok(wire.MsgBatchResult, res)
 	default:
 		return fail(fmt.Errorf("unknown message type %q", env.Type))
 	}
@@ -322,7 +528,9 @@ func (s *Server) Serve(l net.Listener) error {
 				s.mu.Lock()
 				delete(s.conns, conn)
 				s.mu.Unlock()
-				if err := conn.Close(); err != nil && s.Logf != nil {
+				// ServeConn already closed the transport; only report
+				// unexpected close failures.
+				if err := conn.Close(); err != nil && !errors.Is(err, net.ErrClosed) && s.Logf != nil {
 					s.Logf("server: close conn: %v", err)
 				}
 			}()

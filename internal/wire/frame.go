@@ -1,0 +1,190 @@
+// Wire protocol v2: length-prefixed framing over persistent connections.
+//
+// Version 1 frames each envelope as one JSON document per newline. That is
+// easy to debug but forces the reader to scan for the delimiter and makes
+// it impossible to pre-allocate, and — because the first byte of every v1
+// message is '{' — it leaves the whole remaining byte space free for a v2
+// magic. A v2 frame is
+//
+//	offset 0 : magic   0xB2  (never '{', so a server can sniff the version)
+//	offset 1 : version 0x02
+//	offset 2 : payload length, big-endian uint32 (max MaxFramePayload)
+//	offset 6 : payload — one JSON-encoded Envelope
+//
+// Envelopes themselves are identical in both versions: the Seq field is the
+// correlation id that lets a server complete pipelined requests out of
+// order. See docs/PROTOCOL.md for the full specification and a worked hex
+// example.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Frame constants for protocol v2.
+const (
+	// FrameMagic is the first byte of every v2 frame. JSON (v1) messages
+	// always start with '{' (0x7B), so one peeked byte decides the
+	// version.
+	FrameMagic = 0xB2
+	// FrameVersion is the protocol revision carried in byte 1.
+	FrameVersion = 0x02
+	// FrameHeaderLen is the fixed header size: magic + version + length.
+	FrameHeaderLen = 6
+	// MaxFramePayload bounds a single frame's payload so a corrupt or
+	// hostile length prefix cannot make the reader allocate gigabytes.
+	MaxFramePayload = 1 << 20
+)
+
+// ErrMalformed reports bytes that could not be parsed as a protocol
+// message — as opposed to transport errors like a closed connection. A
+// server that sees it can still answer MsgError before closing; a plain
+// I/O error means the peer is gone.
+var ErrMalformed = errors.New("wire: malformed message")
+
+// Transport reads and writes envelopes over some byte stream. Codec (v1
+// newline-JSON) and FrameCodec (v2 length-prefixed) both implement it;
+// Client and the server's connection loop work against the interface so
+// the two versions interoperate transparently.
+type Transport interface {
+	Send(Envelope) error
+	Recv() (Envelope, error)
+	Close() error
+}
+
+// FrameCodec is the v2 transport: length-prefixed frames over a
+// persistent connection. Send is safe for concurrent callers; Recv is for
+// one reader goroutine.
+type FrameCodec struct {
+	writeMu sync.Mutex
+	w       *bufio.Writer
+	r       *bufio.Reader
+	closer  io.Closer
+	closed  bool
+}
+
+// NewFrameCodec wraps a stream in the v2 framing. If rw implements
+// io.Closer, Close closes it.
+func NewFrameCodec(rw io.ReadWriter) *FrameCodec {
+	return newFrameCodec(rw, bufio.NewReader(rw))
+}
+
+// newFrameCodec builds a FrameCodec over an already-buffered reader, so
+// the server-side sniffer can hand over the reader it peeked into.
+func newFrameCodec(rw io.ReadWriter, r *bufio.Reader) *FrameCodec {
+	c := &FrameCodec{
+		w: bufio.NewWriter(rw),
+		r: r,
+	}
+	if cl, ok := rw.(io.Closer); ok {
+		c.closer = cl
+	}
+	return c
+}
+
+// Send writes one envelope as a single frame.
+func (c *FrameCodec) Send(env Envelope) error {
+	payload, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	if len(payload) > MaxFramePayload {
+		return fmt.Errorf("wire: frame payload %d exceeds %d", len(payload), MaxFramePayload)
+	}
+	var hdr [FrameHeaderLen]byte
+	hdr[0] = FrameMagic
+	hdr[1] = FrameVersion
+	binary.BigEndian.PutUint32(hdr[2:], uint32(len(payload)))
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write: %w", err)
+	}
+	if _, err := c.w.Write(payload); err != nil {
+		return fmt.Errorf("wire: write: %w", err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("wire: flush: %w", err)
+	}
+	return nil
+}
+
+// Recv reads one frame. A header that cannot be a valid frame (bad magic,
+// unknown version, oversized payload) is reported as ErrMalformed; clean
+// EOF between frames is io.EOF.
+func (c *FrameCodec) Recv() (Envelope, error) {
+	var hdr [FrameHeaderLen]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Envelope{}, fmt.Errorf("%w: truncated frame header", ErrMalformed)
+		}
+		return Envelope{}, err
+	}
+	if hdr[0] != FrameMagic {
+		return Envelope{}, fmt.Errorf("%w: bad frame magic 0x%02X", ErrMalformed, hdr[0])
+	}
+	if hdr[1] != FrameVersion {
+		return Envelope{}, fmt.Errorf("%w: unsupported frame version 0x%02X", ErrMalformed, hdr[1])
+	}
+	n := binary.BigEndian.Uint32(hdr[2:])
+	if n > MaxFramePayload {
+		return Envelope{}, fmt.Errorf("%w: frame payload %d exceeds %d", ErrMalformed, n, MaxFramePayload)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.r, payload); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Envelope{}, fmt.Errorf("%w: truncated frame payload", ErrMalformed)
+		}
+		return Envelope{}, err
+	}
+	var env Envelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		return Envelope{}, fmt.Errorf("%w: frame payload: %v", ErrMalformed, err)
+	}
+	return env, nil
+}
+
+// Close closes the underlying stream when it is closable.
+func (c *FrameCodec) Close() error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.closer != nil {
+		return c.closer.Close()
+	}
+	return nil
+}
+
+// ServerTransport sniffs which protocol version the peer speaks and
+// returns the matching transport: the first byte of a v2 connection is
+// FrameMagic, of a v1 connection '{'. This is the whole negotiation — a
+// v1 client needs no changes to keep working against a v2 server. Any
+// other first byte yields ErrMalformed together with a best-effort v1
+// transport the caller can use to answer MsgError before closing.
+func ServerTransport(rw io.ReadWriter) (Transport, error) {
+	br := bufio.NewReader(rw)
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, err
+	}
+	switch first[0] {
+	case FrameMagic:
+		return newFrameCodec(rw, br), nil
+	case '{':
+		return newCodec(rw, br), nil
+	default:
+		return newCodec(rw, br), fmt.Errorf("%w: unknown protocol byte 0x%02X", ErrMalformed, first[0])
+	}
+}

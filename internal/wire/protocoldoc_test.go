@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// declaredMsgTypes parses wire.go and returns every constant of type
+// MsgType with its wire string, so the registry and the documentation are
+// checked against the source of truth rather than a hand-maintained list.
+func declaredMsgTypes(t *testing.T) map[string]string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "wire.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consts := make(map[string]string) // const name -> wire string
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			ident, ok := vs.Type.(*ast.Ident)
+			if !ok || ident.Name != "MsgType" {
+				continue
+			}
+			for i, name := range vs.Names {
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					t.Fatalf("MsgType const %s is not a string literal", name.Name)
+				}
+				s, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					t.Fatal(err)
+				}
+				consts[name.Name] = s
+			}
+		}
+	}
+	if len(consts) == 0 {
+		t.Fatal("found no MsgType constants in wire.go")
+	}
+	return consts
+}
+
+// TestAllMsgTypesComplete: the AllMsgTypes registry must contain exactly
+// the MsgType constants declared in wire.go.
+func TestAllMsgTypesComplete(t *testing.T) {
+	declared := declaredMsgTypes(t)
+	inRegistry := make(map[MsgType]bool, len(AllMsgTypes))
+	for _, mt := range AllMsgTypes {
+		if inRegistry[mt] {
+			t.Errorf("AllMsgTypes lists %q twice", mt)
+		}
+		inRegistry[mt] = true
+	}
+	for name, s := range declared {
+		if !inRegistry[MsgType(s)] {
+			t.Errorf("constant %s (%q) missing from AllMsgTypes", name, s)
+		}
+	}
+	if len(AllMsgTypes) != len(declared) {
+		t.Errorf("AllMsgTypes has %d entries, wire.go declares %d MsgType constants",
+			len(AllMsgTypes), len(declared))
+	}
+}
+
+// TestProtocolDocCoversAllMsgTypes: docs/PROTOCOL.md must document every
+// message type that exists in the implementation — both by wire string in
+// the registry table and at least once in running text. Adding a MsgType
+// without specifying it is a CI failure by design.
+func TestProtocolDocCoversAllMsgTypes(t *testing.T) {
+	raw, err := os.ReadFile("../../docs/PROTOCOL.md")
+	if err != nil {
+		t.Fatalf("reading protocol spec: %v", err)
+	}
+	doc := string(raw)
+	declared := declaredMsgTypes(t)
+	for name, s := range declared {
+		// The registry table (section 4) lists each wire string in
+		// backticks at the start of a row.
+		row := fmt.Sprintf("| `%s` |", s)
+		if !strings.Contains(doc, row) {
+			t.Errorf("docs/PROTOCOL.md registry table has no row %q for constant %s", row, name)
+		}
+	}
+	// The framing constants must match the spec's stated values.
+	if FrameMagic != 0xB2 {
+		t.Errorf("FrameMagic = 0x%02X; update docs/PROTOCOL.md section 1.2", FrameMagic)
+	}
+	if !strings.Contains(doc, "`0xB2`") {
+		t.Error("docs/PROTOCOL.md does not document the frame magic 0xB2")
+	}
+	if MaxFramePayload != 1<<20 {
+		t.Errorf("MaxFramePayload = %d; update docs/PROTOCOL.md sections 1.2 and 7", MaxFramePayload)
+	}
+}

@@ -1,11 +1,24 @@
 // Package wire defines the LAN protocol between BIPS workstations, mobile
-// clients and the central server: newline-delimited JSON envelopes carrying
-// typed request/response bodies over any io.ReadWriter (TCP in the live
-// system, net.Pipe in tests and simulations).
+// clients and the central server, in two wire versions over any
+// io.ReadWriter (TCP in the live system, net.Pipe in tests and
+// simulations):
 //
-// Every request envelope carries a sequence number; the peer answers with
-// an envelope of the matching sequence number whose type is either the
-// request-specific response type or MsgError.
+//   - v1: newline-delimited JSON envelopes (Codec) — one document per
+//     line, human-debuggable with netcat.
+//   - v2: length-prefixed frames (FrameCodec, see frame.go) carrying the
+//     same JSON envelopes — cheaper to parse, sized up front, and safe to
+//     pipeline aggressively.
+//
+// A server sniffs the version from the first byte (ServerTransport), so v1
+// clients keep working unchanged against a v2 server.
+//
+// Every request envelope carries a sequence number — the correlation id.
+// The peer answers with an envelope of the matching sequence number whose
+// type is either the request-specific response type or MsgError. Requests
+// may be pipelined: a client may send many requests before reading any
+// response, and a v2 server may answer them out of order; the correlation
+// id is what ties each response to its request. See docs/PROTOCOL.md for
+// the full specification.
 package wire
 
 import (
@@ -14,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 
 	"bips/internal/baseband"
@@ -40,6 +54,11 @@ const (
 	MsgPath MsgType = "path"
 	// MsgRooms asks for the server's floor plan.
 	MsgRooms MsgType = "rooms"
+	// MsgBatch carries several requests in one envelope; the response is
+	// a MsgBatchResult with one response per request, in order.
+	MsgBatch MsgType = "batch"
+	// MsgStats asks for the server's metrics snapshot.
+	MsgStats MsgType = "stats"
 	// MsgOK is the empty success response.
 	MsgOK MsgType = "ok"
 	// MsgLocateResult answers MsgLocate.
@@ -48,9 +67,25 @@ const (
 	MsgPathResult MsgType = "path.result"
 	// MsgRoomsResult answers MsgRooms.
 	MsgRoomsResult MsgType = "rooms.result"
+	// MsgBatchResult answers MsgBatch.
+	MsgBatchResult MsgType = "batch.result"
+	// MsgStatsResult answers MsgStats.
+	MsgStatsResult MsgType = "stats.result"
 	// MsgError is the failure response.
 	MsgError MsgType = "error"
 )
+
+// AllMsgTypes lists every message type of the protocol, requests first,
+// then responses. It is the registry docs/PROTOCOL.md is checked against
+// (see protocoldoc_test.go); keep it in sync with the constant block
+// above — a test parses this file's AST and fails if a MsgType constant is
+// missing here.
+var AllMsgTypes = []MsgType{
+	MsgHello, MsgPresence, MsgLogin, MsgLogout, MsgLocate, MsgPath,
+	MsgRooms, MsgBatch, MsgStats,
+	MsgOK, MsgLocateResult, MsgPathResult, MsgRoomsResult,
+	MsgBatchResult, MsgStatsResult, MsgError,
+}
 
 // Envelope frames every message.
 type Envelope struct {
@@ -128,6 +163,104 @@ type RoomsResult struct {
 	Rooms []RoomInfo `json:"rooms"`
 }
 
+// Batch carries several requests in one envelope. Each inner envelope is
+// a complete request whose Seq is private to the batch: the server echoes
+// it in the matching inner response but correlates only on the outer
+// envelope's Seq. Requests are executed sequentially in order; an inner
+// failure produces an inner MsgError and does not abort the rest. Nesting
+// a MsgBatch inside a Batch is rejected.
+type Batch struct {
+	Requests []Envelope `json:"requests"`
+}
+
+// Add marshals a typed request into the batch. The inner Seq is the
+// request's position, so responses can be read back by index.
+func (b *Batch) Add(t MsgType, body any) error {
+	env, err := MarshalBody(t, uint64(len(b.Requests)), body)
+	if err != nil {
+		return err
+	}
+	b.Requests = append(b.Requests, env)
+	return nil
+}
+
+// BatchResult answers Batch with one response per request, same order.
+type BatchResult struct {
+	Responses []Envelope `json:"responses"`
+}
+
+// Decode unmarshals response i into out (out may be nil for MsgOK
+// responses). An inner MsgError becomes a *Error return value, like
+// Client.Call.
+func (br *BatchResult) Decode(i int, out any) error {
+	if i < 0 || i >= len(br.Responses) {
+		return fmt.Errorf("wire: batch response %d of %d", i, len(br.Responses))
+	}
+	resp := br.Responses[i]
+	if resp.Type == MsgError {
+		var werr Error
+		if err := UnmarshalBody(resp, &werr); err != nil {
+			return err
+		}
+		return &werr
+	}
+	if out != nil {
+		return UnmarshalBody(resp, out)
+	}
+	return nil
+}
+
+// StatsQuery asks for the server's metrics snapshot; it has no parameters.
+type StatsQuery struct{}
+
+// HistogramStats is the wire form of one latency histogram.
+type HistogramStats struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// StatsResult answers StatsQuery: a flat counter map (dotted names, e.g.
+// "server.requests.locate" or "locdb.updates") and the request-latency
+// histograms in seconds.
+type StatsResult struct {
+	Counters   map[string]int64          `json:"counters"`
+	Histograms map[string]HistogramStats `json:"histograms"`
+}
+
+// PrintStats renders a StatsResult for terminal consumption: counters in
+// sorted order (zero counters elided), then histograms with their
+// percentiles in milliseconds. Shared by bips-query -stats and
+// bips-loadgen -stats.
+func PrintStats(w io.Writer, res StatsResult) {
+	names := make([]string, 0, len(res.Counters))
+	for name := range res.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if res.Counters[name] == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-32s %d\n", name, res.Counters[name])
+	}
+	hnames := make([]string, 0, len(res.Histograms))
+	for name := range res.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	ms := func(s float64) float64 { return s * 1000 }
+	for _, name := range hnames {
+		h := res.Histograms[name]
+		fmt.Fprintf(w, "%-32s count=%d p50=%.3fms p90=%.3fms p99=%.3fms max=%.3fms\n",
+			name, h.Count, ms(h.P50), ms(h.P90), ms(h.P99), ms(h.Max))
+	}
+}
+
 // Error is the failure response body.
 type Error struct {
 	Code    string `json:"code"`
@@ -185,9 +318,15 @@ type Codec struct {
 
 // NewCodec wraps a stream. If rw implements io.Closer, Close closes it.
 func NewCodec(rw io.ReadWriter) *Codec {
+	return newCodec(rw, bufio.NewReader(rw))
+}
+
+// newCodec builds a Codec over an already-buffered reader, so the
+// server-side version sniffer can hand over the reader it peeked into.
+func newCodec(rw io.ReadWriter, r *bufio.Reader) *Codec {
 	c := &Codec{
 		w: bufio.NewWriter(rw),
-		r: bufio.NewReader(rw),
+		r: r,
 	}
 	if cl, ok := rw.(io.Closer); ok {
 		c.closer = cl
@@ -229,7 +368,7 @@ func (c *Codec) Recv() (Envelope, error) {
 	}
 	var env Envelope
 	if uerr := json.Unmarshal(line, &env); uerr != nil {
-		return Envelope{}, fmt.Errorf("wire: decode: %w", uerr)
+		return Envelope{}, fmt.Errorf("%w: %v", ErrMalformed, uerr)
 	}
 	return env, nil
 }
@@ -248,11 +387,14 @@ func (c *Codec) Close() error {
 	return nil
 }
 
-// Client is a synchronous RPC client over a Codec. A single receive loop
-// dispatches responses to waiting callers by sequence number, so multiple
-// goroutines may issue calls concurrently.
+// Client is a synchronous RPC client over a Transport (v1 Codec or v2
+// FrameCodec). A single receive loop dispatches responses to waiting
+// callers by sequence number, so multiple goroutines may issue calls
+// concurrently — each in-flight call is one pipelined request on the
+// shared connection, and out-of-order completion by the server is handled
+// transparently.
 type Client struct {
-	codec *Codec
+	codec Transport
 
 	mu      sync.Mutex
 	nextSeq uint64
@@ -262,7 +404,7 @@ type Client struct {
 }
 
 // NewClient starts the receive loop over the codec.
-func NewClient(codec *Codec) *Client {
+func NewClient(codec Transport) *Client {
 	c := &Client{
 		codec:   codec,
 		pending: make(map[uint64]chan Envelope),

@@ -7,6 +7,7 @@ import (
 
 	"bips/internal/building"
 	"bips/internal/inquiry"
+	"bips/internal/locdb"
 	"bips/internal/sim"
 )
 
@@ -32,6 +33,7 @@ type settings struct {
 	cycle  inquiry.DutyCycle
 	bld    *building.Building
 	radius float64
+	shards int
 }
 
 // WithSeed sets the root random seed. All randomness (radio phases,
@@ -81,6 +83,22 @@ func WithBuilding(plan *FloorPlan) Option {
 			return err
 		}
 		s.bld = bld
+		return nil
+	})
+}
+
+// WithShards splits the central location database into n independently
+// locked shards keyed by device-address hash. More shards let presence
+// deltas and location queries for different devices proceed in parallel
+// instead of contending on one mutex; 1 reproduces the original
+// single-mutex database. The default is locdb.DefaultShards (16). n must
+// be in [1, 4096].
+func WithShards(n int) Option {
+	return optionFunc(func(s *settings) error {
+		if n < 1 || n > locdb.MaxShards {
+			return fmt.Errorf("%w: shard count %d (want 1..%d)", ErrBadOption, n, locdb.MaxShards)
+		}
+		s.shards = n
 		return nil
 	})
 }
