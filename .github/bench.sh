@@ -1,0 +1,93 @@
+#!/bin/sh
+# bench.sh — run the benchmark suite and write a machine-readable
+# benchmark record (benchmark name -> ns/op, bytes/op, allocs/op) so the
+# performance trajectory of the repo is tracked in data, not prose.
+#
+# Usage:
+#   .github/bench.sh [output.json]
+#
+# Environment:
+#   BENCHTIME  go test -benchtime value (default 0.5s; CI may use 1s,
+#              quick smoke runs 1x)
+#   BENCHPKGS  packages to benchmark (default: the storage, locdb,
+#              server, loadgen packages and the repo root)
+#
+# The record includes, when both sides of BenchmarkLocdbDelta were
+# measured, the derived "locdb_delta_overhead_pct": the saturation
+# overhead of the durable (history + WAL) store versus the in-memory
+# store on the workstation delta hot path — the PR 4 acceptance metric
+# (see docs/OPERATIONS.md for how to read it on single-core hosts).
+set -eu
+
+out="${1:-BENCH_PR4.json}"
+benchtime="${BENCHTIME:-0.5s}"
+pkgs="${BENCHPKGS:-./internal/storage ./internal/locdb ./internal/server ./internal/loadgen .}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+# No pipe here: plain sh has no pipefail, and a benchmark that fails to
+# build or run must fail this script (and CI), not vanish into tee.
+# shellcheck disable=SC2086 # pkgs is a deliberate word list
+if ! go test -run '^$' -bench . -benchmem -benchtime "$benchtime" $pkgs > "$tmp" 2>&1; then
+    cat "$tmp" >&2
+    echo "bench.sh: go test -bench failed" >&2
+    exit 1
+fi
+cat "$tmp" >&2
+
+awk -v benchtime="$benchtime" '
+BEGIN {
+    n = 0
+    "go version" | getline gover
+    "date -u +%Y-%m-%dT%H:%M:%SZ" | getline now
+    "uname -srm" | getline host
+    printf "{\n"
+    printf "  \"schema\": \"bips-bench-v1\",\n"
+    printf "  \"go\": \"%s\",\n", gover
+    printf "  \"date\": \"%s\",\n", now
+    printf "  \"host\": \"%s\",\n", host
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"benchmarks\": {\n"
+}
+$1 == "pkg:" { pkg = $2; next }
+/^Benchmark/ {
+    name = $1
+    # Strip the -GOMAXPROCS suffix go test appends on multi-core hosts.
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "B/op") bytes = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    key = pkg "/" name
+    if (n > 0) printf ",\n"
+    printf "    \"%s\": {\"ns_per_op\": %s", key, ns
+    if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+    n++
+    if (name == "BenchmarkLocdbDelta/mem") memns = ns
+    if (name == "BenchmarkLocdbDelta/durable") durns = ns
+    if (name == "BenchmarkLocdbDelta/journal") jns = ns
+}
+END {
+    printf "\n  }"
+    if (memns != "" && durns != "") {
+        # Saturation overhead: total CPU per delta with the async
+        # group-commit work charged to the issuing core (worst case,
+        # see docs/OPERATIONS.md 4.3 for single-core interpretation).
+        printf ",\n  \"locdb_delta_overhead_pct\": %.1f", (durns - memns) * 100.0 / memns
+    }
+    if (memns != "" && jns != "") {
+        # Foreground overhead: the in-shard-lock journal append alone —
+        # the latency a delta caller actually blocks on. This is the
+        # PR 4 acceptance metric (bar: <= 20).
+        printf ",\n  \"locdb_delta_foreground_overhead_pct\": %.1f", jns * 100.0 / memns
+    }
+    printf "\n}\n"
+}' "$tmp" > "$out"
+
+echo "wrote $out" >&2

@@ -7,12 +7,16 @@
 //	bips-server -listen :7700 -loadgen-users 16 &
 //	bips-loadgen -server 127.0.0.1:7700 -clients 8 -qps 50000 -duration 10s -mode mixed
 //	bips-loadgen -server 127.0.0.1:7700 -mode locate -users 16 -batch 32
+//	bips-loadgen -server 127.0.0.1:7700 -mix "locate=60,presence=20,at=10,trajectory=10"
 //
 // With -qps 0 the generator runs unthrottled and reports the saturation
-// throughput. -mode rooms needs no server-side setup; -mode locate and
-// -mode mixed need the server started with -loadgen-users >= -users.
-// -stats additionally fetches the server's MsgStats snapshot after the
-// run.
+// throughput. -mode rooms needs no server-side setup; every other mode,
+// and any -mix touching users, needs the server started with
+// -loadgen-users >= -users. -mix overrides -mode with an explicit
+// weighted request mix over rooms | locate | presence | at |
+// trajectory — the way to drive the storage engine's read/history
+// serving workload (see docs/OPERATIONS.md). -stats additionally
+// fetches the server's MsgStats snapshot after the run.
 package main
 
 import (
@@ -42,7 +46,8 @@ func run(args []string) error {
 		pipeline   = fs.Int("pipeline", 8, "concurrent in-flight calls per connection")
 		qps        = fs.Float64("qps", 0, "target aggregate requests/second (0 = unthrottled)")
 		duration   = fs.Duration("duration", 5*time.Second, "run length")
-		mode       = fs.String("mode", "rooms", "request mix: rooms | locate | mixed")
+		mode       = fs.String("mode", "rooms", "preset request mix: rooms | locate | mixed")
+		mix        = fs.String("mix", "", `weighted request mix overriding -mode, e.g. "locate=6,presence=2,at=1,trajectory=1"`)
 		batch      = fs.Int("batch", 1, "sub-requests per MsgBatch envelope (1 = no batching)")
 		users      = fs.Int("users", 8, "synthetic users for locate/mixed (server needs -loadgen-users >= this)")
 		password   = fs.String("password", "loadgen", "synthetic users' password")
@@ -61,14 +66,19 @@ func run(args []string) error {
 		QPS:      *qps,
 		Duration: *duration,
 		Mode:     loadgen.Mode(*mode),
+		Mix:      *mix,
 		Batch:    *batch,
 		Users:    *users,
 		Password: *password,
 		V1:       *useV1,
 		Seed:     *seed,
 	}
-	log.Printf("driving %s: %d conns x %d pipeline, mode=%s batch=%d qps=%v for %v",
-		cfg.Addr, *clients, *pipeline, *mode, *batch, *qps, *duration)
+	workload := "mode=" + *mode
+	if *mix != "" {
+		workload = "mix=" + *mix
+	}
+	log.Printf("driving %s: %d conns x %d pipeline, %s batch=%d qps=%v for %v",
+		cfg.Addr, *clients, *pipeline, workload, *batch, *qps, *duration)
 	rep, err := loadgen.Run(context.Background(), cfg)
 	if err != nil {
 		return err

@@ -1,41 +1,60 @@
 // Command bips-query is the mobile client of the BIPS service: it logs
-// users in and out and asks the central server the paper's queries.
+// users in and out and asks the central server the paper's queries,
+// including the historical spatio-temporal ones.
 //
 //	bips-query -server 127.0.0.1:7700 login alice secret AA:BB:CC:DD:EE:01
 //	bips-query -server 127.0.0.1:7700 locate alice bob
+//	bips-query -server 127.0.0.1:7700 at alice bob 2m30s
+//	bips-query -server 127.0.0.1:7700 trajectory alice bob 0 5m
 //	bips-query -server 127.0.0.1:7700 path alice bob
 //	bips-query -server 127.0.0.1:7700 rooms
 //	bips-query -server 127.0.0.1:7700 logout alice
 //	bips-query -server 127.0.0.1:7700 -stats
 //
+// Timestamps for at/trajectory are simulated time since the server's
+// tracking started: either a Go duration ("2m30s", "150s") or a raw
+// tick count (an integer; 3200 ticks = 1 s).
+//
 // -timeout (default 5s) bounds the whole exchange — dial, request and
-// response — so an unreachable or wedged server fails fast instead of
-// hanging. -stats fetches and prints the server's metrics snapshot (the
-// MsgStats query of docs/PROTOCOL.md) after the subcommand, or on its own
-// when no subcommand is given. -v1 forces the newline-JSON wire protocol
-// v1; the default is v2 length-prefixed frames.
+// response — uniformly for every subcommand, so an unreachable or
+// wedged server fails fast instead of hanging. -stats fetches and
+// prints the server's metrics snapshot (the MsgStats query of
+// docs/PROTOCOL.md) after the subcommand, or on its own when no
+// subcommand is given. -v1 forces the newline-JSON wire protocol v1;
+// the default is v2 length-prefixed frames.
+//
+// Exit status: 0 on success, 1 when the server answers an error or the
+// exchange fails, 2 for a usage error. Scripts can rely on a non-zero
+// exit for every failed query.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
+	"bips/internal/sim"
 	"bips/internal/wire"
 )
+
+// errUsage marks command-line misuse (exit status 2, not 1).
+var errUsage = errors.New("usage: bips-query [-server addr] [-timeout d] [-v1] [-stats] " +
+	"{login user pw dev | logout user | locate querier target | at querier target time | " +
+	"trajectory querier target from to | path querier target | rooms}")
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "bips-query:", err)
+		if errors.Is(err, errUsage) || errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
-}
-
-func usage() error {
-	return fmt.Errorf("usage: bips-query [-server addr] [-timeout d] [-v1] [-stats] {login user pw dev | logout user | locate querier target | path querier target | rooms}")
 }
 
 func run(args []string) error {
@@ -45,16 +64,27 @@ func run(args []string) error {
 	stats := fs.Bool("stats", false, "fetch and print the server's metrics snapshot")
 	useV1 := fs.Bool("v1", false, "use wire protocol v1 (newline JSON) instead of v2 frames")
 	if err := fs.Parse(args); err != nil {
-		return err
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w (%v)", errUsage, err)
 	}
 	rest := fs.Args()
 	if len(rest) == 0 && !*stats {
-		return usage()
+		return errUsage
+	}
+	if len(rest) > 0 {
+		// Validate shape (and time arguments) before touching the
+		// network, so usage errors never depend on server reachability.
+		if err := validate(rest); err != nil {
+			return err
+		}
 	}
 
-	// The client is one-shot: a single budget covers dial, request and
-	// response, so a server that accepts but never answers also fails
-	// within -timeout.
+	// The client is one-shot: a single budget covers dial, every request
+	// and every response, so a server that accepts but never answers
+	// also fails within -timeout — uniformly for all subcommands,
+	// including a trailing -stats fetch.
 	start := time.Now()
 	conn, err := net.DialTimeout("tcp", *serverAddr, *timeout)
 	if err != nil {
@@ -73,14 +103,51 @@ func run(args []string) error {
 	}
 	defer client.Close()
 
-	if len(rest) == 0 {
+	if len(rest) > 0 {
+		if err := runCommand(client, rest); err != nil {
+			return err
+		}
+	}
+	if *stats {
+		if len(rest) > 0 {
+			fmt.Println()
+		}
 		return printStats(client)
 	}
+	return nil
+}
+
+// validate checks a subcommand's shape without executing it.
+func validate(rest []string) error {
+	want := map[string]int{
+		"login": 4, "logout": 2, "locate": 3, "at": 4,
+		"trajectory": 5, "path": 3, "rooms": 1,
+	}
+	n, ok := want[rest[0]]
+	if !ok || len(rest) != n {
+		return errUsage
+	}
+	switch rest[0] {
+	case "at":
+		_, err := parseTime(rest[3])
+		return err
+	case "trajectory":
+		if _, err := parseTime(rest[3]); err != nil {
+			return err
+		}
+		_, err := parseTime(rest[4])
+		return err
+	}
+	return nil
+}
+
+// runCommand executes one subcommand. The caller has already run
+// validate, so shape and time arguments are known-good here — arity is
+// checked in exactly one place (validate's table). Every error returned
+// makes the process exit non-zero.
+func runCommand(client *wire.Client, rest []string) error {
 	switch rest[0] {
 	case "login":
-		if len(rest) != 4 {
-			return usage()
-		}
 		if err := client.Call(wire.MsgLogin, wire.Login{
 			User: rest[1], Password: rest[2], Device: rest[3],
 		}, nil); err != nil {
@@ -88,29 +155,57 @@ func run(args []string) error {
 		}
 		fmt.Printf("logged in %q on %s\n", rest[1], rest[3])
 	case "logout":
-		if len(rest) != 2 {
-			return usage()
-		}
 		if err := client.Call(wire.MsgLogout, wire.Logout{User: rest[1]}, nil); err != nil {
 			return err
 		}
 		fmt.Printf("logged out %q\n", rest[1])
 	case "locate":
-		if len(rest) != 3 {
-			return usage()
-		}
 		var res wire.LocateResult
 		if err := client.Call(wire.MsgLocate, wire.Locate{
 			Querier: rest[1], Target: rest[2],
 		}, &res); err != nil {
 			return err
 		}
-		fmt.Printf("%s is in room %d (%s), seen at tick %d\n",
-			rest[2], res.Room, res.RoomName, res.At)
-	case "path":
-		if len(rest) != 3 {
-			return usage()
+		fmt.Printf("%s is in room %d (%s), seen at %s\n",
+			rest[2], res.Room, res.RoomName, fmtTick(res.At))
+	case "at":
+		at, err := parseTime(rest[3])
+		if err != nil {
+			return err
 		}
+		var res wire.LocateResult
+		if err := client.Call(wire.MsgLocateAt, wire.LocateAt{
+			Querier: rest[1], Target: rest[2], At: at,
+		}, &res); err != nil {
+			return err
+		}
+		fmt.Printf("%s was in room %d (%s) at %s (entered %s)\n",
+			rest[2], res.Room, res.RoomName, fmtTick(at), fmtTick(res.At))
+	case "trajectory":
+		from, err := parseTime(rest[3])
+		if err != nil {
+			return err
+		}
+		to, err := parseTime(rest[4])
+		if err != nil {
+			return err
+		}
+		var res wire.TrajectoryResult
+		if err := client.Call(wire.MsgTrajectory, wire.TrajectoryQuery{
+			Querier: rest[1], Target: rest[2], From: from, To: to,
+		}, &res); err != nil {
+			return err
+		}
+		if len(res.Steps) == 0 {
+			fmt.Printf("no recorded movement for %s in [%s, %s]\n",
+				rest[2], fmtTick(from), fmtTick(to))
+			return nil
+		}
+		fmt.Printf("%s between %s and %s:\n", rest[2], fmtTick(from), fmtTick(to))
+		for _, step := range res.Steps {
+			fmt.Printf("  %-10s room %-3d %s\n", fmtTick(step.At), step.Room, step.RoomName)
+		}
+	case "path":
 		var res wire.PathResult
 		if err := client.Call(wire.MsgPath, wire.PathQuery{
 			Querier: rest[1], Target: rest[2],
@@ -120,9 +215,6 @@ func run(args []string) error {
 		fmt.Printf("shortest path to %s (%.0f m): %s\n",
 			rest[2], res.TotalMeters, strings.Join(res.Names, " -> "))
 	case "rooms":
-		if len(rest) != 1 {
-			return usage()
-		}
 		var res wire.RoomsResult
 		if err := client.Call(wire.MsgRooms, wire.RoomsQuery{}, &res); err != nil {
 			return err
@@ -132,13 +224,27 @@ func run(args []string) error {
 			fmt.Printf("%-4d %-20s %8.1f %8.1f\n", r.ID, r.Name, r.X, r.Y)
 		}
 	default:
-		return usage()
-	}
-	if *stats {
-		fmt.Println()
-		return printStats(client)
+		return errUsage
 	}
 	return nil
+}
+
+// parseTime accepts a simulated timestamp as a Go duration ("2m30s") or
+// a raw tick count ("480000").
+func parseTime(s string) (sim.Tick, error) {
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return sim.Tick(n), nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad time %q (want a duration like 2m30s or a tick count): %w", s, errUsage)
+	}
+	return sim.FromDuration(d), nil
+}
+
+// fmtTick renders a simulated tick as both a duration and the raw tick.
+func fmtTick(t sim.Tick) string {
+	return fmt.Sprintf("%v (tick %d)", t.Duration(), int64(t))
 }
 
 // printStats fetches the server's metrics snapshot over the open

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"errors"
+	"net"
+	"testing"
+
+	"bips/internal/building"
+	"bips/internal/graph"
+	"bips/internal/locdb"
+	"bips/internal/registry"
+	"bips/internal/server"
+	"bips/internal/sim"
+	"bips/internal/wire"
+)
+
+// startServer runs a real central server on a loopback port, seeded
+// with two users and a short movement history for bob.
+func startServer(t *testing.T) string {
+	t.Helper()
+	bld, err := building.AcademicDepartment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New()
+	for _, u := range []string{"alice", "bob"} {
+		if err := reg.Register(registry.UserID(u), u, "pw",
+			registry.RightLocate, registry.RightTrackable); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := server.New(reg, locdb.New(), bld)
+	srv.Logf = t.Logf
+	if err := srv.Login(wire.Login{User: "alice", Password: "pw", Device: "B0:00:00:00:00:01"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Login(wire.Login{User: "bob", Password: "pw", Device: "B0:00:00:00:00:02"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.ApplyPresence(wire.Presence{Device: "B0:00:00:00:00:01", Room: 1, At: 10, Present: true}); err != nil {
+		t.Fatal(err)
+	}
+	for i, room := range []graph.NodeID{2, 5, 3} {
+		if err := srv.ApplyPresence(wire.Presence{
+			Device: "B0:00:00:00:00:02", Room: room, At: sim.Tick(1000 * (i + 1)), Present: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	return l.Addr().String()
+}
+
+// TestSubcommandsSucceed: every query subcommand exits cleanly against
+// a live server, with -timeout applied uniformly.
+func TestSubcommandsSucceed(t *testing.T) {
+	addr := startServer(t)
+	cases := [][]string{
+		{"-server", addr, "locate", "alice", "bob"},
+		{"-server", addr, "at", "alice", "bob", "2000"},
+		{"-server", addr, "at", "alice", "bob", "900ms"},
+		{"-server", addr, "trajectory", "alice", "bob", "0", "10000"},
+		{"-server", addr, "trajectory", "alice", "bob", "0s", "5s"},
+		{"-server", addr, "path", "alice", "bob"},
+		{"-server", addr, "rooms"},
+		{"-server", addr, "-stats"},
+		{"-server", addr, "-stats", "locate", "alice", "bob"},
+		{"-server", addr, "-v1", "at", "alice", "bob", "2000"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v) = %v, want success", args, err)
+		}
+	}
+}
+
+// TestQueryErrorsAreErrors: a served error answer must surface as a
+// non-nil (non-usage) error so the process exits 1, never 0.
+func TestQueryErrorsAreErrors(t *testing.T) {
+	addr := startServer(t)
+	cases := [][]string{
+		{"-server", addr, "locate", "alice", "nobody"},
+		{"-server", addr, "at", "alice", "bob", "5"}, // before history
+		{"-server", addr, "login", "alice", "wrongpw", "B0:00:00:00:00:09"},
+	}
+	for _, args := range cases {
+		err := run(args)
+		if err == nil {
+			t.Errorf("run(%v) succeeded, want query error", args)
+			continue
+		}
+		if errors.Is(err, errUsage) {
+			t.Errorf("run(%v) classed as usage error: %v", args, err)
+		}
+	}
+}
+
+// TestUsageErrors: malformed invocations are usage errors (exit 2) and
+// never touch the network.
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-server", "127.0.0.1:1", "locate", "alice"},
+		{"-server", "127.0.0.1:1", "at", "alice", "bob"},
+		{"-server", "127.0.0.1:1", "trajectory", "alice", "bob", "0"},
+		{"-server", "127.0.0.1:1", "wat"},
+	}
+	for _, args := range cases {
+		if err := run(args); !errors.Is(err, errUsage) {
+			t.Errorf("run(%v) = %v, want usage error", args, err)
+		}
+	}
+}
+
+// TestUsageCheckedBeforeDial: bad time strings are usage errors, and
+// they are detected before any connection is attempted (the server
+// address here is unreachable).
+func TestUsageCheckedBeforeDial(t *testing.T) {
+	if err := run([]string{"-server", "127.0.0.1:1", "at", "alice", "bob", "not-a-time"}); !errors.Is(err, errUsage) {
+		t.Errorf("bad time string not a usage error")
+	}
+	if err := run([]string{"-server", "127.0.0.1:1", "trajectory", "alice", "bob", "0", "xyz"}); !errors.Is(err, errUsage) {
+		t.Errorf("bad trajectory time not a usage error")
+	}
+}
+
+// TestTimeoutFailsFast: an unreachable server fails within the budget
+// instead of hanging.
+func TestTimeoutFailsFast(t *testing.T) {
+	// A listener that accepts and never answers.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	err = run([]string{"-server", l.Addr().String(), "-timeout", "200ms", "locate", "alice", "bob"})
+	if err == nil {
+		t.Fatal("query against a mute server succeeded")
+	}
+	if errors.Is(err, errUsage) {
+		t.Fatalf("timeout classed as usage error: %v", err)
+	}
+}

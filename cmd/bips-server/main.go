@@ -7,16 +7,30 @@
 //	bips-server -listen :7700 -user alice:secret -user bob:secret
 //	bips-server -plan museum.json -user guide:secret
 //	bips-server -shards 32 -inflight 128 -loadgen-users 16
+//	bips-server -data-dir /var/lib/bips -snapshot-interval 30s
 //
 // Workstations (bips-station) connect and push presence deltas; clients
-// (bips-query) log users in and ask locate/path/rooms queries, over wire
-// protocol v1 or v2 (sniffed per connection, see docs/PROTOCOL.md).
+// (bips-query) log users in and ask locate/path/rooms queries — plus the
+// historical at/trajectory queries — over wire protocol v1 or v2
+// (sniffed per connection, see docs/PROTOCOL.md).
+//
+// -data-dir makes the location database durable: presence deltas are
+// written through to an append-only WAL with periodic snapshots
+// (-snapshot-interval), and a restarted server recovers the full
+// presence state and movement history from the directory (the recipe is
+// in docs/OPERATIONS.md). Without it the database lives in memory and a
+// restart starts empty. -history-limit bounds the per-device history
+// backing the at/trajectory queries (0 disables them).
 //
 // -shards splits the location database into independently locked shards
 // (default 16); -inflight bounds concurrently executing requests per
 // connection; -loadgen-users N registers the synthetic users user0..N-1
-// with password "loadgen" that bips-loadgen's locate/mixed modes expect.
-// Tuning guidance lives in docs/OPERATIONS.md.
+// with password "loadgen" that bips-loadgen's locate/mixed/mix modes
+// expect. Tuning guidance lives in docs/OPERATIONS.md.
+//
+// On SIGINT/SIGTERM the server stops accepting, drains connections and —
+// when running with -data-dir — flushes the WAL and writes a final
+// checkpoint before exiting.
 package main
 
 import (
@@ -25,7 +39,10 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"bips"
 	"bips/internal/building"
@@ -33,6 +50,7 @@ import (
 	"bips/internal/locdb"
 	"bips/internal/registry"
 	"bips/internal/server"
+	"bips/internal/storage"
 )
 
 type userList []string
@@ -60,6 +78,11 @@ func run(args []string) error {
 	shards := fs.Int("shards", locdb.DefaultShards, "location-database shard count")
 	inflight := fs.Int("inflight", server.DefaultMaxInFlight, "max concurrently executing requests per connection")
 	loadgenUsers := fs.Int("loadgen-users", 0, `register N synthetic users user0..userN-1 (password "loadgen") for bips-loadgen`)
+	dataDir := fs.String("data-dir", "", "durable storage directory (empty: in-memory only, state is lost on restart)")
+	snapInterval := fs.Duration("snapshot-interval", storage.DefaultSnapshotInterval, "checkpoint period for -data-dir")
+	historyLimit := fs.Int("history-limit", locdb.DefaultHistoryLimit, "per-device movement-history bound (0 disables at/trajectory queries)")
+	walFlush := fs.Duration("wal-flush", storage.DefaultFlushInterval, "WAL group-commit interval for -data-dir (the crash-loss window)")
+	addrFile := fs.String("addr-file", "", "write the bound listen address to this file (for scripts using :0)")
 	var users userList
 	fs.Var(&users, "user", "register user:password (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -90,7 +113,7 @@ func run(args []string) error {
 		log.Printf("registered %d loadgen users", *loadgenUsers)
 	}
 
-	db, err := locdb.NewSharded(*shards, locdb.DefaultHistoryLimit)
+	db, closeStore, err := openStore(*dataDir, *shards, *historyLimit, *snapInterval, *walFlush)
 	if err != nil {
 		return err
 	}
@@ -99,9 +122,66 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(l.Addr().String()), 0o644); err != nil {
+			return err
+		}
+	}
 	log.Printf("BIPS central server listening on %s (%d rooms, %d locdb shards, %d in-flight/conn)",
 		l.Addr(), bld.NumRooms(), db.NumShards(), srv.MaxInFlight())
-	return srv.Serve(l)
+
+	// Graceful shutdown: stop serving first, then checkpoint the store.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("received %v, shutting down", s)
+		if err := srv.Close(); err != nil {
+			log.Printf("server close: %v", err)
+		}
+	}()
+
+	serveErr := srv.Serve(l)
+	if err := closeStore(); err != nil {
+		log.Printf("storage close: %v", err)
+		if serveErr == nil {
+			serveErr = err
+		}
+	}
+	return serveErr
+}
+
+// openStore builds the location backend: durable when dataDir is set,
+// in-memory otherwise. The returned closer flushes and checkpoints the
+// durable backend (a no-op for the memory one).
+func openStore(dataDir string, shards, historyLimit int, snapInterval, walFlush time.Duration) (locdb.Store, func() error, error) {
+	if dataDir == "" {
+		if historyLimit < 0 {
+			historyLimit = 0
+		}
+		db, err := locdb.NewSharded(shards, historyLimit)
+		if err != nil {
+			return nil, nil, err
+		}
+		return db, db.Close, nil
+	}
+	if historyLimit == 0 {
+		historyLimit = -1 // storage.Options: negative disables
+	}
+	st, err := storage.Open(storage.Options{
+		Dir:              dataDir,
+		Shards:           shards,
+		HistoryLimit:     historyLimit,
+		SnapshotInterval: snapInterval,
+		FlushInterval:    walFlush,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := st.StorageStats()
+	log.Printf("durable store %s: recovered %d devices from snapshot, replayed %d WAL records",
+		dataDir, stats["restored_devices"], stats["replayed_records"])
+	return st, st.Close, nil
 }
 
 // loadBuilding compiles the -plan file, or falls back to the built-in

@@ -1,0 +1,185 @@
+package bips_test
+
+import (
+	"testing"
+	"time"
+
+	"bips"
+)
+
+// historyDeployment builds a deployment with alice stationary and bob
+// walking, runs it for d of simulated time, and returns the service.
+func historyDeployment(t *testing.T, d time.Duration, opts ...bips.Option) *bips.Service {
+	t.Helper()
+	svc, err := bips.New(append([]bips.Option{bips.WithSeed(7)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.MustRegister("alice", "pw")
+	svc.MustRegister("bob", "pw")
+	if _, err := svc.AddStationaryUser("alice", "pw", "Lobby"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.AddWalkingUser("bob", "pw", "Library"); err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	svc.Run(d)
+	return svc
+}
+
+// TestLocateAtAnswersHistory: the historical query agrees with the
+// current one at the present and stays answerable across the past the
+// history retains.
+func TestLocateAtAnswersHistory(t *testing.T) {
+	svc := historyDeployment(t, 3*time.Minute)
+	now := svc.Now()
+
+	// LocateAt(now) answers the run in force now. When the walker is
+	// momentarily outside every cell Locate fails but the historical
+	// query still knows the last piconet — assert consistency with
+	// whichever the present offers.
+	atNow, err := svc.LocateAt("alice", "bob", now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur, err := svc.Locate("alice", "bob"); err == nil {
+		if atNow.Room != cur.Room || atNow.RoomName != cur.RoomName {
+			t.Fatalf("LocateAt(now) = %+v, Locate = %+v", atNow, cur)
+		}
+	}
+
+	// The stationary user never moves: every instant after her first
+	// fix answers the same room.
+	first, err := svc.Trajectory("alice", "alice", 0, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 1 || first[0].RoomName != "Lobby" {
+		t.Fatalf("stationary trajectory = %+v, want one Lobby visit", first)
+	}
+	loc, err := svc.LocateAt("bob", "alice", first[0].At+time.Second)
+	if err != nil || loc.RoomName != "Lobby" {
+		t.Fatalf("LocateAt(stationary) = %+v, %v", loc, err)
+	}
+
+	// Before any fix existed, the query fails like an unknown device.
+	if _, err := svc.LocateAt("alice", "bob", 0); err == nil {
+		t.Fatal("LocateAt(0) answered before the first fix")
+	}
+}
+
+// TestTrajectoryIsOrderedAndConsistent: the walker's trajectory is
+// time-ordered, starts at or before the window, and its last visit
+// matches LocateAt of the window end.
+func TestTrajectoryIsOrderedAndConsistent(t *testing.T) {
+	svc := historyDeployment(t, 5*time.Minute)
+	now := svc.Now()
+
+	visits, err := svc.Trajectory("alice", "bob", 0, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(visits) == 0 {
+		t.Fatal("five simulated minutes produced no trajectory for the walker")
+	}
+	for i := 1; i < len(visits); i++ {
+		if visits[i].At < visits[i-1].At {
+			t.Fatalf("trajectory not time-ordered at %d: %+v", i, visits)
+		}
+	}
+	last := visits[len(visits)-1]
+	loc, err := svc.LocateAt("alice", "bob", now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Room != last.Room {
+		t.Fatalf("LocateAt(now) room %d != trajectory's last room %d", loc.Room, last.Room)
+	}
+
+	// A sub-window is a contiguous slice of the full trajectory.
+	if len(visits) >= 2 {
+		sub, err := svc.Trajectory("alice", "bob", visits[1].At, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sub) == 0 || sub[0].Room != visits[1].Room {
+			t.Fatalf("sub-window %+v does not start at the covering run %+v", sub, visits[1])
+		}
+	}
+}
+
+// TestWithHistoryLimitZeroDisables: a deployment without history still
+// locates but cannot answer the historical queries.
+func TestWithHistoryLimitZeroDisables(t *testing.T) {
+	svc := historyDeployment(t, time.Minute, bips.WithHistoryLimit(0))
+	if _, err := svc.Locate("alice", "bob"); err != nil {
+		t.Fatalf("Locate without history: %v", err)
+	}
+	if _, err := svc.LocateAt("alice", "bob", svc.Now()); err == nil {
+		t.Fatal("LocateAt answered with history disabled")
+	}
+	visits, err := svc.Trajectory("alice", "bob", 0, svc.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(visits) != 0 {
+		t.Fatalf("Trajectory with history disabled = %+v", visits)
+	}
+}
+
+// TestWithDataDirSurvivesRestart: a deployment closed cleanly and
+// rebuilt over the same data directory answers the historical queries
+// identically — the public-API face of the storage engine's recovery.
+func TestWithDataDirSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	svc1 := historyDeployment(t, 4*time.Minute, bips.WithDataDir(dir))
+	now1 := svc1.Now()
+
+	want, err := svc1.Trajectory("alice", "bob", 0, now1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("no history to carry across the restart")
+	}
+	svc1.Stop()
+	if err := svc1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new deployment over the same directory: same device-address
+	// allocation order, fresh registry, recovered location state.
+	svc2, err := bips.New(bips.WithSeed(7), bips.WithDataDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	svc2.MustRegister("alice", "pw")
+	svc2.MustRegister("bob", "pw")
+	if _, err := svc2.AddStationaryUser("alice", "pw", "Lobby"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc2.AddStationaryUser("bob", "pw", "Library"); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := svc2.Trajectory("alice", "bob", 0, now1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recovered trajectory has %d visits, want %d:\n got %+v\nwant %+v",
+			len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i].Room != want[i].Room || got[i].RoomName != want[i].RoomName {
+			t.Fatalf("recovered visit %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Point queries answer from the recovered runs too.
+	loc, err := svc2.LocateAt("alice", "bob", now1)
+	if err != nil || loc.Room != want[len(want)-1].Room {
+		t.Fatalf("recovered LocateAt = %+v, %v; want room %d", loc, err, want[len(want)-1].Room)
+	}
+}

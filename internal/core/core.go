@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"bips/internal/baseband"
 	"bips/internal/building"
@@ -30,6 +31,7 @@ import (
 	"bips/internal/registry"
 	"bips/internal/server"
 	"bips/internal/sim"
+	"bips/internal/storage"
 	"bips/internal/wire"
 	"bips/internal/workstation"
 )
@@ -49,6 +51,18 @@ type SystemConfig struct {
 	// Shards is the location-database shard count; 0 selects
 	// locdb.DefaultShards.
 	Shards int
+	// HistoryLimit bounds the per-device movement history; 0 selects
+	// locdb.DefaultHistoryLimit, negative disables history (and with it
+	// the LocateAt/Trajectory query surface).
+	HistoryLimit int
+	// DataDir, when non-empty, backs the location database with the
+	// durable storage engine (WAL + snapshots) rooted at the directory,
+	// so a deployment can be closed and reopened without losing
+	// presence state or history.
+	DataDir string
+	// SnapshotInterval is the durable backend's checkpoint period; 0
+	// selects storage.DefaultSnapshotInterval. Ignored without DataDir.
+	SnapshotInterval time.Duration
 }
 
 // System is a fully wired BIPS deployment.
@@ -79,6 +93,9 @@ type System struct {
 	workstations map[graph.NodeID]*workstation.Workstation
 	mobiles      map[baseband.BDAddr]*device.Mobile
 	running      bool
+	// store is the location backend behind Server, retained so Close
+	// can release it (flush + final checkpoint for a durable backend).
+	store locdb.Store
 }
 
 // NewSystem wires a deployment: one workstation (HCI + discovery schedule)
@@ -113,10 +130,33 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	if shards == 0 {
 		shards = locdb.DefaultShards
 	}
-	db, err := locdb.NewSharded(shards, locdb.DefaultHistoryLimit)
-	if err != nil {
-		return nil, err
+	historyLimit := cfg.HistoryLimit
+	if historyLimit == 0 {
+		historyLimit = locdb.DefaultHistoryLimit
 	}
+	var db locdb.Store
+	if cfg.DataDir != "" {
+		durable, err := storage.Open(storage.Options{
+			Dir:              cfg.DataDir,
+			Shards:           shards,
+			HistoryLimit:     historyLimit,
+			SnapshotInterval: cfg.SnapshotInterval,
+		})
+		if err != nil {
+			return nil, err
+		}
+		db = durable
+	} else {
+		if historyLimit < 0 {
+			historyLimit = 0
+		}
+		mem, err := locdb.NewSharded(shards, historyLimit)
+		if err != nil {
+			return nil, err
+		}
+		db = mem
+	}
+	s.store = db
 	s.Server = server.New(registry.New(), db, bld)
 
 	for _, room := range bld.Rooms() {
@@ -238,6 +278,35 @@ func (s *System) PathTo(querier, target registry.UserID) (wire.PathResult, error
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.Server.Path(wire.PathQuery{Querier: string(querier), Target: string(target)})
+}
+
+// LocateAt answers the historical spatio-temporal query: where was the
+// target at tick at. Safe for concurrent use like Locate.
+func (s *System) LocateAt(querier, target registry.UserID, at sim.Tick) (wire.LocateResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.Server.LocateAt(wire.LocateAt{Querier: string(querier), Target: string(target), At: at})
+}
+
+// Trajectory answers the time-window spatio-temporal query: the
+// target's presence runs overlapping [from, to]. Safe for concurrent
+// use like Locate.
+func (s *System) Trajectory(querier, target registry.UserID, from, to sim.Tick) (wire.TrajectoryResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.Server.Trajectory(wire.TrajectoryQuery{
+		Querier: string(querier), Target: string(target), From: from, To: to,
+	})
+}
+
+// Close releases the location backend: for a durable store it flushes
+// the WAL and writes the final checkpoint, so a subsequent deployment
+// over the same data directory recovers this one's state. Stop the
+// workstations first; Close does not stop the simulation.
+func (s *System) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store.Close()
 }
 
 // UserLocation is one entry of a LocateAll batch answer.

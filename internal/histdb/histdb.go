@@ -1,0 +1,200 @@
+// Package histdb is the spatio-temporal history index of the BIPS
+// location database. The paper's MAP relation is explicitly historical —
+// Section 2's example query selects a device's piconet *over time* — so
+// alongside the current fix the database keeps, per device, a
+// time-ordered log of presence runs.
+//
+// # Fix runs
+//
+// The workstation delta protocol only reports changes, so each recorded
+// visit is the start of a run: the device entered the piconet at the
+// visit's tick and stayed there until the next visit's tick (or until
+// now, for the last one). Answering "where was the device at time t" is
+// therefore a binary search for the last visit at-or-before t, and a
+// trajectory over [from, to] is the run containing from plus every run
+// starting inside the window.
+//
+// The index is not synchronized: in locdb every shard owns one Index and
+// protects it with the shard lock, which is exactly the locking the rest
+// of the shard state uses.
+package histdb
+
+import (
+	"sort"
+
+	"bips/internal/baseband"
+	"bips/internal/graph"
+	"bips/internal/sim"
+)
+
+// Visit is the start of one presence run: the device entered Piconet at
+// tick At (and stayed until the next visit of the same device).
+type Visit struct {
+	Piconet graph.NodeID `json:"piconet"`
+	At      sim.Tick     `json:"at"`
+}
+
+// Log is one device's visit history, append-only in time order and
+// bounded: appending past the limit evicts the oldest visit.
+type Log struct {
+	visits []Visit
+}
+
+// Len returns the number of recorded visits.
+func (l *Log) Len() int { return len(l.visits) }
+
+// Append records a visit. limit bounds the log length (limit <= 0
+// disables recording entirely). Appending a visit identical to the
+// newest recorded one is a no-op, which makes replaying a write-ahead
+// log over an already-restored state idempotent.
+//
+// The binary searches of At and Range require non-decreasing At order,
+// but arrival order is what the database actually stores (two
+// workstations' reports for one device can reach the server out of
+// tick order): a visit carrying an older tick than the newest recorded
+// one is clamped to that tick, preserving both the arrival history and
+// the search invariant. WAL replay sees the same arrival order, so
+// recovery reproduces the same clamped log.
+func (l *Log) Append(v Visit, limit int) {
+	if limit <= 0 {
+		return
+	}
+	if n := len(l.visits); n > 0 {
+		if v.At < l.visits[n-1].At {
+			v.At = l.visits[n-1].At
+		}
+		if l.visits[n-1] == v {
+			return
+		}
+	}
+	l.visits = append(l.visits, v)
+	if len(l.visits) > limit {
+		// Exact-boundary eviction: drop just enough from the front.
+		l.visits = l.visits[len(l.visits)-limit:]
+	}
+}
+
+// At answers the historical point query: the visit whose run covers tick
+// t, i.e. the last visit with At <= t. ok is false when the log is empty
+// or every recorded visit is later than t (the run containing t was
+// evicted or never recorded).
+func (l *Log) At(t sim.Tick) (Visit, bool) {
+	i := l.searchAfter(t)
+	if i == 0 {
+		return Visit{}, false
+	}
+	return l.visits[i-1], true
+}
+
+// searchAfter returns the index of the first visit with At > t (== Len
+// when no visit is later than t). Visits are in non-decreasing At order.
+func (l *Log) searchAfter(t sim.Tick) int {
+	return sort.Search(len(l.visits), func(i int) bool { return l.visits[i].At > t })
+}
+
+// Range answers the trajectory query: every visit whose run overlaps
+// [from, to] — the visit covering from (when recorded) followed by all
+// visits with from < At <= to, oldest first. from > to yields nil. The
+// returned slice is freshly allocated.
+func (l *Log) Range(from, to sim.Tick) []Visit {
+	if from > to {
+		return nil
+	}
+	lo := l.searchAfter(from)
+	if lo > 0 {
+		lo-- // include the run containing from
+	}
+	hi := l.searchAfter(to)
+	if lo >= hi {
+		return nil
+	}
+	out := make([]Visit, hi-lo)
+	copy(out, l.visits[lo:hi])
+	return out
+}
+
+// Visits returns a copy of the full log, oldest first.
+func (l *Log) Visits() []Visit {
+	out := make([]Visit, len(l.visits))
+	copy(out, l.visits)
+	return out
+}
+
+// Index holds the visit logs of many devices under one history limit.
+type Index struct {
+	limit int
+	logs  map[baseband.BDAddr]*Log
+}
+
+// New returns an empty index keeping at most limit visits per device
+// (limit <= 0 disables history recording).
+func New(limit int) *Index {
+	if limit < 0 {
+		limit = 0
+	}
+	return &Index{limit: limit, logs: make(map[baseband.BDAddr]*Log)}
+}
+
+// Limit returns the per-device history bound (0 = history disabled).
+func (ix *Index) Limit() int { return ix.limit }
+
+// Append records that dev entered piconet at tick at.
+func (ix *Index) Append(dev baseband.BDAddr, piconet graph.NodeID, at sim.Tick) {
+	if ix.limit <= 0 {
+		return
+	}
+	l := ix.logs[dev]
+	if l == nil {
+		l = &Log{}
+		ix.logs[dev] = l
+	}
+	l.Append(Visit{Piconet: piconet, At: at}, ix.limit)
+}
+
+// At answers the point-in-time query for one device.
+func (ix *Index) At(dev baseband.BDAddr, t sim.Tick) (Visit, bool) {
+	l := ix.logs[dev]
+	if l == nil {
+		return Visit{}, false
+	}
+	return l.At(t)
+}
+
+// Range answers the trajectory query for one device.
+func (ix *Index) Range(dev baseband.BDAddr, from, to sim.Tick) []Visit {
+	l := ix.logs[dev]
+	if l == nil {
+		return nil
+	}
+	return l.Range(from, to)
+}
+
+// Visits returns a copy of the device's full log, oldest first.
+func (ix *Index) Visits(dev baseband.BDAddr) []Visit {
+	l := ix.logs[dev]
+	if l == nil {
+		return nil
+	}
+	return l.Visits()
+}
+
+// Len returns the number of visits recorded for the device.
+func (ix *Index) Len(dev baseband.BDAddr) int {
+	l := ix.logs[dev]
+	if l == nil {
+		return 0
+	}
+	return l.Len()
+}
+
+// Drop erases the device's history (logout).
+func (ix *Index) Drop(dev baseband.BDAddr) { delete(ix.logs, dev) }
+
+// Devices returns every device with recorded history, unordered.
+func (ix *Index) Devices() []baseband.BDAddr {
+	out := make([]baseband.BDAddr, 0, len(ix.logs))
+	for dev := range ix.logs {
+		out = append(out, dev)
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+package histdb
+
+import (
+	"fmt"
+	"testing"
+
+	"bips/internal/baseband"
+	"bips/internal/graph"
+	"bips/internal/sim"
+)
+
+func visits(pairs ...int) []Visit {
+	if len(pairs)%2 != 0 {
+		panic("visits wants (piconet, at) pairs")
+	}
+	out := make([]Visit, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, Visit{Piconet: graph.NodeID(pairs[i]), At: sim.Tick(pairs[i+1])})
+	}
+	return out
+}
+
+func eqVisits(a, b []Visit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLogLimitZero: limit 0 disables recording entirely.
+func TestLogLimitZero(t *testing.T) {
+	var l Log
+	for i := 0; i < 10; i++ {
+		l.Append(Visit{Piconet: graph.NodeID(i), At: sim.Tick(i)}, 0)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("limit=0 recorded %d visits", l.Len())
+	}
+	if _, ok := l.At(5); ok {
+		t.Fatal("At on empty log reported a visit")
+	}
+	if got := l.Range(0, 100); got != nil {
+		t.Fatalf("Range on empty log = %v", got)
+	}
+}
+
+// TestLogLimitOne: limit 1 keeps exactly the newest visit.
+func TestLogLimitOne(t *testing.T) {
+	var l Log
+	for i := 0; i < 5; i++ {
+		l.Append(Visit{Piconet: graph.NodeID(i), At: sim.Tick(10 * i)}, 1)
+		if l.Len() != 1 {
+			t.Fatalf("after append %d: len = %d, want 1", i, l.Len())
+		}
+		v, ok := l.At(sim.Tick(10 * i))
+		if !ok || v.Piconet != graph.NodeID(i) {
+			t.Fatalf("after append %d: At = %v, %v", i, v, ok)
+		}
+	}
+	// The evicted runs are gone: a query before the surviving run fails.
+	if _, ok := l.At(39); ok {
+		t.Fatal("At(39) answered from an evicted run")
+	}
+}
+
+// TestLogExactBoundaryEviction: the limit+1-th append evicts exactly the
+// oldest visit and nothing else.
+func TestLogExactBoundaryEviction(t *testing.T) {
+	const limit = 4
+	var l Log
+	for i := 0; i < limit; i++ {
+		l.Append(Visit{Piconet: graph.NodeID(i), At: sim.Tick(i)}, limit)
+	}
+	if l.Len() != limit {
+		t.Fatalf("at boundary: len = %d, want %d", l.Len(), limit)
+	}
+	if got, want := l.Visits(), visits(0, 0, 1, 1, 2, 2, 3, 3); !eqVisits(got, want) {
+		t.Fatalf("at boundary: %v, want %v", got, want)
+	}
+	// One past the boundary: oldest out, rest intact, order preserved.
+	l.Append(Visit{Piconet: 4, At: 4}, limit)
+	if got, want := l.Visits(), visits(1, 1, 2, 2, 3, 3, 4, 4); !eqVisits(got, want) {
+		t.Fatalf("past boundary: %v, want %v", got, want)
+	}
+	if l.Len() != limit {
+		t.Fatalf("past boundary: len = %d, want %d", l.Len(), limit)
+	}
+}
+
+// TestLogIdempotentAppend: re-appending the newest visit is a no-op (the
+// property WAL replay over a restored snapshot relies on).
+func TestLogIdempotentAppend(t *testing.T) {
+	var l Log
+	v := Visit{Piconet: 7, At: 100}
+	l.Append(v, 8)
+	l.Append(v, 8)
+	l.Append(v, 8)
+	if l.Len() != 1 {
+		t.Fatalf("idempotent append recorded %d visits", l.Len())
+	}
+	// A different visit at the same tick is a real event.
+	l.Append(Visit{Piconet: 8, At: 100}, 8)
+	if l.Len() != 2 {
+		t.Fatalf("distinct visit at same tick not recorded: len %d", l.Len())
+	}
+}
+
+// TestLogOutOfOrderClamped: a visit arriving with an older tick than
+// the newest recorded one is clamped, never breaking the At ordering
+// the binary searches rely on.
+func TestLogOutOfOrderClamped(t *testing.T) {
+	var l Log
+	l.Append(Visit{Piconet: 1, At: 100}, 8)
+	l.Append(Visit{Piconet: 2, At: 50}, 8) // late arrival: clamped to 100
+	got := l.Visits()
+	if len(got) != 2 || got[1] != (Visit{Piconet: 2, At: 100}) {
+		t.Fatalf("out-of-order append = %v, want second visit clamped to At 100", got)
+	}
+	// The invariant holds, so the searches stay well-defined.
+	if v, ok := l.At(100); !ok || v.Piconet != 2 {
+		t.Fatalf("At(100) = %v, %v; want the clamped (latest-arrival) run", v, ok)
+	}
+	if _, ok := l.At(99); ok {
+		t.Fatal("At(99) answered from before the first run")
+	}
+	// A clamped duplicate of the newest visit is still idempotent.
+	l.Append(Visit{Piconet: 2, At: 60}, 8)
+	if l.Len() != 2 {
+		t.Fatalf("clamped duplicate recorded: %v", l.Visits())
+	}
+}
+
+// TestLogAt covers the binary search: exact hits, between-runs, before
+// the first run, and after the last.
+func TestLogAt(t *testing.T) {
+	var l Log
+	for _, v := range visits(1, 10, 2, 20, 3, 30) {
+		l.Append(v, 16)
+	}
+	cases := []struct {
+		t    sim.Tick
+		room graph.NodeID
+		ok   bool
+	}{
+		{5, 0, false}, // before any run
+		{10, 1, true}, // exact start
+		{15, 1, true}, // mid-run
+		{20, 2, true},
+		{29, 2, true},
+		{30, 3, true},
+		{1000, 3, true}, // the last run extends forever
+	}
+	for _, c := range cases {
+		v, ok := l.At(c.t)
+		if ok != c.ok || (ok && v.Piconet != c.room) {
+			t.Errorf("At(%d) = %v, %v; want room %d, %v", c.t, v, ok, c.room, c.ok)
+		}
+	}
+}
+
+// TestLogRange covers trajectory windows, including the run-containing-
+// from rule and inverted windows.
+func TestLogRange(t *testing.T) {
+	var l Log
+	for _, v := range visits(1, 10, 2, 20, 3, 30, 4, 40) {
+		l.Append(v, 16)
+	}
+	cases := []struct {
+		from, to sim.Tick
+		want     []Visit
+	}{
+		{0, 5, nil},                           // before history
+		{0, 10, visits(1, 10)},                // window ends on first run start
+		{15, 35, visits(1, 10, 2, 20, 3, 30)}, // run containing 15 included
+		{20, 30, visits(2, 20, 3, 30)},
+		{45, 100, visits(4, 40)}, // only the covering run
+		{35, 20, nil},            // inverted window
+	}
+	for _, c := range cases {
+		got := l.Range(c.from, c.to)
+		if !eqVisits(got, c.want) {
+			t.Errorf("Range(%d, %d) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+// TestIndex exercises the per-device map layer: isolation between
+// devices, Drop, Devices, and limit plumbing.
+func TestIndex(t *testing.T) {
+	ix := New(2)
+	a, b := baseband.BDAddr(1), baseband.BDAddr(2)
+	ix.Append(a, 1, 10)
+	ix.Append(a, 2, 20)
+	ix.Append(a, 3, 30) // evicts (1, 10)
+	ix.Append(b, 9, 15)
+
+	if got := ix.Visits(a); !eqVisits(got, visits(2, 20, 3, 30)) {
+		t.Fatalf("Visits(a) = %v", got)
+	}
+	if v, ok := ix.At(b, 100); !ok || v.Piconet != 9 {
+		t.Fatalf("At(b, 100) = %v, %v", v, ok)
+	}
+	if got := ix.Range(b, 0, 14); got != nil {
+		t.Fatalf("Range(b) before history = %v", got)
+	}
+	if n := len(ix.Devices()); n != 2 {
+		t.Fatalf("Devices = %d, want 2", n)
+	}
+	ix.Drop(a)
+	if got := ix.Visits(a); got != nil {
+		t.Fatalf("after Drop Visits(a) = %v", got)
+	}
+	if _, ok := ix.At(a, 100); ok {
+		t.Fatal("after Drop At(a) still answers")
+	}
+	if n := len(ix.Devices()); n != 1 {
+		t.Fatalf("after Drop Devices = %d, want 1", n)
+	}
+}
+
+// TestIndexDisabled: a zero-limit index records nothing and allocates no
+// logs.
+func TestIndexDisabled(t *testing.T) {
+	ix := New(0)
+	ix.Append(1, 1, 1)
+	if len(ix.Devices()) != 0 {
+		t.Fatal("disabled index recorded history")
+	}
+	ixNeg := New(-5)
+	if ixNeg.Limit() != 0 {
+		t.Fatalf("negative limit not clamped: %d", ixNeg.Limit())
+	}
+}
+
+func ExampleLog_Range() {
+	var l Log
+	l.Append(Visit{Piconet: 1, At: 100}, 16)
+	l.Append(Visit{Piconet: 4, At: 200}, 16)
+	l.Append(Visit{Piconet: 2, At: 300}, 16)
+	for _, v := range l.Range(150, 250) {
+		fmt.Printf("room %d from tick %d\n", v.Piconet, v.At)
+	}
+	// Output:
+	// room 1 from tick 100
+	// room 4 from tick 200
+}

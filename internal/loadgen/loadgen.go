@@ -11,6 +11,12 @@
 // caller to its share of the aggregate QPS target. Latency is measured
 // per envelope round trip; with Batch > 1 each envelope carries that many
 // batched sub-requests, which all count toward the request total.
+//
+// The request mix is either a preset Mode (rooms, locate, mixed) or an
+// explicit weighted Mix such as "locate=60,presence=20,at=10,
+// trajectory=10" (`bips-loadgen -mix`), which adds the storage engine's
+// history workload: presence deltas advance a shared simulated clock
+// and the at/trajectory queries read random instants and windows of it.
 package loadgen
 
 import (
@@ -19,17 +25,20 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"bips/internal/baseband"
+	"bips/internal/locdb"
 	"bips/internal/metrics"
+	"bips/internal/sim"
 	"bips/internal/wire"
 )
 
-// Mode selects the request mix.
+// Mode selects a preset request mix.
 type Mode string
 
 // Request mixes.
@@ -45,6 +54,68 @@ const (
 	ModeMixed Mode = "mixed"
 )
 
+// Mix operation names, usable in Config.Mix weight lists.
+const (
+	OpRooms      = "rooms"
+	OpLocate     = "locate"
+	OpPresence   = "presence"
+	OpAt         = "at"         // MsgLocateAt: historical point query
+	OpTrajectory = "trajectory" // MsgTrajectory: time-window query
+)
+
+// mixEntry is one weighted operation of the request mix.
+type mixEntry struct {
+	op     string
+	weight int
+}
+
+// parseMix parses a weight list like "locate=60,presence=20,at=10,
+// trajectory=10". A bare op name means weight 1. Weights must be
+// positive integers.
+func parseMix(s string) ([]mixEntry, error) {
+	known := map[string]bool{
+		OpRooms: true, OpLocate: true, OpPresence: true,
+		OpAt: true, OpTrajectory: true,
+	}
+	var out []mixEntry
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weightStr, hasWeight := strings.Cut(part, "=")
+		name = strings.TrimSpace(name)
+		if !known[name] {
+			return nil, fmt.Errorf("loadgen: unknown mix op %q (want %s|%s|%s|%s|%s)",
+				name, OpRooms, OpLocate, OpPresence, OpAt, OpTrajectory)
+		}
+		weight := 1
+		if hasWeight {
+			w, err := strconv.Atoi(strings.TrimSpace(weightStr))
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("loadgen: bad mix weight %q for %s", weightStr, name)
+			}
+			weight = w
+		}
+		out = append(out, mixEntry{op: name, weight: weight})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("loadgen: empty mix")
+	}
+	return out, nil
+}
+
+// needsUsers reports whether the mix touches the synthetic users (and
+// therefore needs login + placement setup).
+func needsUsers(mix []mixEntry) bool {
+	for _, e := range mix {
+		if e.op != OpRooms {
+			return true
+		}
+	}
+	return false
+}
+
 // Config parameterizes a load-generation run.
 type Config struct {
 	// Addr is the server's TCP address.
@@ -59,8 +130,20 @@ type Config struct {
 	QPS float64
 	// Duration bounds the run (default 5s).
 	Duration time.Duration
-	// Mode is the request mix (default ModeRooms).
+	// Mode is a preset request mix (default ModeRooms). Ignored when
+	// Mix is set.
 	Mode Mode
+	// Mix selects an explicit weighted request mix, overriding Mode: a
+	// comma list of op[=weight] over rooms | locate | presence | at |
+	// trajectory, e.g. "locate=60,presence=20,at=10,trajectory=10" —
+	// the read/history serving mix of the storage engine. The history
+	// ops query random instants/windows of the simulated time the run's
+	// own presence deltas have advanced through.
+	Mix string
+
+	// mix is the resolved weight table (from Mix or Mode).
+	mix      []mixEntry
+	mixTotal int
 	// Batch > 1 wraps that many sub-requests into each MsgBatch
 	// envelope.
 	Batch int
@@ -93,10 +176,26 @@ func (c *Config) fill() error {
 	if c.Mode == "" {
 		c.Mode = ModeRooms
 	}
-	switch c.Mode {
-	case ModeRooms, ModeLocate, ModeMixed:
-	default:
-		return fmt.Errorf("loadgen: unknown mode %q", c.Mode)
+	if c.Mix != "" {
+		mix, err := parseMix(c.Mix)
+		if err != nil {
+			return err
+		}
+		c.mix = mix
+	} else {
+		switch c.Mode {
+		case ModeRooms:
+			c.mix = []mixEntry{{OpRooms, 1}}
+		case ModeLocate:
+			c.mix = []mixEntry{{OpLocate, 1}}
+		case ModeMixed:
+			c.mix = []mixEntry{{OpLocate, 2}, {OpPresence, 1}}
+		default:
+			return fmt.Errorf("loadgen: unknown mode %q", c.Mode)
+		}
+	}
+	for _, e := range c.mix {
+		c.mixTotal += e.weight
 	}
 	if c.Batch < 1 {
 		c.Batch = 1
@@ -204,6 +303,9 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 		requests atomic.Int64
 		errCount atomic.Int64
 		hist     metrics.Histogram
+		// simTick is the run's shared simulated clock for presence
+		// deltas and the history queries over them.
+		simTick atomic.Int64
 	)
 	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
 	defer cancel()
@@ -241,7 +343,7 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 					return
 				}
 				t0 := time.Now()
-				done, err := issue(cfg, client, rng, rooms)
+				done, err := issue(cfg, client, rng, rooms, &simTick)
 				hist.ObserveDuration(time.Since(t0))
 				requests.Add(done)
 				if err != nil {
@@ -301,7 +403,7 @@ func setup(cfg Config, client *wire.Client) ([]wire.RoomInfo, error) {
 	if len(rooms.Rooms) == 0 {
 		return nil, errors.New("loadgen: server has no rooms")
 	}
-	if cfg.Mode == ModeRooms {
+	if !needsUsers(cfg.mix) {
 		return rooms.Rooms, nil
 	}
 	for i := 0; i < cfg.Users; i++ {
@@ -331,14 +433,14 @@ func setup(cfg Config, client *wire.Client) ([]wire.RoomInfo, error) {
 
 // issue sends one envelope (a single request, or a MsgBatch of cfg.Batch
 // sub-requests) and returns how many requests completed.
-func issue(cfg Config, client *wire.Client, rng *rand.Rand, rooms []wire.RoomInfo) (int64, error) {
+func issue(cfg Config, client *wire.Client, rng *rand.Rand, rooms []wire.RoomInfo, tick *atomic.Int64) (int64, error) {
 	if cfg.Batch <= 1 {
-		t, body := nextRequest(cfg, rng, rooms)
+		t, body := nextRequest(cfg, rng, rooms, tick)
 		return 1, call(client, t, body)
 	}
 	var b wire.Batch
 	for i := 0; i < cfg.Batch; i++ {
-		t, body := nextRequest(cfg, rng, rooms)
+		t, body := nextRequest(cfg, rng, rooms, tick)
 		if err := b.Add(t, body); err != nil {
 			return 0, err
 		}
@@ -352,26 +454,72 @@ func issue(cfg Config, client *wire.Client, rng *rand.Rand, rooms []wire.RoomInf
 	return int64(len(res.Responses)), nil
 }
 
-// nextRequest picks one request from the configured mix.
-func nextRequest(cfg Config, rng *rand.Rand, rooms []wire.RoomInfo) (wire.MsgType, any) {
-	switch cfg.Mode {
-	case ModeLocate:
-		return locateRequest(cfg, rng)
-	case ModeMixed:
-		if rng.Intn(3) == 0 {
-			u := rng.Intn(cfg.Users)
-			room := rooms[rng.Intn(len(rooms))]
-			return wire.MsgPresence, wire.Presence{
-				Device:  wire.FormatAddr(UserDevice(u)),
-				Room:    room.ID,
-				At:      0,
-				Present: true,
-			}
+// nextRequest draws one request from the weighted mix. tick is the
+// run's shared simulated clock: presence deltas advance it, history
+// queries ask about random instants or windows of the time it has
+// covered, so at/trajectory exercise real recorded runs.
+func nextRequest(cfg Config, rng *rand.Rand, rooms []wire.RoomInfo, tick *atomic.Int64) (wire.MsgType, any) {
+	n := rng.Intn(cfg.mixTotal)
+	op := cfg.mix[len(cfg.mix)-1].op
+	for _, e := range cfg.mix {
+		if n < e.weight {
+			op = e.op
+			break
 		}
+		n -= e.weight
+	}
+	switch op {
+	case OpLocate:
 		return locateRequest(cfg, rng)
+	case OpPresence:
+		u := rng.Intn(cfg.Users)
+		room := rooms[rng.Intn(len(rooms))]
+		return wire.MsgPresence, wire.Presence{
+			Device:  wire.FormatAddr(UserDevice(u)),
+			Room:    room.ID,
+			At:      sim.Tick(tick.Add(1)),
+			Present: true,
+		}
+	case OpAt:
+		lo, upper := historyWindow(cfg, tick)
+		return wire.MsgLocateAt, wire.LocateAt{
+			Querier: UserName(rng.Intn(cfg.Users)),
+			Target:  UserName(rng.Intn(cfg.Users)),
+			At:      sim.Tick(lo + rng.Int63n(upper-lo+1)),
+		}
+	case OpTrajectory:
+		lo, upper := historyWindow(cfg, tick)
+		from := lo + rng.Int63n(upper-lo+1)
+		to := from + rng.Int63n(upper-from+1)
+		return wire.MsgTrajectory, wire.TrajectoryQuery{
+			Querier: UserName(rng.Intn(cfg.Users)),
+			Target:  UserName(rng.Intn(cfg.Users)),
+			From:    sim.Tick(from),
+			To:      sim.Tick(to),
+		}
 	default:
 		return wire.MsgRooms, wire.RoomsQuery{}
 	}
+}
+
+// historyWindow returns the tick range [lo, hi] the history queries
+// draw from. The per-device history is bounded, so old ticks would hit
+// evicted runs and measure only the not-found path: the window is
+// bounded to roughly the span the retained runs still cover (each delta
+// advances the clock by one tick and lands on one of Users devices, so
+// a device's newest ~HistoryLimit runs span ~Users*HistoryLimit recent
+// ticks; half that keeps the draws safely inside).
+func historyWindow(cfg Config, tick *atomic.Int64) (lo, hi int64) {
+	hi = tick.Load()
+	if hi < 1 {
+		hi = 1
+	}
+	span := int64(cfg.Users) * int64(locdb.DefaultHistoryLimit) / 2
+	lo = hi - span
+	if lo < 0 {
+		lo = 0
+	}
+	return lo, hi
 }
 
 func locateRequest(cfg Config, rng *rand.Rand) (wire.MsgType, any) {

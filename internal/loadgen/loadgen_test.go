@@ -245,3 +245,55 @@ func TestUnregisteredUsersFail(t *testing.T) {
 		t.Error("run against unregistered users succeeded")
 	}
 }
+
+// TestParseMix: weight-list validation.
+func TestParseMix(t *testing.T) {
+	good, err := parseMix("locate=60, presence=20,at=10,trajectory=10")
+	if err != nil || len(good) != 4 {
+		t.Fatalf("parseMix = %v, %v", good, err)
+	}
+	if good[0].op != OpLocate || good[0].weight != 60 {
+		t.Fatalf("first entry = %+v", good[0])
+	}
+	if bare, err := parseMix("rooms"); err != nil || bare[0].weight != 1 {
+		t.Fatalf("bare op = %v, %v", bare, err)
+	}
+	for _, bad := range []string{"", "bogus=1", "locate=0", "locate=-2", "locate=x"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestMixedHistoryWorkload: the -mix workload with history ops runs
+// clean against a live server — presence deltas advance the simulated
+// clock and the at/trajectory queries read it back.
+func TestMixedHistoryWorkload(t *testing.T) {
+	addr := startServer(t, 4)
+	rep, err := Run(context.Background(), Config{
+		Addr:     addr,
+		Clients:  2,
+		Pipeline: 2,
+		Mix:      "locate=3,presence=3,at=2,trajectory=2",
+		Users:    4,
+		Duration: 400 * time.Millisecond,
+		Seed:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("report:\n%s", rep)
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d", rep.Errors)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+}
+
+// TestMixValidationAtRun: a bad -mix fails the run up front.
+func TestMixValidationAtRun(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Addr: "x", Mix: "nope=3"}); err == nil {
+		t.Error("bogus mix accepted")
+	}
+}

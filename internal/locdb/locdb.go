@@ -4,7 +4,15 @@
 // computational and communication load, update the database only when they
 // detect a new presence or a new absence. The database answers the paper's
 // spatio-temporal query ("select the target actual piconet of the mobile
-// device BD_ADDR1 ...") and keeps a bounded movement history per device.
+// device BD_ADDR1 ...") and keeps a bounded movement history per device in
+// a time-indexed histdb.Index, so the historical forms of the query —
+// LocateAt (point in time) and Trajectory (time window) — are binary
+// searches over presence runs rather than scans.
+//
+// The DB here is the in-memory storage engine; the Store interface
+// (store.go) is what the serving layer programs against, and
+// internal/storage provides the durable backend (write-ahead log +
+// snapshots) that wraps this one.
 //
 // # Sharding
 //
@@ -35,6 +43,7 @@ import (
 
 	"bips/internal/baseband"
 	"bips/internal/graph"
+	"bips/internal/histdb"
 	"bips/internal/sim"
 )
 
@@ -87,7 +96,7 @@ type shard struct {
 	mu        sync.RWMutex
 	current   map[baseband.BDAddr]Fix
 	occupants map[graph.NodeID]map[baseband.BDAddr]bool
-	history   map[baseband.BDAddr][]Fix
+	hist      *histdb.Index
 
 	// version counts mutations; snap caches the last built snapshot.
 	version atomic.Uint64
@@ -100,11 +109,11 @@ type shard struct {
 	queries  atomic.Int64
 }
 
-func newShard() *shard {
+func newShard(historyLimit int) *shard {
 	s := &shard{
 		current:   make(map[baseband.BDAddr]Fix),
 		occupants: make(map[graph.NodeID]map[baseband.BDAddr]bool),
-		history:   make(map[baseband.BDAddr][]Fix),
+		hist:      histdb.New(historyLimit),
 	}
 	s.snap.Store(&shardSnap{})
 	return s
@@ -140,6 +149,11 @@ func (sh *shard) snapshot() []Fix {
 type DB struct {
 	shards       []*shard
 	historyLimit int
+
+	// journal, when installed, records every state change under the
+	// owning shard's lock (see journal.go). nil for a pure in-memory
+	// database.
+	journal Journal
 
 	subsMu  sync.RWMutex
 	subs    map[int]func(Event)
@@ -189,7 +203,7 @@ func NewSharded(shards, limit int) (*DB, error) {
 		subs:         make(map[int]func(Event)),
 	}
 	for i := range db.shards {
-		db.shards[i] = newShard()
+		db.shards[i] = newShard(limit)
 	}
 	return db, nil
 }
@@ -197,12 +211,25 @@ func NewSharded(shards, limit int) (*DB, error) {
 // NumShards returns the shard count the database was built with.
 func (db *DB) NumShards() int { return len(db.shards) }
 
+// HistoryLimit returns the per-device history bound the database was
+// built with (0 = history disabled).
+func (db *DB) HistoryLimit() int { return db.historyLimit }
+
+// Close implements Store. The in-memory backend holds no external
+// resources, so it is a no-op.
+func (db *DB) Close() error { return nil }
+
 // shardOf maps a device to its shard. The address bits are mixed
 // (splitmix64 finalizer) before reduction so that sequentially allocated
 // addresses — the common case for the simulator's device pool — spread
 // over all shards instead of clustering.
 func (db *DB) shardOf(dev baseband.BDAddr) *shard {
 	return db.shards[shardIndex(uint64(dev), len(db.shards))]
+}
+
+// shardIdxOf maps a device to its shard index.
+func (db *DB) shardIdxOf(dev baseband.BDAddr) int {
+	return shardIndex(uint64(dev), len(db.shards))
 }
 
 // shardIndex is the pure mapping function, exposed to tests.
@@ -217,14 +244,15 @@ func shardIndex(v uint64, n int) int {
 
 // SetPresence records that the device is present in the piconet at the
 // given time. It implements the delta semantics: re-reporting an unchanged
-// piconet is a cheap no-op.
-func (db *DB) SetPresence(dev baseband.BDAddr, piconet graph.NodeID, at sim.Tick) {
-	sh := db.shardOf(dev)
+// piconet is a cheap no-op, reported by the false return.
+func (db *DB) SetPresence(dev baseband.BDAddr, piconet graph.NodeID, at sim.Tick) bool {
+	idx := db.shardIdxOf(dev)
+	sh := db.shards[idx]
 	sh.mu.Lock()
 	prev, had := sh.current[dev]
 	if had && prev.Piconet == piconet {
 		sh.mu.Unlock()
-		return
+		return false
 	}
 	fix := Fix{Device: dev, Piconet: piconet, At: at}
 	if had {
@@ -237,50 +265,65 @@ func (db *DB) SetPresence(dev baseband.BDAddr, piconet graph.NodeID, at sim.Tick
 		sh.occupants[piconet] = occ
 	}
 	occ[dev] = true
-	if db.historyLimit > 0 {
-		h := append(sh.history[dev], fix)
-		if len(h) > db.historyLimit {
-			h = h[len(h)-db.historyLimit:]
-		}
-		sh.history[dev] = h
+	sh.hist.Append(dev, piconet, at)
+	if db.journal != nil {
+		db.journal.Record(idx, JournalPresence, dev, piconet, at)
 	}
 	sh.version.Add(1)
 	sh.updates.Add(1)
 	sh.mu.Unlock()
 	db.notify(Event{Fix: fix, Present: true})
+	return true
 }
 
 // SetAbsence records that the device left the given piconet at the given
 // time. An absence reported by a piconet the device is no longer in (the
 // device was already handed over) is ignored, so out-of-order reports from
-// two workstations cannot erase a newer presence.
-func (db *DB) SetAbsence(dev baseband.BDAddr, piconet graph.NodeID, at sim.Tick) {
-	sh := db.shardOf(dev)
+// two workstations cannot erase a newer presence; the false return
+// reports the ignore.
+func (db *DB) SetAbsence(dev baseband.BDAddr, piconet graph.NodeID, at sim.Tick) bool {
+	idx := db.shardIdxOf(dev)
+	sh := db.shards[idx]
 	sh.mu.Lock()
 	cur, ok := sh.current[dev]
 	if !ok || cur.Piconet != piconet {
 		sh.mu.Unlock()
-		return
+		return false
 	}
 	delete(sh.current, dev)
 	delete(sh.occupants[piconet], dev)
+	if db.journal != nil {
+		db.journal.Record(idx, JournalAbsence, dev, piconet, at)
+	}
 	sh.version.Add(1)
 	sh.absences.Add(1)
 	sh.mu.Unlock()
 	db.notify(Event{Fix: Fix{Device: dev, Piconet: piconet, At: at}, Present: false})
+	return true
 }
 
-// Drop removes every trace of a device (logout).
-func (db *DB) Drop(dev baseband.BDAddr) {
-	sh := db.shardOf(dev)
+// Drop removes every trace of a device (logout). It returns whether the
+// device had any state to remove.
+func (db *DB) Drop(dev baseband.BDAddr) bool {
+	idx := db.shardIdxOf(dev)
+	sh := db.shards[idx]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	changed := false
 	if cur, ok := sh.current[dev]; ok {
 		delete(sh.occupants[cur.Piconet], dev)
 		sh.version.Add(1)
+		changed = true
+	}
+	if sh.hist.Len(dev) > 0 {
+		changed = true
 	}
 	delete(sh.current, dev)
-	delete(sh.history, dev)
+	sh.hist.Drop(dev)
+	if changed && db.journal != nil {
+		db.journal.Record(idx, JournalDrop, dev, 0, 0)
+	}
+	return changed
 }
 
 // Locate answers the paper's spatio-temporal query: the actual piconet of
@@ -303,24 +346,35 @@ func (db *DB) Locate(dev baseband.BDAddr) (Fix, error) {
 // the history limit allows.
 func (db *DB) LocateAt(dev baseband.BDAddr, at sim.Tick) (Fix, error) {
 	sh := db.shardOf(dev)
+	sh.queries.Add(1)
 	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	h := sh.history[dev]
-	// History is append-only in time order: binary search for the last
-	// fix with Fix.At <= at.
-	lo, hi := 0, len(h)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if h[mid].At <= at {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo == 0 {
+	v, ok := sh.hist.At(dev, at)
+	sh.mu.RUnlock()
+	if !ok {
 		return Fix{}, fmt.Errorf("%w: %v at %v", ErrNotPresent, dev, at)
 	}
-	return h[lo-1], nil
+	return Fix{Device: dev, Piconet: v.Piconet, At: v.At}, nil
+}
+
+// Trajectory answers the time-window form of the spatio-temporal query:
+// every presence run overlapping [from, to], oldest first — the fix in
+// force at from (when the bounded history still records it) followed by
+// every move up to and including to. An empty window, an unknown device
+// or a window before the recorded history all yield an empty trajectory.
+func (db *DB) Trajectory(dev baseband.BDAddr, from, to sim.Tick) []Fix {
+	sh := db.shardOf(dev)
+	sh.queries.Add(1)
+	sh.mu.RLock()
+	visits := sh.hist.Range(dev, from, to)
+	sh.mu.RUnlock()
+	if len(visits) == 0 {
+		return nil
+	}
+	out := make([]Fix, len(visits))
+	for i, v := range visits {
+		out[i] = Fix{Device: dev, Piconet: v.Piconet, At: v.At}
+	}
+	return out
 }
 
 // Occupants returns the devices currently present in the piconet, in
@@ -358,10 +412,15 @@ func (db *DB) All() []Fix {
 func (db *DB) History(dev baseband.BDAddr) []Fix {
 	sh := db.shardOf(dev)
 	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	h := sh.history[dev]
-	out := make([]Fix, len(h))
-	copy(out, h)
+	visits := sh.hist.Visits(dev)
+	sh.mu.RUnlock()
+	if len(visits) == 0 {
+		return []Fix{}
+	}
+	out := make([]Fix, len(visits))
+	for i, v := range visits {
+		out[i] = Fix{Device: dev, Piconet: v.Piconet, At: v.At}
+	}
 	return out
 }
 

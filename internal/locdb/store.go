@@ -1,0 +1,59 @@
+package locdb
+
+import (
+	"bips/internal/baseband"
+	"bips/internal/graph"
+	"bips/internal/sim"
+)
+
+// Store is the pluggable storage engine behind the BIPS location
+// service. The in-memory sharded DB of this package is the canonical
+// implementation; internal/storage wraps it with a durable write-ahead
+// log plus snapshots so a central server can restart without losing
+// presence state or history. The serving layer (internal/server) and the
+// simulator core both program against this interface, never against a
+// concrete backend.
+//
+// Mutations report whether they changed state: the delta protocol makes
+// re-reported presences cheap no-ops, and a durable backend uses the
+// report to keep the WAL an exact delta stream instead of logging every
+// redundant workstation report.
+type Store interface {
+	// SetPresence records that dev is present in piconet at tick at.
+	SetPresence(dev baseband.BDAddr, piconet graph.NodeID, at sim.Tick) bool
+	// SetAbsence records that dev left piconet at tick at.
+	SetAbsence(dev baseband.BDAddr, piconet graph.NodeID, at sim.Tick) bool
+	// Drop removes every trace of the device (logout).
+	Drop(dev baseband.BDAddr) bool
+
+	// Locate returns the device's current fix.
+	Locate(dev baseband.BDAddr) (Fix, error)
+	// LocateAt returns the fix whose presence run covers tick at.
+	LocateAt(dev baseband.BDAddr, at sim.Tick) (Fix, error)
+	// Trajectory returns the fixes whose runs overlap [from, to],
+	// oldest first.
+	Trajectory(dev baseband.BDAddr, from, to sim.Tick) []Fix
+	// History returns the device's full recorded history, oldest first.
+	History(dev baseband.BDAddr) []Fix
+	// Occupants returns the devices currently in the piconet, ascending.
+	Occupants(piconet graph.NodeID) []baseband.BDAddr
+	// All returns every current fix, in ascending device order.
+	All() []Fix
+	// Present returns the number of devices with a known position.
+	Present() int
+
+	// Stats returns the activity counters.
+	Stats() Stats
+	// NumShards reports the backend's shard count.
+	NumShards() int
+	// Subscribe registers fn for every presence change; the returned
+	// function unsubscribes.
+	Subscribe(fn func(Event)) (cancel func())
+
+	// Close releases backend resources (files, goroutines). The
+	// in-memory backend's Close is a no-op.
+	Close() error
+}
+
+// DB implements Store.
+var _ Store = (*DB)(nil)

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"bips/internal/building"
+	"bips/internal/graph"
 	"bips/internal/locdb"
 	"bips/internal/metrics"
 	"bips/internal/registry"
@@ -62,7 +63,7 @@ func WithMaxInFlight(n int) Option {
 // Server is the central BIPS server.
 type Server struct {
 	reg *registry.Registry
-	db  *locdb.DB
+	db  locdb.Store
 	bld *building.Building
 
 	maxInFlight int
@@ -92,8 +93,10 @@ type Server struct {
 	Logf func(format string, args ...any)
 }
 
-// New assembles a server from its three state components.
-func New(reg *registry.Registry, db *locdb.DB, bld *building.Building, opts ...Option) *Server {
+// New assembles a server from its three state components. db is any
+// location-store backend: the in-memory locdb.DB or the durable
+// storage.Durable (WAL + snapshots) — the server is agnostic.
+func New(reg *registry.Registry, db locdb.Store, bld *building.Building, opts ...Option) *Server {
 	s := &Server{
 		reg:         reg,
 		db:          db,
@@ -121,8 +124,8 @@ func New(reg *registry.Registry, db *locdb.DB, bld *building.Building, opts ...O
 // Registry exposes the user registry (for administrative tooling).
 func (s *Server) Registry() *registry.Registry { return s.reg }
 
-// DB exposes the location database.
-func (s *Server) DB() *locdb.DB { return s.db }
+// DB exposes the location store.
+func (s *Server) DB() locdb.Store { return s.db }
 
 // Building exposes the topology.
 func (s *Server) Building() *building.Building { return s.bld }
@@ -194,11 +197,52 @@ func (s *Server) Locate(req wire.Locate) (wire.LocateResult, error) {
 	if err != nil {
 		return wire.LocateResult{}, err
 	}
-	name := ""
-	if r, ok := s.bld.Room(fix.Piconet); ok {
-		name = r.Name
+	return wire.LocateResult{Room: fix.Piconet, RoomName: s.roomName(fix.Piconet), At: fix.At}, nil
+}
+
+// LocateAt runs the historical spatio-temporal query with the same
+// access checks as Locate: the piconet the target was in at tick At
+// (more precisely, the presence run covering that tick, as far back as
+// the bounded history reaches).
+func (s *Server) LocateAt(req wire.LocateAt) (wire.LocateResult, error) {
+	dev, err := s.reg.Authorize(registry.UserID(req.Querier), registry.UserID(req.Target))
+	if err != nil {
+		return wire.LocateResult{}, err
 	}
-	return wire.LocateResult{Room: fix.Piconet, RoomName: name, At: fix.At}, nil
+	fix, err := s.db.LocateAt(dev, req.At)
+	if err != nil {
+		return wire.LocateResult{}, err
+	}
+	return wire.LocateResult{Room: fix.Piconet, RoomName: s.roomName(fix.Piconet), At: fix.At}, nil
+}
+
+// Trajectory runs the time-window spatio-temporal query with the same
+// access checks as Locate: every presence run of the target overlapping
+// [From, To], oldest first. A window before the recorded history yields
+// an empty step list, not an error.
+func (s *Server) Trajectory(req wire.TrajectoryQuery) (wire.TrajectoryResult, error) {
+	dev, err := s.reg.Authorize(registry.UserID(req.Querier), registry.UserID(req.Target))
+	if err != nil {
+		return wire.TrajectoryResult{}, err
+	}
+	fixes := s.db.Trajectory(dev, req.From, req.To)
+	out := wire.TrajectoryResult{Steps: make([]wire.TrajectoryStep, 0, len(fixes))}
+	for _, fix := range fixes {
+		out.Steps = append(out.Steps, wire.TrajectoryStep{
+			Room: fix.Piconet, RoomName: s.roomName(fix.Piconet), At: fix.At,
+		})
+	}
+	return out, nil
+}
+
+// roomName resolves a room id to its display name ("" when the id is
+// not in the building — possible for history recorded under an older
+// floor plan).
+func (s *Server) roomName(id graph.NodeID) string {
+	if r, ok := s.bld.Room(id); ok {
+		return r.Name
+	}
+	return ""
 }
 
 // Path answers the navigation query: the shortest path from the querier's
@@ -267,6 +311,12 @@ func (s *Server) StatsResult() wire.StatsResult {
 	out.Counters["locdb.queries"] = dbStats.Queries
 	out.Counters["locdb.present"] = int64(dbStats.Present)
 	out.Counters["locdb.shards"] = int64(dbStats.Shards)
+	// A durable backend additionally reports its WAL/snapshot counters.
+	if ss, ok := s.db.(interface{ StorageStats() map[string]int64 }); ok {
+		for name, v := range ss.StorageStats() {
+			out.Counters["storage."+name] = v
+		}
+	}
 	return out
 }
 
@@ -460,6 +510,26 @@ func (s *Server) dispatch(env wire.Envelope) wire.Envelope {
 			return fail(err)
 		}
 		return ok(wire.MsgLocateResult, res)
+	case wire.MsgLocateAt:
+		var q wire.LocateAt
+		if err := wire.UnmarshalBody(env, &q); err != nil {
+			return fail(err)
+		}
+		res, err := s.LocateAt(q)
+		if err != nil {
+			return fail(err)
+		}
+		return ok(wire.MsgLocateResult, res)
+	case wire.MsgTrajectory:
+		var q wire.TrajectoryQuery
+		if err := wire.UnmarshalBody(env, &q); err != nil {
+			return fail(err)
+		}
+		res, err := s.Trajectory(q)
+		if err != nil {
+			return fail(err)
+		}
+		return ok(wire.MsgTrajectoryResult, res)
 	case wire.MsgPath:
 		var q wire.PathQuery
 		if err := wire.UnmarshalBody(env, &q); err != nil {

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package storage
+
+// lockDir is a no-op on platforms without flock semantics: single-
+// process use of a data directory is then the operator's contract, as
+// it is for most embedded stores on such platforms.
+func lockDir(dir string) (unlock func(), err error) {
+	return func() {}, nil
+}

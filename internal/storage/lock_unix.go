@@ -1,0 +1,31 @@
+//go:build unix
+
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory lock on the data directory so two
+// processes can never write the same WAL segments (the second opener
+// would otherwise compute the same next segment sequence and interleave
+// records). The flock is released automatically when the process dies —
+// including SIGKILL — so crash recovery never meets a stale lock.
+func lockDir(dir string) (unlock func(), err error) {
+	path := filepath.Join(dir, "LOCK")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: data directory %s is locked by another process: %w", dir, err)
+	}
+	return func() {
+		_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		_ = f.Close()
+	}, nil
+}

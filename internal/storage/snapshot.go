@@ -1,0 +1,157 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"bips/internal/locdb"
+)
+
+// snapshot is the on-disk checkpoint format: the complete device state
+// after applying WAL segments 1..Seq. Recovery loads the newest valid
+// snapshot and replays only the segments after it; compaction deletes
+// everything the snapshot covers.
+type snapshot struct {
+	Version int    `json:"version"`
+	Seq     uint64 `json:"seq"`
+	// HistoryLimit records the limit the state was captured under, for
+	// operators inspecting the file; recovery applies the opener's own
+	// limit.
+	HistoryLimit int                `json:"historyLimit"`
+	Devices      []locdb.DeviceDump `json:"devices"`
+}
+
+const snapshotVersion = 1
+
+// snapshotName renders the on-disk name of the checkpoint covering WAL
+// segments 1..seq.
+func snapshotName(seq uint64) string { return fmt.Sprintf("snap-%016d.json", seq) }
+
+// parseSnapshotName extracts the coverage sequence from a snapshot name.
+func parseSnapshotName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".json") {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".json"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// writeSnapshot persists a checkpoint atomically: write to a temp file,
+// fsync, rename. A crash mid-write leaves at worst a stale .tmp file
+// that recovery ignores.
+func writeSnapshot(dir string, snap snapshot) error {
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("storage: marshal snapshot: %w", err)
+	}
+	tmp := filepath.Join(dir, snapshotName(snap.Seq)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapshotName(snap.Seq))); err != nil {
+		return err
+	}
+	// Make the rename itself durable before anything the snapshot
+	// supersedes may be deleted: without the directory fsync a power
+	// loss could persist compaction's unlinks but not the rename,
+	// leaving neither the snapshot nor the segments it covered.
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so preceding renames/creates in it are
+// ordered to disk.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// loadLatestSnapshot finds and parses the newest readable checkpoint in
+// dir. A snapshot that fails to parse (torn by a crash despite the
+// atomic rename, or hand-edited) is skipped in favor of the next-newest,
+// so one bad file cannot brick recovery. ok is false when no usable
+// snapshot exists.
+func loadLatestSnapshot(dir string) (snap snapshot, ok bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return snapshot{}, false, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, okName := parseSnapshotName(e.Name()); okName {
+			seqs = append(seqs, seq)
+		}
+	}
+	for i := len(seqs) - 1; i >= 0; i-- {
+		// Descending: seqs come from ReadDir's sorted names, so the
+		// zero-padded encoding makes the last one the newest.
+		raw, rerr := os.ReadFile(filepath.Join(dir, snapshotName(seqs[i])))
+		if rerr != nil {
+			continue
+		}
+		var s snapshot
+		if json.Unmarshal(raw, &s) != nil || s.Version != snapshotVersion {
+			continue
+		}
+		return s, true, nil
+	}
+	return snapshot{}, false, nil
+}
+
+// compact removes everything a checkpoint at coveredSeq supersedes: WAL
+// segments <= coveredSeq, older snapshots, and stale temp files. Errors
+// are returned but harmless — leftover files only cost disk, recovery
+// skips them by sequence number.
+func compact(dir string, coveredSeq uint64) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	rm := func(name string) {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if seq, ok := parseSegmentName(name); ok && seq <= coveredSeq {
+			rm(name)
+		}
+		if seq, ok := parseSnapshotName(name); ok && seq < coveredSeq {
+			rm(name)
+		}
+		if strings.HasSuffix(name, ".tmp") {
+			rm(name)
+		}
+	}
+	return firstErr
+}

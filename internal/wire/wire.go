@@ -50,6 +50,12 @@ const (
 	MsgLogout MsgType = "logout"
 	// MsgLocate asks for a user's current piconet.
 	MsgLocate MsgType = "locate"
+	// MsgLocateAt asks for a user's piconet at a past instant (the
+	// paper's spatio-temporal query over the historical MAP relation).
+	MsgLocateAt MsgType = "locate.at"
+	// MsgTrajectory asks for a user's movement history over a time
+	// window.
+	MsgTrajectory MsgType = "trajectory"
 	// MsgPath asks for the shortest path to a user.
 	MsgPath MsgType = "path"
 	// MsgRooms asks for the server's floor plan.
@@ -61,8 +67,10 @@ const (
 	MsgStats MsgType = "stats"
 	// MsgOK is the empty success response.
 	MsgOK MsgType = "ok"
-	// MsgLocateResult answers MsgLocate.
+	// MsgLocateResult answers MsgLocate and MsgLocateAt.
 	MsgLocateResult MsgType = "locate.result"
+	// MsgTrajectoryResult answers MsgTrajectory.
+	MsgTrajectoryResult MsgType = "trajectory.result"
 	// MsgPathResult answers MsgPath.
 	MsgPathResult MsgType = "path.result"
 	// MsgRoomsResult answers MsgRooms.
@@ -81,10 +89,10 @@ const (
 // above — a test parses this file's AST and fails if a MsgType constant is
 // missing here.
 var AllMsgTypes = []MsgType{
-	MsgHello, MsgPresence, MsgLogin, MsgLogout, MsgLocate, MsgPath,
-	MsgRooms, MsgBatch, MsgStats,
-	MsgOK, MsgLocateResult, MsgPathResult, MsgRoomsResult,
-	MsgBatchResult, MsgStatsResult, MsgError,
+	MsgHello, MsgPresence, MsgLogin, MsgLogout, MsgLocate, MsgLocateAt,
+	MsgTrajectory, MsgPath, MsgRooms, MsgBatch, MsgStats,
+	MsgOK, MsgLocateResult, MsgTrajectoryResult, MsgPathResult,
+	MsgRoomsResult, MsgBatchResult, MsgStatsResult, MsgError,
 }
 
 // Envelope frames every message.
@@ -126,11 +134,44 @@ type Locate struct {
 	Target  string `json:"target"`
 }
 
-// LocateResult answers Locate.
+// LocateResult answers Locate and LocateAt.
 type LocateResult struct {
 	Room     graph.NodeID `json:"room"`
 	RoomName string       `json:"roomName"`
 	At       sim.Tick     `json:"at"`
+}
+
+// LocateAt asks where a target user was at a past simulation tick. The
+// server answers with the presence run covering the tick: the last fix
+// recorded at or before it, as far back as the bounded per-device
+// history reaches.
+type LocateAt struct {
+	Querier string   `json:"querier"`
+	Target  string   `json:"target"`
+	At      sim.Tick `json:"at"`
+}
+
+// TrajectoryQuery asks for a target user's movement over [from, to].
+type TrajectoryQuery struct {
+	Querier string   `json:"querier"`
+	Target  string   `json:"target"`
+	From    sim.Tick `json:"from"`
+	To      sim.Tick `json:"to"`
+}
+
+// TrajectoryStep is one presence run of a trajectory: the user entered
+// the room at tick At and stayed until the next step's At (or past the
+// window's end, for the last step).
+type TrajectoryStep struct {
+	Room     graph.NodeID `json:"room"`
+	RoomName string       `json:"roomName"`
+	At       sim.Tick     `json:"at"`
+}
+
+// TrajectoryResult answers TrajectoryQuery, oldest step first. Steps is
+// empty when the window is before the recorded history (or empty).
+type TrajectoryResult struct {
+	Steps []TrajectoryStep `json:"steps"`
 }
 
 // PathQuery asks for the shortest path from the querier to the target.

@@ -29,11 +29,15 @@ func (f optionFunc) apply(s *settings) error { return f(s) }
 
 // settings is the resolved construction state an Option mutates.
 type settings struct {
-	seed   int64
-	cycle  inquiry.DutyCycle
-	bld    *building.Building
-	radius float64
-	shards int
+	seed    int64
+	cycle   inquiry.DutyCycle
+	bld     *building.Building
+	radius  float64
+	shards  int
+	dataDir string
+	// historyLimit uses the core convention: 0 = default, negative =
+	// history disabled.
+	historyLimit int
 }
 
 // WithSeed sets the root random seed. All randomness (radio phases,
@@ -99,6 +103,42 @@ func WithShards(n int) Option {
 			return fmt.Errorf("%w: shard count %d (want 1..%d)", ErrBadOption, n, locdb.MaxShards)
 		}
 		s.shards = n
+		return nil
+	})
+}
+
+// WithDataDir backs the deployment's location database with the durable
+// storage engine rooted at dir (created if missing): every presence
+// delta is written through to an append-only WAL with periodic
+// snapshots, and a later deployment constructed over the same directory
+// recovers the full presence state and movement history. Close the
+// service (Service.Close) for a clean final checkpoint. The empty
+// default keeps the database purely in memory.
+func WithDataDir(dir string) Option {
+	return optionFunc(func(s *settings) error {
+		if dir == "" {
+			return fmt.Errorf("%w: empty data directory", ErrBadOption)
+		}
+		s.dataDir = dir
+		return nil
+	})
+}
+
+// WithHistoryLimit bounds the per-device movement history backing the
+// LocateAt and Trajectory queries to the newest n presence runs.
+// n = 0 disables history entirely (the historical queries then answer
+// nothing); the default is locdb.DefaultHistoryLimit (128). n must not
+// be negative.
+func WithHistoryLimit(n int) Option {
+	return optionFunc(func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("%w: negative history limit %d", ErrBadOption, n)
+		}
+		if n == 0 {
+			s.historyLimit = -1
+		} else {
+			s.historyLimit = n
+		}
 		return nil
 	})
 }

@@ -134,3 +134,28 @@ func TestWithBuildingCustomRooms(t *testing.T) {
 		t.Errorf("corridor end-to-end = %v m, want 36", p.Meters)
 	}
 }
+
+func TestStorageOptionValidation(t *testing.T) {
+	if _, err := New(WithHistoryLimit(-3)); err == nil {
+		t.Error("WithHistoryLimit(-3) accepted")
+	}
+	if _, err := New(WithDataDir("")); err == nil {
+		t.Error("WithDataDir(\"\") accepted")
+	}
+	// A valid data dir + history limit construct cleanly and close.
+	svc, err := New(WithDataDir(t.TempDir()), WithHistoryLimit(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	// Closing a memory-backed service is a no-op.
+	mem, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Close(); err != nil {
+		t.Errorf("memory Close: %v", err)
+	}
+}
