@@ -1,10 +1,10 @@
 #!/bin/sh
-# bench.sh — run the benchmark suite and write a machine-readable
-# benchmark record (benchmark name -> ns/op, bytes/op, allocs/op) so the
+# bench.sh — run the benchmark suite and write machine-readable
+# benchmark records (benchmark name -> ns/op, bytes/op, allocs/op) so the
 # performance trajectory of the repo is tracked in data, not prose.
 #
 # Usage:
-#   .github/bench.sh [output.json]
+#   .github/bench.sh [output.json] [ingest-output.json]
 #
 # Environment:
 #   BENCHTIME  go test -benchtime value (default 0.5s; CI may use 1s,
@@ -12,14 +12,21 @@
 #   BENCHPKGS  packages to benchmark (default: the storage, locdb,
 #              server, loadgen packages and the repo root)
 #
-# The record includes, when both sides of BenchmarkLocdbDelta were
+# The main record includes, when both sides of BenchmarkLocdbDelta were
 # measured, the derived "locdb_delta_overhead_pct": the saturation
 # overhead of the durable (history + WAL) store versus the in-memory
 # store on the workstation delta hot path — the PR 4 acceptance metric
 # (see docs/OPERATIONS.md for how to read it on single-core hosts).
+#
+# The second record (default BENCH_PR5.json) is the ingest-throughput
+# benchmark derived from BenchmarkIngestDelta: single-envelope
+# MsgPresence versus sessioned MsgPresenceBatch frames, in ns per delta
+# and deltas/sec, plus "batched_speedup" — the PR 5 acceptance metric
+# (bar: >= 5x on the same hardware).
 set -eu
 
 out="${1:-BENCH_PR4.json}"
+ingest_out="${2:-BENCH_PR5.json}"
 benchtime="${BENCHTIME:-0.5s}"
 pkgs="${BENCHPKGS:-./internal/storage ./internal/locdb ./internal/server ./internal/loadgen .}"
 
@@ -36,7 +43,7 @@ if ! go test -run '^$' -bench . -benchmem -benchtime "$benchtime" $pkgs > "$tmp"
 fi
 cat "$tmp" >&2
 
-awk -v benchtime="$benchtime" '
+awk -v benchtime="$benchtime" -v ingout="$ingest_out" '
 BEGIN {
     n = 0
     "go version" | getline gover
@@ -72,6 +79,8 @@ $1 == "pkg:" { pkg = $2; next }
     if (name == "BenchmarkLocdbDelta/mem") memns = ns
     if (name == "BenchmarkLocdbDelta/durable") durns = ns
     if (name == "BenchmarkLocdbDelta/journal") jns = ns
+    if (name == "BenchmarkIngestDelta/single")  singlens = ns
+    if (name == "BenchmarkIngestDelta/batched") batchns = ns
 }
 END {
     printf "\n  }"
@@ -88,6 +97,32 @@ END {
         printf ",\n  \"locdb_delta_foreground_overhead_pct\": %.1f", jns * 100.0 / memns
     }
     printf "\n}\n"
+
+    # Second record: the ingest write-path throughput (same pass over
+    # the bench output, written to its own file).
+    if (singlens == "" || batchns == "") {
+        # BENCHPKGS may deliberately exclude internal/server; record the
+        # omission instead of failing the whole run.
+        print "bench.sh: BenchmarkIngestDelta not in this run; " ingout " records the omission" > "/dev/stderr"
+        printf "{\n  \"schema\": \"bips-ingest-bench-v1\",\n" > ingout
+        printf "  \"skipped\": \"BenchmarkIngestDelta not in this run (BENCHPKGS excludes internal/server?)\"\n}\n" > ingout
+        exit 0
+    }
+    printf "{\n" > ingout
+    printf "  \"schema\": \"bips-ingest-bench-v1\",\n" > ingout
+    printf "  \"go\": \"%s\",\n", gover > ingout
+    printf "  \"date\": \"%s\",\n", now > ingout
+    printf "  \"host\": \"%s\",\n", host > ingout
+    printf "  \"benchtime\": \"%s\",\n", benchtime > ingout
+    printf "  \"single_ns_per_delta\": %s,\n", singlens > ingout
+    printf "  \"batched_ns_per_delta\": %s,\n", batchns > ingout
+    printf "  \"single_deltas_per_sec\": %.0f,\n", 1e9 / singlens > ingout
+    printf "  \"batched_deltas_per_sec\": %.0f,\n", 1e9 / batchns > ingout
+    # The PR 5 acceptance metric: sessioned batched ingest vs one
+    # MsgPresence envelope per delta, same hardware (bar: >= 5).
+    printf "  \"batched_speedup\": %.1f\n", singlens / batchns > ingout
+    printf "}\n" > ingout
 }' "$tmp" > "$out"
 
 echo "wrote $out" >&2
+echo "wrote $ingest_out" >&2

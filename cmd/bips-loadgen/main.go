@@ -8,14 +8,19 @@
 //	bips-loadgen -server 127.0.0.1:7700 -clients 8 -qps 50000 -duration 10s -mode mixed
 //	bips-loadgen -server 127.0.0.1:7700 -mode locate -users 16 -batch 32
 //	bips-loadgen -server 127.0.0.1:7700 -mix "locate=60,presence=20,at=10,trajectory=10"
+//	bips-loadgen -server 127.0.0.1:7700 -mix ingest -ingest-batch 256
 //
 // With -qps 0 the generator runs unthrottled and reports the saturation
 // throughput. -mode rooms needs no server-side setup; every other mode,
 // and any -mix touching users, needs the server started with
 // -loadgen-users >= -users. -mix overrides -mode with an explicit
 // weighted request mix over rooms | locate | presence | at |
-// trajectory — the way to drive the storage engine's read/history
-// serving workload (see docs/OPERATIONS.md). -stats additionally
+// trajectory | ingest — the way to drive the storage engine's
+// read/history serving workload and the sessioned batched write path
+// (see docs/OPERATIONS.md). The ingest op streams MsgPresenceBatch
+// frames of -ingest-batch deltas on per-worker sessions, so write
+// throughput is measured with the same tool and protocol as reads;
+// every delta counts as one request in the report. -stats additionally
 // fetches the server's MsgStats snapshot after the run.
 package main
 
@@ -47,8 +52,9 @@ func run(args []string) error {
 		qps        = fs.Float64("qps", 0, "target aggregate requests/second (0 = unthrottled)")
 		duration   = fs.Duration("duration", 5*time.Second, "run length")
 		mode       = fs.String("mode", "rooms", "preset request mix: rooms | locate | mixed")
-		mix        = fs.String("mix", "", `weighted request mix overriding -mode, e.g. "locate=6,presence=2,at=1,trajectory=1"`)
-		batch      = fs.Int("batch", 1, "sub-requests per MsgBatch envelope (1 = no batching)")
+		mix        = fs.String("mix", "", `weighted request mix overriding -mode, e.g. "locate=6,presence=2,at=1,trajectory=1" or "ingest"`)
+		batch      = fs.Int("batch", 1, "sub-requests per MsgBatch envelope (1 = no batching; incompatible with the ingest op)")
+		ingestN    = fs.Int("ingest-batch", 64, "deltas per MsgPresenceBatch frame for the ingest op")
 		users      = fs.Int("users", 8, "synthetic users for locate/mixed (server needs -loadgen-users >= this)")
 		password   = fs.String("password", "loadgen", "synthetic users' password")
 		useV1      = fs.Bool("v1", false, "use wire protocol v1 (newline JSON) instead of v2 frames")
@@ -60,18 +66,19 @@ func run(args []string) error {
 	}
 
 	cfg := loadgen.Config{
-		Addr:     *serverAddr,
-		Clients:  *clients,
-		Pipeline: *pipeline,
-		QPS:      *qps,
-		Duration: *duration,
-		Mode:     loadgen.Mode(*mode),
-		Mix:      *mix,
-		Batch:    *batch,
-		Users:    *users,
-		Password: *password,
-		V1:       *useV1,
-		Seed:     *seed,
+		Addr:        *serverAddr,
+		Clients:     *clients,
+		Pipeline:    *pipeline,
+		QPS:         *qps,
+		Duration:    *duration,
+		Mode:        loadgen.Mode(*mode),
+		Mix:         *mix,
+		Batch:       *batch,
+		IngestBatch: *ingestN,
+		Users:       *users,
+		Password:    *password,
+		V1:          *useV1,
+		Seed:        *seed,
 	}
 	workload := "mode=" + *mode
 	if *mix != "" {

@@ -17,6 +17,10 @@
 // trajectory=10" (`bips-loadgen -mix`), which adds the storage engine's
 // history workload: presence deltas advance a shared simulated clock
 // and the at/trajectory queries read random instants and windows of it.
+// The "ingest" op drives the sessioned batched write path: each worker
+// streams sequenced MsgPresenceBatch frames of IngestBatch deltas on
+// its own ingest session, so write throughput is measured with the same
+// tool (and counted per delta, like batched sub-requests).
 package loadgen
 
 import (
@@ -61,6 +65,7 @@ const (
 	OpPresence   = "presence"
 	OpAt         = "at"         // MsgLocateAt: historical point query
 	OpTrajectory = "trajectory" // MsgTrajectory: time-window query
+	OpIngest     = "ingest"     // MsgPresenceBatch: one sequenced ingest frame of IngestBatch deltas
 )
 
 // mixEntry is one weighted operation of the request mix.
@@ -75,7 +80,7 @@ type mixEntry struct {
 func parseMix(s string) ([]mixEntry, error) {
 	known := map[string]bool{
 		OpRooms: true, OpLocate: true, OpPresence: true,
-		OpAt: true, OpTrajectory: true,
+		OpAt: true, OpTrajectory: true, OpIngest: true,
 	}
 	var out []mixEntry
 	for _, part := range strings.Split(s, ",") {
@@ -86,8 +91,8 @@ func parseMix(s string) ([]mixEntry, error) {
 		name, weightStr, hasWeight := strings.Cut(part, "=")
 		name = strings.TrimSpace(name)
 		if !known[name] {
-			return nil, fmt.Errorf("loadgen: unknown mix op %q (want %s|%s|%s|%s|%s)",
-				name, OpRooms, OpLocate, OpPresence, OpAt, OpTrajectory)
+			return nil, fmt.Errorf("loadgen: unknown mix op %q (want %s|%s|%s|%s|%s|%s)",
+				name, OpRooms, OpLocate, OpPresence, OpAt, OpTrajectory, OpIngest)
 		}
 		weight := 1
 		if hasWeight {
@@ -145,8 +150,15 @@ type Config struct {
 	mix      []mixEntry
 	mixTotal int
 	// Batch > 1 wraps that many sub-requests into each MsgBatch
-	// envelope.
+	// envelope. Incompatible with the ingest op, whose frames are
+	// already batches (size IngestBatch).
 	Batch int
+	// IngestBatch is the deltas-per-frame size of the ingest op
+	// (default 64, max wire.MaxBatchDeltas). Every worker drawing
+	// ingest ops streams frames on its own ingest session, so write
+	// throughput is measured with the same sessioned protocol
+	// bips-station uses.
+	IngestBatch int
 	// V1 selects the newline-JSON protocol instead of v2 frames.
 	V1 bool
 	// Users is the number of synthetic users for ModeLocate/ModeMixed
@@ -200,6 +212,15 @@ func (c *Config) fill() error {
 	if c.Batch < 1 {
 		c.Batch = 1
 	}
+	if c.IngestBatch <= 0 {
+		c.IngestBatch = 64
+	}
+	if c.IngestBatch > wire.MaxBatchDeltas {
+		c.IngestBatch = wire.MaxBatchDeltas
+	}
+	if c.Batch > 1 && c.hasOp(OpIngest) {
+		return errors.New("loadgen: -batch is incompatible with the ingest op (ingest frames are already batched; size them with IngestBatch)")
+	}
 	if c.Users <= 0 {
 		c.Users = 8
 	}
@@ -207,6 +228,35 @@ func (c *Config) fill() error {
 		c.Password = "loadgen"
 	}
 	return nil
+}
+
+// hasOp reports whether the resolved mix contains the op.
+func (c *Config) hasOp(op string) bool {
+	for _, e := range c.mix {
+		if e.op == op {
+			return true
+		}
+	}
+	return false
+}
+
+// requestsPerIssue is the expected number of requests one issue() call
+// completes: Batch for MsgBatch envelopes, and the mix-weighted mean
+// when ingest frames (IngestBatch deltas each) are in play — the
+// scaling factor that keeps -qps pacing honest for the write path.
+func (c *Config) requestsPerIssue() float64 {
+	if !c.hasOp(OpIngest) {
+		return float64(c.Batch)
+	}
+	var sum float64
+	for _, e := range c.mix {
+		if e.op == OpIngest {
+			sum += float64(e.weight * c.IngestBatch)
+		} else {
+			sum += float64(e.weight)
+		}
+	}
+	return sum / float64(c.mixTotal)
 }
 
 // UserName returns the i-th synthetic user id, the naming contract
@@ -312,14 +362,18 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 
 	workers := cfg.Clients * cfg.Pipeline
 	// Each worker paces itself to its share of the aggregate target:
-	// worker w's n-th request is due at start + n*interval.
+	// worker w's n-th issue is due at start + n*interval, where one
+	// issue completes requestsPerIssue requests (batched sub-requests
+	// and ingest-frame deltas both count individually, so pacing must
+	// scale by the same factor the report does).
 	var interval time.Duration
 	if cfg.QPS > 0 {
 		perWorker := cfg.QPS / float64(workers)
-		interval = time.Duration(float64(time.Second) * float64(cfg.Batch) / perWorker)
+		interval = time.Duration(float64(time.Second) * cfg.requestsPerIssue() / perWorker)
 	}
 
 	start := time.Now()
+	runNonce := start.UnixNano()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		w := w
@@ -328,6 +382,14 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 		go func() {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			// Each worker streams ingest frames on its own session
+			// (sessions are ordered channels; workers must not share
+			// one). The session id carries a per-run nonce: reusing a
+			// session across runs would make the server duplicate-skip
+			// every frame number the previous run already acked, and
+			// the report would measure duplicate-ack round trips
+			// instead of ingestion.
+			ing := &ingestState{session: fmt.Sprintf("loadgen-%x-%d", runNonce, w)}
 			for n := int64(0); ; n++ {
 				if interval > 0 {
 					due := start.Add(time.Duration(n) * interval)
@@ -343,7 +405,7 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 					return
 				}
 				t0 := time.Now()
-				done, err := issue(cfg, client, rng, rooms, &simTick)
+				done, err := issue(cfg, client, rng, rooms, &simTick, ing)
 				hist.ObserveDuration(time.Since(t0))
 				requests.Add(done)
 				if err != nil {
@@ -431,16 +493,31 @@ func setup(cfg Config, client *wire.Client) ([]wire.RoomInfo, error) {
 	return rooms.Rooms, nil
 }
 
-// issue sends one envelope (a single request, or a MsgBatch of cfg.Batch
-// sub-requests) and returns how many requests completed.
-func issue(cfg Config, client *wire.Client, rng *rand.Rand, rooms []wire.RoomInfo, tick *atomic.Int64) (int64, error) {
+// ingestState is one worker's ingest session: its id, its frame
+// sequence, and whether the hello handshake has run.
+type ingestState struct {
+	session string
+	seq     uint64
+	helloed bool
+}
+
+// issue sends one envelope (a single request, a MsgBatch of cfg.Batch
+// sub-requests, or one ingest frame) and returns how many requests
+// completed (each delta of an ingest frame counts, like batched
+// sub-requests do).
+func issue(cfg Config, client *wire.Client, rng *rand.Rand, rooms []wire.RoomInfo, tick *atomic.Int64, ing *ingestState) (int64, error) {
 	if cfg.Batch <= 1 {
-		t, body := nextRequest(cfg, rng, rooms, tick)
+		t, body := nextRequest(cfg, rng, rooms, tick, ing)
+		if t == wire.MsgPresenceBatch {
+			return issueIngest(cfg, client, rooms, body.(wire.PresenceBatch), ing)
+		}
 		return 1, call(client, t, body)
 	}
 	var b wire.Batch
 	for i := 0; i < cfg.Batch; i++ {
-		t, body := nextRequest(cfg, rng, rooms, tick)
+		// The ingest op never reaches this path: fill rejects
+		// Batch > 1 together with an ingest mix.
+		t, body := nextRequest(cfg, rng, rooms, tick, ing)
 		if err := b.Add(t, body); err != nil {
 			return 0, err
 		}
@@ -454,11 +531,44 @@ func issue(cfg Config, client *wire.Client, rng *rand.Rand, rooms []wire.RoomInf
 	return int64(len(res.Responses)), nil
 }
 
+// issueIngest delivers one sequenced frame on the worker's session,
+// opening the session on first use. The frame's sequence number only
+// advances on success, so a served error is retried with the next draw
+// under the same number (the protocol's idempotent-resend rule).
+func issueIngest(cfg Config, client *wire.Client, rooms []wire.RoomInfo, frame wire.PresenceBatch, ing *ingestState) (int64, error) {
+	if !ing.helloed {
+		var ack wire.IngestAck
+		if err := client.Call(wire.MsgIngestHello, wire.IngestHello{
+			Session: ing.session,
+			Station: ing.session,
+			Room:    rooms[0].ID,
+		}, &ack); err != nil {
+			return 0, err
+		}
+		ing.helloed = true
+		ing.seq = ack.Acked
+	}
+	var ack wire.IngestAck
+	if err := client.Call(wire.MsgPresenceBatch, frame, &ack); err != nil {
+		return 0, err
+	}
+	if frame.Seq > ing.seq {
+		ing.seq = frame.Seq
+	}
+	if ack.Duplicate {
+		// Per-run session nonces make this unreachable; if it fires
+		// anyway, the deltas were skipped, not ingested.
+		return 0, fmt.Errorf("loadgen: frame %d on session %s duplicate-skipped", frame.Seq, ing.session)
+	}
+	return int64(len(frame.Deltas)), nil
+}
+
 // nextRequest draws one request from the weighted mix. tick is the
-// run's shared simulated clock: presence deltas advance it, history
-// queries ask about random instants or windows of the time it has
-// covered, so at/trajectory exercise real recorded runs.
-func nextRequest(cfg Config, rng *rand.Rand, rooms []wire.RoomInfo, tick *atomic.Int64) (wire.MsgType, any) {
+// run's shared simulated clock: presence deltas (single or batched)
+// advance it, history queries ask about random instants or windows of
+// the time it has covered, so at/trajectory exercise real recorded
+// runs.
+func nextRequest(cfg Config, rng *rand.Rand, rooms []wire.RoomInfo, tick *atomic.Int64, ing *ingestState) (wire.MsgType, any) {
 	n := rng.Intn(cfg.mixTotal)
 	op := cfg.mix[len(cfg.mix)-1].op
 	for _, e := range cfg.mix {
@@ -480,6 +590,19 @@ func nextRequest(cfg Config, rng *rand.Rand, rooms []wire.RoomInfo, tick *atomic
 			At:      sim.Tick(tick.Add(1)),
 			Present: true,
 		}
+	case OpIngest:
+		frame := wire.PresenceBatch{Session: ing.session, Seq: ing.seq + 1}
+		frame.Deltas = make([]wire.Presence, 0, cfg.IngestBatch)
+		for i := 0; i < cfg.IngestBatch; i++ {
+			room := rooms[rng.Intn(len(rooms))]
+			frame.Deltas = append(frame.Deltas, wire.Presence{
+				Device:  wire.FormatAddr(UserDevice(rng.Intn(cfg.Users))),
+				Room:    room.ID,
+				At:      sim.Tick(tick.Add(1)),
+				Present: true,
+			})
+		}
+		return wire.MsgPresenceBatch, frame
 	case OpAt:
 		lo, upper := historyWindow(cfg, tick)
 		return wire.MsgLocateAt, wire.LocateAt{

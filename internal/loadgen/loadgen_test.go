@@ -297,3 +297,67 @@ func TestMixValidationAtRun(t *testing.T) {
 		t.Error("bogus mix accepted")
 	}
 }
+
+// TestIngestWorkload: the ingest op streams sequenced MsgPresenceBatch
+// frames on per-worker sessions; every delta counts as one request and
+// a clean run sees no errors.
+func TestIngestWorkload(t *testing.T) {
+	addr := startServer(t, 4)
+	const ingestBatch = 32
+	rep, err := Run(context.Background(), Config{
+		Addr:        addr,
+		Clients:     2,
+		Pipeline:    2,
+		Mix:         "ingest",
+		IngestBatch: ingestBatch,
+		Users:       4,
+		Duration:    400 * time.Millisecond,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("report:\n%s", rep)
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d", rep.Errors)
+	}
+	if rep.Requests < ingestBatch {
+		t.Fatalf("requests = %d, want at least one full frame (%d deltas)", rep.Requests, ingestBatch)
+	}
+	if rep.Requests%ingestBatch != 0 {
+		t.Errorf("requests = %d not a multiple of the frame size %d — deltas are miscounted", rep.Requests, ingestBatch)
+	}
+}
+
+// TestIngestMixedWithReads: write frames and read queries share one run,
+// the point of measuring both paths with the same tool.
+func TestIngestMixedWithReads(t *testing.T) {
+	addr := startServer(t, 4)
+	rep, err := Run(context.Background(), Config{
+		Addr:        addr,
+		Clients:     2,
+		Pipeline:    2,
+		Mix:         "ingest=1,locate=3",
+		IngestBatch: 16,
+		Users:       4,
+		Duration:    400 * time.Millisecond,
+		Seed:        6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d", rep.Errors)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+}
+
+// TestIngestIncompatibleWithBatch: wrapping ingest frames in MsgBatch
+// envelopes is rejected up front.
+func TestIngestIncompatibleWithBatch(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Addr: "x", Mix: "ingest", Batch: 8}); err == nil {
+		t.Error("ingest + Batch>1 accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package locdb
+
+import (
+	"bips/internal/baseband"
+	"bips/internal/graph"
+	"bips/internal/sim"
+)
+
+// MutOp tags one batched mutation.
+type MutOp uint8
+
+// Batchable mutations. Drop (logout) is deliberately absent: it is a
+// control-plane operation, not part of the workstation delta stream.
+const (
+	MutPresence MutOp = iota + 1
+	MutAbsence
+)
+
+// Mutation is one presence/absence delta of a batch, the storage-layer
+// form of a wire.Presence that has already passed business validation.
+type Mutation struct {
+	Op      MutOp
+	Dev     baseband.BDAddr
+	Piconet graph.NodeID
+	At      sim.Tick
+}
+
+// shardBatch groups a batch's mutations by destination shard, in first-
+// touch order, preserving the batch's relative order within each shard
+// (which is all that matters: every stored fact is per-device, and a
+// device always maps to one shard).
+type shardBatch struct {
+	idx  int
+	muts []Mutation
+}
+
+// ApplyBatch applies a batch of mutations, acquiring each destination
+// shard's lock exactly once — the write-path analogue of the read path's
+// batch snapshot. For a frame of B deltas spread over S shards it costs
+// S lock acquisitions instead of B, and a journaling backend sees the
+// whole batch appended inside those S critical sections, so the WAL
+// group-commits it as one coalesced write.
+//
+// Per-device ordering follows the batch order; the delta semantics of
+// SetPresence/SetAbsence apply per mutation (no-ops and stale absences
+// are skipped). Subscribers are notified after all shard locks are
+// released, in per-shard application order — with concurrent writers on
+// other shards this interleaving is no weaker than the one they already
+// observe. It returns the number of mutations that changed state.
+func (db *DB) ApplyBatch(muts []Mutation) int {
+	if len(muts) == 0 {
+		return 0
+	}
+	// Group by shard. The number of distinct shards touched is small
+	// (bounded by both the batch and the shard count), so a linear scan
+	// over the group list beats allocating a per-shard table.
+	groups := make([]shardBatch, 0, 8)
+	for _, m := range muts {
+		idx := db.shardIdxOf(m.Dev)
+		found := false
+		for gi := range groups {
+			if groups[gi].idx == idx {
+				groups[gi].muts = append(groups[gi].muts, m)
+				found = true
+				break
+			}
+		}
+		if !found {
+			groups = append(groups, shardBatch{idx: idx, muts: []Mutation{m}})
+		}
+	}
+
+	applied := 0
+	events := make([]Event, 0, len(muts))
+	for _, g := range groups {
+		sh := db.shards[g.idx]
+		sh.mu.Lock()
+		for _, m := range g.muts {
+			var changed bool
+			switch m.Op {
+			case MutPresence:
+				changed = db.setPresenceLocked(sh, g.idx, m.Dev, m.Piconet, m.At)
+			case MutAbsence:
+				changed = db.setAbsenceLocked(sh, g.idx, m.Dev, m.Piconet, m.At)
+			}
+			if changed {
+				applied++
+				events = append(events, Event{
+					Fix:     Fix{Device: m.Dev, Piconet: m.Piconet, At: m.At},
+					Present: m.Op == MutPresence,
+				})
+			}
+		}
+		sh.mu.Unlock()
+	}
+	for _, ev := range events {
+		db.notify(ev)
+	}
+	return applied
+}

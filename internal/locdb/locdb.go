@@ -242,23 +242,18 @@ func shardIndex(v uint64, n int) int {
 	return int(v % uint64(n))
 }
 
-// SetPresence records that the device is present in the piconet at the
-// given time. It implements the delta semantics: re-reporting an unchanged
-// piconet is a cheap no-op, reported by the false return.
-func (db *DB) SetPresence(dev baseband.BDAddr, piconet graph.NodeID, at sim.Tick) bool {
-	idx := db.shardIdxOf(dev)
-	sh := db.shards[idx]
-	sh.mu.Lock()
+// setPresenceLocked applies one presence delta to its shard. The caller
+// holds sh.mu; the returned bool reports whether state changed (delta
+// semantics: re-reporting an unchanged piconet is a no-op).
+func (db *DB) setPresenceLocked(sh *shard, idx int, dev baseband.BDAddr, piconet graph.NodeID, at sim.Tick) bool {
 	prev, had := sh.current[dev]
 	if had && prev.Piconet == piconet {
-		sh.mu.Unlock()
 		return false
 	}
-	fix := Fix{Device: dev, Piconet: piconet, At: at}
 	if had {
 		delete(sh.occupants[prev.Piconet], dev)
 	}
-	sh.current[dev] = fix
+	sh.current[dev] = Fix{Device: dev, Piconet: piconet, At: at}
 	occ := sh.occupants[piconet]
 	if occ == nil {
 		occ = make(map[baseband.BDAddr]bool)
@@ -271,8 +266,40 @@ func (db *DB) SetPresence(dev baseband.BDAddr, piconet graph.NodeID, at sim.Tick
 	}
 	sh.version.Add(1)
 	sh.updates.Add(1)
+	return true
+}
+
+// setAbsenceLocked applies one absence delta to its shard. The caller
+// holds sh.mu; an absence from a piconet the device is no longer in is
+// ignored (false), so out-of-order reports cannot erase a newer fix.
+func (db *DB) setAbsenceLocked(sh *shard, idx int, dev baseband.BDAddr, piconet graph.NodeID, at sim.Tick) bool {
+	cur, ok := sh.current[dev]
+	if !ok || cur.Piconet != piconet {
+		return false
+	}
+	delete(sh.current, dev)
+	delete(sh.occupants[piconet], dev)
+	if db.journal != nil {
+		db.journal.Record(idx, JournalAbsence, dev, piconet, at)
+	}
+	sh.version.Add(1)
+	sh.absences.Add(1)
+	return true
+}
+
+// SetPresence records that the device is present in the piconet at the
+// given time. It implements the delta semantics: re-reporting an unchanged
+// piconet is a cheap no-op, reported by the false return.
+func (db *DB) SetPresence(dev baseband.BDAddr, piconet graph.NodeID, at sim.Tick) bool {
+	idx := db.shardIdxOf(dev)
+	sh := db.shards[idx]
+	sh.mu.Lock()
+	changed := db.setPresenceLocked(sh, idx, dev, piconet, at)
 	sh.mu.Unlock()
-	db.notify(Event{Fix: fix, Present: true})
+	if !changed {
+		return false
+	}
+	db.notify(Event{Fix: Fix{Device: dev, Piconet: piconet, At: at}, Present: true})
 	return true
 }
 
@@ -285,19 +312,11 @@ func (db *DB) SetAbsence(dev baseband.BDAddr, piconet graph.NodeID, at sim.Tick)
 	idx := db.shardIdxOf(dev)
 	sh := db.shards[idx]
 	sh.mu.Lock()
-	cur, ok := sh.current[dev]
-	if !ok || cur.Piconet != piconet {
-		sh.mu.Unlock()
+	changed := db.setAbsenceLocked(sh, idx, dev, piconet, at)
+	sh.mu.Unlock()
+	if !changed {
 		return false
 	}
-	delete(sh.current, dev)
-	delete(sh.occupants[piconet], dev)
-	if db.journal != nil {
-		db.journal.Record(idx, JournalAbsence, dev, piconet, at)
-	}
-	sh.version.Add(1)
-	sh.absences.Add(1)
-	sh.mu.Unlock()
 	db.notify(Event{Fix: Fix{Device: dev, Piconet: piconet, At: at}, Present: false})
 	return true
 }

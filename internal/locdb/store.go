@@ -25,6 +25,12 @@ type Store interface {
 	SetAbsence(dev baseband.BDAddr, piconet graph.NodeID, at sim.Tick) bool
 	// Drop removes every trace of the device (logout).
 	Drop(dev baseband.BDAddr) bool
+	// ApplyBatch applies a validated batch of presence/absence
+	// mutations with one lock acquisition per touched shard, returning
+	// how many changed state. It is the ingest pipeline's write path; a
+	// journaling backend group-commits the whole batch as one coalesced
+	// WAL write.
+	ApplyBatch(muts []Mutation) int
 
 	// Locate returns the device's current fix.
 	Locate(dev baseband.BDAddr) (Fix, error)

@@ -1,0 +1,300 @@
+package server_test
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"bips/internal/graph"
+	"bips/internal/ingest"
+	"bips/internal/locdb"
+	"bips/internal/server"
+	"bips/internal/sim"
+	"bips/internal/wire"
+)
+
+// ingestClient dials a v2 client on an in-memory pipe.
+func ingestClient(t *testing.T, s *server.Server) *wire.Client {
+	t.Helper()
+	conn := servePipe(t, s)
+	c := wire.NewClient(wire.NewFrameCodec(conn))
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func ingestFrame(session string, seq uint64, deltas ...wire.Presence) wire.PresenceBatch {
+	return wire.PresenceBatch{Session: session, Seq: seq, Deltas: deltas}
+}
+
+func presenceAt(dev string, room graph.NodeID, at sim.Tick, present bool) wire.Presence {
+	return wire.Presence{Device: dev, Room: room, At: at, Present: present}
+}
+
+// TestIngestSessionEndToEnd drives the full hello/batch/ack state
+// machine over the wire, including a duplicate replay and a resume on a
+// second connection.
+func TestIngestSessionEndToEnd(t *testing.T) {
+	s := newServer(t)
+	if err := s.Login(wire.Login{User: "alice", Password: pw, Device: wire.FormatAddr(devA)}); err != nil {
+		t.Fatal(err)
+	}
+	c := ingestClient(t, s)
+
+	var ack wire.IngestAck
+	if err := c.Call(wire.MsgIngestHello, wire.IngestHello{Session: "st-1", Station: "S", Room: 1}, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Acked != 0 {
+		t.Fatalf("fresh session ack = %+v", ack)
+	}
+
+	f1 := ingestFrame("st-1", 1,
+		presenceAt(wire.FormatAddr(devA), 1, 10, true),
+		presenceAt(wire.FormatAddr(devA), 6, 20, true),
+	)
+	if err := c.Call(wire.MsgPresenceBatch, f1, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Acked != 1 || ack.Applied != 2 {
+		t.Fatalf("frame 1 ack = %+v, want acked=1 applied=2", ack)
+	}
+
+	// Replay of frame 1 (a reconnect resend): acknowledged, unapplied.
+	if err := c.Call(wire.MsgPresenceBatch, f1, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Duplicate || ack.Acked != 1 || ack.Applied != 0 {
+		t.Fatalf("replayed frame ack = %+v, want duplicate acked=1", ack)
+	}
+	fix, err := s.DB().Locate(devA)
+	if err != nil || fix.Piconet != 6 || fix.At != 20 {
+		t.Fatalf("fix after replay = %+v err=%v, want room 6 at 20", fix, err)
+	}
+
+	// Resume on a fresh connection: hello reports acked=1.
+	c2 := ingestClient(t, s)
+	if err := c2.Call(wire.MsgIngestHello, wire.IngestHello{Session: "st-1", Station: "S", Room: 1}, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Acked != 1 {
+		t.Fatalf("resumed hello ack = %+v, want acked=1", ack)
+	}
+	if err := c2.Call(wire.MsgPresenceBatch, ingestFrame("st-1", 2,
+		presenceAt(wire.FormatAddr(devA), 1, 30, true)), &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Acked != 2 || ack.Applied != 1 {
+		t.Fatalf("frame 2 ack = %+v", ack)
+	}
+
+	// The ingest counters surface in MsgStats.
+	var stats wire.StatsResult
+	if err := c2.Call(wire.MsgStats, wire.StatsQuery{}, &stats); err != nil {
+		t.Fatal(err)
+	}
+	for counter, want := range map[string]int64{
+		"ingest.sessions":         1,
+		"ingest.frames":           3,
+		"ingest.applied":          3,
+		"ingest.duplicate_frames": 1,
+		"ingest.resumes":          1,
+	} {
+		if got := stats.Counters[counter]; got != want {
+			t.Errorf("%s = %d, want %d", counter, got, want)
+		}
+	}
+}
+
+// TestIngestAdversarial: every malformed or out-of-contract ingest
+// request must be answered with a MsgError carrying the right code —
+// and the connection must stay usable afterwards (never
+// disconnect-without-reply).
+func TestIngestAdversarial(t *testing.T) {
+	s := newServer(t, server.WithIngestOptions(ingest.WithGapWait(50*time.Millisecond)))
+	c := ingestClient(t, s)
+
+	var ack wire.IngestAck
+	if err := c.Call(wire.MsgIngestHello, wire.IngestHello{Session: "st", Station: "S", Room: 1}, &ack); err != nil {
+		t.Fatal(err)
+	}
+
+	wantErr := func(name string, t_ wire.MsgType, body any, code string) {
+		t.Helper()
+		err := c.Call(t_, body, nil)
+		werr, ok := err.(*wire.Error)
+		if !ok {
+			t.Fatalf("%s: err = %v, want *wire.Error", name, err)
+		}
+		if werr.Code != code {
+			t.Errorf("%s: code = %q, want %q", name, werr.Code, code)
+		}
+		// The connection survives: a rooms query still answers.
+		if err := c.Call(wire.MsgRooms, wire.RoomsQuery{}, nil); err != nil {
+			t.Fatalf("%s: connection unusable after error: %v", name, err)
+		}
+	}
+
+	wantErr("unknown session", wire.MsgPresenceBatch,
+		ingestFrame("ghost", 1, presenceAt(wire.FormatAddr(devA), 1, 1, true)), wire.CodeNotFound)
+	wantErr("empty batch", wire.MsgPresenceBatch,
+		wire.PresenceBatch{Session: "st", Seq: 1}, wire.CodeBadRequest)
+	wantErr("zero seq", wire.MsgPresenceBatch,
+		ingestFrame("st", 0, presenceAt(wire.FormatAddr(devA), 1, 1, true)), wire.CodeBadRequest)
+	wantErr("oversized batch", wire.MsgPresenceBatch,
+		wire.PresenceBatch{Session: "st", Seq: 1, Deltas: make([]wire.Presence, wire.MaxBatchDeltas+1)},
+		wire.CodeBadRequest)
+	wantErr("sequence far ahead", wire.MsgPresenceBatch,
+		ingestFrame("st", ingest.DefaultGapWindow+5, presenceAt(wire.FormatAddr(devA), 1, 1, true)),
+		wire.CodeBadRequest)
+	wantErr("sequence gap", wire.MsgPresenceBatch,
+		ingestFrame("st", 3, presenceAt(wire.FormatAddr(devA), 1, 1, true)), wire.CodeBadRequest)
+	wantErr("hello unknown room", wire.MsgIngestHello,
+		wire.IngestHello{Session: "st", Station: "S", Room: 99999}, wire.CodeNotFound)
+	wantErr("hello without session", wire.MsgIngestHello,
+		wire.IngestHello{Station: "S", Room: 1}, wire.CodeBadRequest)
+
+	// After all that abuse the session still works.
+	if err := s.Login(wire.Login{User: "alice", Password: pw, Device: wire.FormatAddr(devA)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call(wire.MsgPresenceBatch,
+		ingestFrame("st", 1, presenceAt(wire.FormatAddr(devA), 1, 1, true)), &ack); err != nil {
+		t.Fatalf("valid frame after adversarial input: %v", err)
+	}
+	if ack.Acked != 1 || ack.Applied != 1 {
+		t.Fatalf("ack = %+v", ack)
+	}
+}
+
+// TestIngestRejectedDeltasDoNotWedge: a frame with a bad delta still
+// advances the ack (the bad delta is counted, not retried forever).
+func TestIngestRejectedDeltasDoNotWedge(t *testing.T) {
+	s := newServer(t)
+	if err := s.Login(wire.Login{User: "alice", Password: pw, Device: wire.FormatAddr(devA)}); err != nil {
+		t.Fatal(err)
+	}
+	c := ingestClient(t, s)
+	var ack wire.IngestAck
+	if err := c.Call(wire.MsgIngestHello, wire.IngestHello{Session: "st", Station: "S", Room: 1}, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call(wire.MsgPresenceBatch, ingestFrame("st", 1,
+		presenceAt(wire.FormatAddr(devA), 1, 1, true),
+		presenceAt("not-an-address", 1, 2, true),
+		presenceAt(wire.FormatAddr(devA), 99999, 3, true), // unknown room
+	), &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Acked != 1 || ack.Applied != 1 || ack.Rejected != 2 {
+		t.Fatalf("ack = %+v, want acked=1 applied=1 rejected=2", ack)
+	}
+}
+
+// TestIngestMatchesSingleDeltaPath: the batched pipeline must leave the
+// location database byte-identical to the per-delta MsgPresence path.
+func TestIngestMatchesSingleDeltaPath(t *testing.T) {
+	deltas := make([]wire.Presence, 0, 200)
+	for i := 0; i < 200; i++ {
+		dev := devA
+		if i%2 == 1 {
+			dev = devB
+		}
+		room := graph.NodeID(1 + i%7)
+		deltas = append(deltas, presenceAt(wire.FormatAddr(dev), room, sim.Tick(i+1), i%11 != 0))
+	}
+
+	dump := func(s *server.Server) string {
+		t.Helper()
+		type state struct {
+			All  []locdb.Fix
+			HidA []locdb.Fix
+			HidB []locdb.Fix
+		}
+		raw, err := json.Marshal(state{All: s.DB().All(), HidA: s.DB().History(devA), HidB: s.DB().History(devB)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+
+	login := func(s *server.Server) {
+		t.Helper()
+		if err := s.Login(wire.Login{User: "alice", Password: pw, Device: wire.FormatAddr(devA)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Login(wire.Login{User: "bob", Password: pw, Device: wire.FormatAddr(devB)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	single := newServer(t)
+	login(single)
+	cs := ingestClient(t, single)
+	for _, p := range deltas {
+		if err := cs.Call(wire.MsgPresence, p, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	batched := newServer(t)
+	login(batched)
+	cb := ingestClient(t, batched)
+	var ack wire.IngestAck
+	if err := cb.Call(wire.MsgIngestHello, wire.IngestHello{Session: "st", Station: "S", Room: 1}, &ack); err != nil {
+		t.Fatal(err)
+	}
+	seq := uint64(0)
+	for i := 0; i < len(deltas); i += 32 {
+		end := i + 32
+		if end > len(deltas) {
+			end = len(deltas)
+		}
+		seq++
+		if err := cb.Call(wire.MsgPresenceBatch,
+			wire.PresenceBatch{Session: "st", Seq: seq, Deltas: deltas[i:end]}, &ack); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got, want := dump(batched), dump(single); got != want {
+		t.Errorf("batched ingest diverges from single-delta path\nbatched: %s\nsingle:  %s", got, want)
+	}
+}
+
+// TestIngestPipelinedFrames: a station may pipeline frames on one
+// connection; the reorder window absorbs handler-scheduling races and
+// every frame is applied exactly once, in order.
+func TestIngestPipelinedFrames(t *testing.T) {
+	s := newServer(t)
+	if err := s.Login(wire.Login{User: "alice", Password: pw, Device: wire.FormatAddr(devA)}); err != nil {
+		t.Fatal(err)
+	}
+	c := ingestClient(t, s)
+	var ack wire.IngestAck
+	if err := c.Call(wire.MsgIngestHello, wire.IngestHello{Session: "st", Station: "S", Room: 1}, &ack); err != nil {
+		t.Fatal(err)
+	}
+	const frames = 32
+	errs := make(chan error, frames)
+	for i := 1; i <= frames; i++ {
+		go func(seq int) {
+			var a wire.IngestAck
+			errs <- c.Call(wire.MsgPresenceBatch, ingestFrame("st", uint64(seq),
+				presenceAt(wire.FormatAddr(devA), graph.NodeID(1+seq%7), sim.Tick(seq), true)), &a)
+		}(i)
+		// Stagger launches so sends hit the socket in seq order, as a
+		// real pipelining station's writes would.
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < frames; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("pipelined frame: %v", err)
+		}
+	}
+	if acked, _ := s.Ingest().Acked("st"); acked != frames {
+		t.Fatalf("session acked = %d, want %d", acked, frames)
+	}
+	if got := s.DB().Stats().Updates; got == 0 {
+		t.Fatal("no updates applied")
+	}
+}

@@ -34,6 +34,7 @@ import (
 
 	"bips/internal/building"
 	"bips/internal/graph"
+	"bips/internal/ingest"
 	"bips/internal/locdb"
 	"bips/internal/metrics"
 	"bips/internal/registry"
@@ -60,6 +61,12 @@ func WithMaxInFlight(n int) Option {
 	}
 }
 
+// WithIngestOptions passes options through to the ingest pipeline
+// (reorder window, gap wait, session limit).
+func WithIngestOptions(opts ...ingest.Option) Option {
+	return func(s *Server) { s.ingestOpts = append(s.ingestOpts, opts...) }
+}
+
 // Server is the central BIPS server.
 type Server struct {
 	reg *registry.Registry
@@ -67,6 +74,11 @@ type Server struct {
 	bld *building.Building
 
 	maxInFlight int
+
+	// ingest is the sessioned workstation write path (hello / batch /
+	// ack); see internal/ingest and docs/PROTOCOL.md section 8.
+	ingest     *ingest.Pipeline
+	ingestOpts []ingest.Option
 
 	// Metrics. The hot-path counters are resolved once at construction;
 	// everything is also reachable through the registry for MsgStats.
@@ -118,6 +130,7 @@ func New(reg *registry.Registry, db locdb.Store, bld *building.Building, opts ..
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.ingest = ingest.NewPipeline(db, s.resolveDelta, s.ingestOpts...)
 	return s
 }
 
@@ -135,6 +148,10 @@ func (s *Server) Metrics() *metrics.Registry { return s.metrics }
 
 // MaxInFlight reports the per-connection pipeline depth limit.
 func (s *Server) MaxInFlight() int { return s.maxInFlight }
+
+// Ingest exposes the workstation ingestion pipeline (for tooling and
+// tests observing session state).
+func (s *Server) Ingest() *ingest.Pipeline { return s.ingest }
 
 // --- Business logic -------------------------------------------------------
 
@@ -162,25 +179,44 @@ func (s *Server) Logout(req wire.Logout) error {
 	return nil
 }
 
-// ApplyPresence applies a workstation's presence/absence delta.
-func (s *Server) ApplyPresence(p wire.Presence) error {
+// resolveDelta is the per-delta business validation shared by the
+// single-delta path (ApplyPresence) and the batched ingest pipeline: it
+// parses the device address, checks the room against the building, and
+// reports untracked devices (not logged in) as skip-silently.
+func (s *Server) resolveDelta(p wire.Presence) (locdb.Mutation, bool, error) {
 	dev, err := wire.ParseAddr(p.Device)
 	if err != nil {
-		return err
+		return locdb.Mutation{}, false, err
 	}
 	if _, ok := s.bld.Room(p.Room); !ok {
-		return fmt.Errorf("%w: room %d", building.ErrUnknownRoom, p.Room)
+		return locdb.Mutation{}, false, fmt.Errorf("%w: room %d", building.ErrUnknownRoom, p.Room)
 	}
 	// Only logged-in devices are tracked; silently ignore the rest
 	// (anonymous devices may answer inquiries but BIPS does not track
 	// them).
 	if _, err := s.reg.UserOf(dev); err != nil {
+		return locdb.Mutation{}, false, nil
+	}
+	op := locdb.MutPresence
+	if !p.Present {
+		op = locdb.MutAbsence
+	}
+	return locdb.Mutation{Op: op, Dev: dev, Piconet: p.Room, At: p.At}, true, nil
+}
+
+// ApplyPresence applies a workstation's presence/absence delta.
+func (s *Server) ApplyPresence(p wire.Presence) error {
+	m, track, err := s.resolveDelta(p)
+	if err != nil {
+		return err
+	}
+	if !track {
 		return nil
 	}
-	if p.Present {
-		s.db.SetPresence(dev, p.Room, p.At)
+	if m.Op == locdb.MutPresence {
+		s.db.SetPresence(m.Dev, m.Piconet, m.At)
 	} else {
-		s.db.SetAbsence(dev, p.Room, p.At)
+		s.db.SetAbsence(m.Dev, m.Piconet, m.At)
 	}
 	return nil
 }
@@ -311,6 +347,9 @@ func (s *Server) StatsResult() wire.StatsResult {
 	out.Counters["locdb.queries"] = dbStats.Queries
 	out.Counters["locdb.present"] = int64(dbStats.Present)
 	out.Counters["locdb.shards"] = int64(dbStats.Shards)
+	for name, v := range s.ingest.Stats() {
+		out.Counters["ingest."+name] = v
+	}
 	// A durable backend additionally reports its WAL/snapshot counters.
 	if ss, ok := s.db.(interface{ StorageStats() map[string]int64 }); ok {
 		for name, v := range ss.StorageStats() {
@@ -334,10 +373,13 @@ func errorCode(err error) string {
 	case errors.Is(err, registry.ErrUnknownUser),
 		errors.Is(err, registry.ErrNotLoggedIn),
 		errors.Is(err, locdb.ErrNotPresent),
-		errors.Is(err, building.ErrUnknownRoom):
+		errors.Is(err, building.ErrUnknownRoom),
+		errors.Is(err, ingest.ErrUnknownSession):
 		return wire.CodeNotFound
 	case errors.Is(err, registry.ErrBadDevice),
 		errors.Is(err, registry.ErrEmptyUserID),
+		errors.Is(err, ingest.ErrSeqGap),
+		errors.Is(err, ingest.ErrSessionLimit),
 		errors.Is(err, wire.ErrMalformed):
 		return wire.CodeBadRequest
 	default:
@@ -540,6 +582,29 @@ func (s *Server) dispatch(env wire.Envelope) wire.Envelope {
 			return fail(err)
 		}
 		return ok(wire.MsgPathResult, res)
+	case wire.MsgIngestHello:
+		var h wire.IngestHello
+		if err := wire.UnmarshalBody(env, &h); err != nil {
+			return fail(err)
+		}
+		if _, okRoom := s.bld.Room(h.Room); !okRoom {
+			return fail(fmt.Errorf("%w: room %d", building.ErrUnknownRoom, h.Room))
+		}
+		ackRes, err := s.ingest.Hello(h)
+		if err != nil {
+			return fail(err)
+		}
+		return ok(wire.MsgIngestAck, ackRes)
+	case wire.MsgPresenceBatch:
+		var b wire.PresenceBatch
+		if err := wire.UnmarshalBody(env, &b); err != nil {
+			return fail(err)
+		}
+		ackRes, err := s.ingest.Apply(b)
+		if err != nil {
+			return fail(err)
+		}
+		return ok(wire.MsgIngestAck, ackRes)
 	case wire.MsgRooms:
 		return ok(wire.MsgRoomsResult, s.RoomsInfo())
 	case wire.MsgStats:

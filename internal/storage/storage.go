@@ -405,6 +405,11 @@ func (d *Durable) SetAbsence(dev baseband.BDAddr, piconet graph.NodeID, at sim.T
 // Drop erases the device in memory and on disk.
 func (d *Durable) Drop(dev baseband.BDAddr) bool { return d.mem.Drop(dev) }
 
+// ApplyBatch applies the batch; the journal hook records every changed
+// mutation inside its shard's critical section, so the next group
+// commit persists the whole batch as one coalesced write.
+func (d *Durable) ApplyBatch(muts []locdb.Mutation) int { return d.mem.ApplyBatch(muts) }
+
 // Locate returns the device's current fix.
 func (d *Durable) Locate(dev baseband.BDAddr) (locdb.Fix, error) { return d.mem.Locate(dev) }
 

@@ -1,0 +1,81 @@
+// Ingest session messages: the sequenced, batched write path from
+// workstations to the central server.
+//
+// A workstation opens a session with MsgIngestHello, then streams
+// MsgPresenceBatch frames carrying monotonically increasing per-session
+// sequence numbers. The server answers every frame (and the hello) with
+// MsgIngestAck carrying the session's cumulative ack: every frame with
+// Seq <= Acked has been applied exactly once. A frame at Acked+1 is
+// applied; a frame at or below Acked is a duplicate and acknowledged
+// without re-applying — which is what makes reconnect-and-resend (and a
+// restarted deterministic station replaying its stream from the start)
+// idempotent. See docs/PROTOCOL.md section 8 for the full state machine.
+package wire
+
+import (
+	"fmt"
+
+	"bips/internal/graph"
+)
+
+// MaxBatchDeltas bounds the deltas of a single PresenceBatch frame so a
+// hostile or buggy station cannot make the server buffer or apply an
+// arbitrarily large frame under one session lock. It is far above any
+// sane flush policy (stations default to 64) while keeping a full frame
+// comfortably inside MaxFramePayload.
+const MaxBatchDeltas = 4096
+
+// IngestHello opens or resumes an ingest session. Session is a
+// station-chosen stable identifier (bips-station defaults to its
+// BD_ADDR); re-sending the hello for a known session never loses
+// progress — the ack tells the station where to resume.
+type IngestHello struct {
+	Session string       `json:"session"`
+	Station string       `json:"station"`
+	Room    graph.NodeID `json:"room"`
+}
+
+// PresenceBatch is one sequenced frame of presence deltas on an ingest
+// session. Seq is the session frame sequence number (1, 2, 3, ... —
+// independent of the envelope correlation id), assigned by the station
+// when the frame is cut and never reused for different content.
+type PresenceBatch struct {
+	Session string     `json:"session"`
+	Seq     uint64     `json:"seq"`
+	Deltas  []Presence `json:"deltas"`
+}
+
+// Validate checks the frame's protocol invariants: a non-empty session,
+// a non-zero sequence number, and 1..MaxBatchDeltas deltas. It does not
+// validate the deltas themselves (rooms, addresses) — that is the
+// server's per-delta business validation.
+func (b *PresenceBatch) Validate() error {
+	if b.Session == "" {
+		return fmt.Errorf("%w: presence.batch without session", ErrMalformed)
+	}
+	if b.Seq == 0 {
+		return fmt.Errorf("%w: presence.batch sequence 0 (frames start at 1)", ErrMalformed)
+	}
+	if len(b.Deltas) == 0 {
+		return fmt.Errorf("%w: empty presence.batch", ErrMalformed)
+	}
+	if len(b.Deltas) > MaxBatchDeltas {
+		return fmt.Errorf("%w: presence.batch of %d deltas exceeds %d", ErrMalformed, len(b.Deltas), MaxBatchDeltas)
+	}
+	return nil
+}
+
+// IngestAck answers IngestHello and PresenceBatch. Acked is the
+// session's cumulative ack: every frame with Seq <= Acked is applied.
+// Applied is the number of deltas this request actually applied to the
+// location database (0 for a hello, a duplicate frame, or a frame of
+// pure no-op deltas); Rejected counts deltas the server refused on
+// per-delta validation (bad address, unknown room) — they are skipped,
+// not retried, and do not block the ack; Duplicate reports that the
+// frame was at or below the cumulative ack and was skipped whole.
+type IngestAck struct {
+	Acked     uint64 `json:"acked"`
+	Applied   int    `json:"applied"`
+	Rejected  int    `json:"rejected,omitempty"`
+	Duplicate bool   `json:"duplicate,omitempty"`
+}

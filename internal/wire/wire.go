@@ -65,6 +65,13 @@ const (
 	MsgBatch MsgType = "batch"
 	// MsgStats asks for the server's metrics snapshot.
 	MsgStats MsgType = "stats"
+	// MsgIngestHello opens (or resumes) a workstation ingest session;
+	// the response is a MsgIngestAck carrying the session's cumulative
+	// ack, which tells a reconnecting station where to resume.
+	MsgIngestHello MsgType = "ingest.hello"
+	// MsgPresenceBatch carries one sequenced frame of presence deltas on
+	// an ingest session; the response is a MsgIngestAck.
+	MsgPresenceBatch MsgType = "presence.batch"
 	// MsgOK is the empty success response.
 	MsgOK MsgType = "ok"
 	// MsgLocateResult answers MsgLocate and MsgLocateAt.
@@ -79,6 +86,9 @@ const (
 	MsgBatchResult MsgType = "batch.result"
 	// MsgStatsResult answers MsgStats.
 	MsgStatsResult MsgType = "stats.result"
+	// MsgIngestAck answers MsgIngestHello and MsgPresenceBatch with the
+	// session's cumulative ack.
+	MsgIngestAck MsgType = "ingest.ack"
 	// MsgError is the failure response.
 	MsgError MsgType = "error"
 )
@@ -91,8 +101,9 @@ const (
 var AllMsgTypes = []MsgType{
 	MsgHello, MsgPresence, MsgLogin, MsgLogout, MsgLocate, MsgLocateAt,
 	MsgTrajectory, MsgPath, MsgRooms, MsgBatch, MsgStats,
+	MsgIngestHello, MsgPresenceBatch,
 	MsgOK, MsgLocateResult, MsgTrajectoryResult, MsgPathResult,
-	MsgRoomsResult, MsgBatchResult, MsgStatsResult, MsgError,
+	MsgRoomsResult, MsgBatchResult, MsgStatsResult, MsgIngestAck, MsgError,
 }
 
 // Envelope frames every message.

@@ -42,6 +42,15 @@ type ReporterFunc func(p wire.Presence) error
 // Report implements Reporter.
 func (f ReporterFunc) Report(p wire.Presence) error { return f(p) }
 
+// BatchReporter is a Reporter that additionally accepts whole delta
+// batches — one call is one sequenced ingest frame (ingest.Client
+// implements it). A workstation with a batch flush policy prefers it;
+// plain Reporters receive the batch delta by delta.
+type BatchReporter interface {
+	Reporter
+	ReportBatch(deltas []wire.Presence) error
+}
+
 // Config configures a workstation.
 type Config struct {
 	// Room is the room (piconet/location granule) this workstation
@@ -49,6 +58,17 @@ type Config struct {
 	Room graph.NodeID
 	// Cycle is the operational cycle; the zero value means PaperCycle.
 	Cycle inquiry.DutyCycle
+	// BatchMax, when > 0, buffers presence deltas and flushes them as a
+	// batch once BatchMax are pending — the ingest write path's
+	// max-batch policy. 0 reports every delta immediately (the
+	// pre-ingest behavior).
+	BatchMax int
+	// BatchDelay bounds how long a buffered delta may wait before a
+	// partial batch is flushed anyway (the max-delay policy), driven by
+	// the simulation clock so flush boundaries are deterministic for a
+	// given seed. 0 with BatchMax > 0 defaults to the operational
+	// cycle's period.
+	BatchDelay sim.Tick
 }
 
 // Stats counts workstation activity.
@@ -58,6 +78,10 @@ type Stats struct {
 	Enrollments  int
 	Departures   int
 	ReportErrors int
+	// Batches counts flushed delta batches (0 when unbuffered).
+	Batches int
+	// Buffered is the number of deltas currently awaiting flush.
+	Buffered int
 }
 
 // Workstation tracks the mobile devices in one room.
@@ -70,6 +94,13 @@ type Workstation struct {
 	present map[baseband.BDAddr]bool
 	pending []baseband.BDAddr
 	queued  map[baseband.BDAddr]bool
+
+	// buf holds deltas awaiting a batch flush (BatchMax > 0). Flushes
+	// happen on max-batch (buffer full) and max-delay (the periodic
+	// flush tick) — both functions of simulation state only, so a rerun
+	// with the same seed cuts byte-identical batches.
+	buf       []wire.Presence
+	stopFlush func()
 
 	running   bool
 	stopCycle func()
@@ -88,6 +119,12 @@ func New(k *sim.Kernel, ctrl *hci.HCI, cfg Config, rep Reporter) (*Workstation, 
 	if rep == nil {
 		return nil, fmt.Errorf("workstation: nil reporter")
 	}
+	if cfg.BatchMax < 0 {
+		return nil, fmt.Errorf("workstation: negative BatchMax")
+	}
+	if cfg.BatchMax > 0 && cfg.BatchDelay <= 0 {
+		cfg.BatchDelay = cfg.Cycle.Period
+	}
 	w := &Workstation{
 		kernel:   k,
 		hci:      ctrl,
@@ -104,7 +141,11 @@ func New(k *sim.Kernel, ctrl *hci.HCI, cfg Config, rep Reporter) (*Workstation, 
 func (w *Workstation) Room() graph.NodeID { return w.cfg.Room }
 
 // Stats returns a snapshot of the counters.
-func (w *Workstation) Stats() Stats { return w.stats }
+func (w *Workstation) Stats() Stats {
+	st := w.stats
+	st.Buffered = len(w.buf)
+	return st
+}
 
 // Present returns the devices currently believed present, in ascending
 // order.
@@ -117,7 +158,8 @@ func (w *Workstation) Present() []baseband.BDAddr {
 	return out
 }
 
-// Start begins the operational cycle.
+// Start begins the operational cycle (and, when batching, the periodic
+// max-delay flush tick).
 func (w *Workstation) Start() {
 	if w.running {
 		return
@@ -125,9 +167,13 @@ func (w *Workstation) Start() {
 	w.running = true
 	w.runCycle(w.kernel)
 	w.stopCycle = w.kernel.Ticker(w.cfg.Cycle.Period, w.runCycle)
+	if w.cfg.BatchMax > 0 {
+		w.stopFlush = w.kernel.Ticker(w.cfg.BatchDelay, func(*sim.Kernel) { w.FlushBatch() })
+	}
 }
 
-// Stop halts the cycle. Presence state is retained.
+// Stop halts the cycle and flushes any buffered deltas. Presence state
+// is retained.
 func (w *Workstation) Stop() {
 	if !w.running {
 		return
@@ -137,6 +183,11 @@ func (w *Workstation) Stop() {
 		w.stopCycle()
 		w.stopCycle = nil
 	}
+	if w.stopFlush != nil {
+		w.stopFlush()
+		w.stopFlush = nil
+	}
+	w.FlushBatch()
 	if err := w.hci.InquiryCancel(); err != nil {
 		w.stats.ReportErrors++
 	}
@@ -208,7 +259,39 @@ func (w *Workstation) report(addr baseband.BDAddr, present bool, at sim.Tick) {
 		At:      at,
 		Present: present,
 	}
+	if w.cfg.BatchMax > 0 {
+		w.buf = append(w.buf, p)
+		if len(w.buf) >= w.cfg.BatchMax {
+			w.FlushBatch()
+		}
+		return
+	}
 	if err := w.reporter.Report(p); err != nil {
 		w.stats.ReportErrors++
+	}
+}
+
+// FlushBatch hands the buffered deltas to the reporter as one batch (a
+// BatchReporter gets them in one call — one ingest frame; a plain
+// Reporter gets them delta by delta, preserving order). It is invoked
+// on max-batch, on the max-delay tick, and on Stop; callers may also
+// flush explicitly at deterministic points of their own.
+func (w *Workstation) FlushBatch() {
+	if len(w.buf) == 0 {
+		return
+	}
+	batch := w.buf
+	w.buf = nil
+	w.stats.Batches++
+	if br, ok := w.reporter.(BatchReporter); ok {
+		if err := br.ReportBatch(batch); err != nil {
+			w.stats.ReportErrors++
+		}
+		return
+	}
+	for _, p := range batch {
+		if err := w.reporter.Report(p); err != nil {
+			w.stats.ReportErrors++
+		}
 	}
 }
