@@ -15,13 +15,15 @@
 // and any -mix touching users, needs the server started with
 // -loadgen-users >= -users. -mix overrides -mode with an explicit
 // weighted request mix over rooms | locate | presence | at |
-// trajectory | ingest — the way to drive the storage engine's
-// read/history serving workload and the sessioned batched write path
-// (see docs/OPERATIONS.md). The ingest op streams MsgPresenceBatch
-// frames of -ingest-batch deltas on per-worker sessions, so write
-// throughput is measured with the same tool and protocol as reads;
-// every delta counts as one request in the report. -stats additionally
-// fetches the server's MsgStats snapshot after the run.
+// trajectory | ingest | subscribe — the way to drive the storage
+// engine's read/history serving workload and the sessioned batched
+// write path (see docs/OPERATIONS.md). The ingest op streams
+// MsgPresenceBatch frames of -ingest-batch deltas on per-worker
+// sessions, so write throughput is measured with the same tool and
+// protocol as reads; every delta counts as one request in the report.
+// The subscribe op toggles per-worker room subscriptions, churning the
+// fan-out registration path. -stats additionally fetches the server's
+// MsgStats snapshot after the run.
 package main
 
 import (
@@ -52,7 +54,7 @@ func run(args []string) error {
 		qps        = fs.Float64("qps", 0, "target aggregate requests/second (0 = unthrottled)")
 		duration   = fs.Duration("duration", 5*time.Second, "run length")
 		mode       = fs.String("mode", "rooms", "preset request mix: rooms | locate | mixed")
-		mix        = fs.String("mix", "", `weighted request mix overriding -mode, e.g. "locate=6,presence=2,at=1,trajectory=1" or "ingest"`)
+		mix        = fs.String("mix", "", `weighted request mix overriding -mode, e.g. "locate=6,presence=2,at=1,trajectory=1", "ingest" or "subscribe=1,presence=4"`)
 		batch      = fs.Int("batch", 1, "sub-requests per MsgBatch envelope (1 = no batching; incompatible with the ingest op)")
 		ingestN    = fs.Int("ingest-batch", 64, "deltas per MsgPresenceBatch frame for the ingest op")
 		users      = fs.Int("users", 8, "synthetic users for locate/mixed (server needs -loadgen-users >= this)")

@@ -10,16 +10,28 @@
 //	bips-query -server 127.0.0.1:7700 rooms
 //	bips-query -server 127.0.0.1:7700 logout alice
 //	bips-query -server 127.0.0.1:7700 -stats
+//	bips-query -server 127.0.0.1:7700 -timeout 0 subscribe alice room 4
 //
 // Timestamps for at/trajectory are simulated time since the server's
 // tracking started: either a Go duration ("2m30s", "150s") or a raw
 // tick count (an integer; 3200 ticks = 1 s).
 //
+// The subscribe subcommand registers a push subscription (docs/
+// PROTOCOL.md section 9) and streams the matching events to stdout, one
+// line each, until the timeout expires or the server closes:
+//
+//	subscribe <querier> all                        every presence change
+//	subscribe <querier> device <target>            one user's moves
+//	subscribe <querier> room <id>                  one room's enters/leaves
+//	subscribe <querier> zone <target> <id,id,...>  geofence crossing
+//	subscribe <querier> occupancy <id> <K>         occupancy crossing K
+//
 // -timeout (default 5s) bounds the whole exchange — dial, request and
 // response — uniformly for every subcommand, so an unreachable or
-// wedged server fails fast instead of hanging. -stats fetches and
-// prints the server's metrics snapshot (the MsgStats query of
-// docs/PROTOCOL.md) after the subcommand, or on its own when no
+// wedged server fails fast instead of hanging. For subscribe it bounds
+// the streaming window instead, and -timeout 0 streams forever. -stats
+// fetches and prints the server's metrics snapshot (the MsgStats query
+// of docs/PROTOCOL.md) after the subcommand, or on its own when no
 // subcommand is given. -v1 forces the newline-JSON wire protocol v1;
 // the default is v2 length-prefixed frames.
 //
@@ -32,12 +44,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"bips/internal/graph"
 	"bips/internal/sim"
 	"bips/internal/wire"
 )
@@ -45,7 +59,8 @@ import (
 // errUsage marks command-line misuse (exit status 2, not 1).
 var errUsage = errors.New("usage: bips-query [-server addr] [-timeout d] [-v1] [-stats] " +
 	"{login user pw dev | logout user | locate querier target | at querier target time | " +
-	"trajectory querier target from to | path querier target | rooms}")
+	"trajectory querier target from to | path querier target | rooms | " +
+	"subscribe querier {all | device target | room id | zone target id,id,... | occupancy id K}}")
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -119,6 +134,12 @@ func run(args []string) error {
 
 // validate checks a subcommand's shape without executing it.
 func validate(rest []string) error {
+	if rest[0] == "subscribe" {
+		// Variable arity: the filter kind decides. Building the filter
+		// exercises every argument parse.
+		_, err := subscribeFilter(rest)
+		return err
+	}
 	want := map[string]int{
 		"login": 4, "logout": 2, "locate": 3, "at": 4,
 		"trajectory": 5, "path": 3, "rooms": 1,
@@ -223,10 +244,123 @@ func runCommand(client *wire.Client, rest []string) error {
 		for _, r := range res.Rooms {
 			fmt.Printf("%-4d %-20s %8.1f %8.1f\n", r.ID, r.Name, r.X, r.Y)
 		}
+	case "subscribe":
+		return runSubscribe(client, rest)
 	default:
 		return errUsage
 	}
 	return nil
+}
+
+// subscribeFilter parses a subscribe subcommand's arguments into the
+// wire filter. It is also validate's arity check for the subcommand.
+func subscribeFilter(rest []string) (wire.SubFilter, error) {
+	if len(rest) < 3 {
+		return wire.SubFilter{}, errUsage
+	}
+	roomID := func(s string) (graph.NodeID, error) {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad room id %q (want an integer): %w", s, errUsage)
+		}
+		return graph.NodeID(n), nil
+	}
+	switch rest[2] {
+	case "all":
+		if len(rest) != 3 {
+			return wire.SubFilter{}, errUsage
+		}
+		return wire.SubFilter{Kind: wire.FilterAll}, nil
+	case "device":
+		if len(rest) != 4 {
+			return wire.SubFilter{}, errUsage
+		}
+		return wire.SubFilter{Kind: wire.FilterDevice, Target: rest[3]}, nil
+	case "room":
+		if len(rest) != 4 {
+			return wire.SubFilter{}, errUsage
+		}
+		id, err := roomID(rest[3])
+		if err != nil {
+			return wire.SubFilter{}, err
+		}
+		return wire.SubFilter{Kind: wire.FilterRoom, Room: id}, nil
+	case "zone":
+		if len(rest) != 5 {
+			return wire.SubFilter{}, errUsage
+		}
+		var rooms []graph.NodeID
+		for _, part := range strings.Split(rest[4], ",") {
+			id, err := roomID(strings.TrimSpace(part))
+			if err != nil {
+				return wire.SubFilter{}, err
+			}
+			rooms = append(rooms, id)
+		}
+		return wire.SubFilter{Kind: wire.FilterZone, Target: rest[3], Rooms: rooms}, nil
+	case "occupancy":
+		if len(rest) != 5 {
+			return wire.SubFilter{}, errUsage
+		}
+		id, err := roomID(rest[3])
+		if err != nil {
+			return wire.SubFilter{}, err
+		}
+		k, err := strconv.Atoi(rest[4])
+		if err != nil || k < 1 {
+			return wire.SubFilter{}, fmt.Errorf("bad occupancy threshold %q (want an integer >= 1): %w", rest[4], errUsage)
+		}
+		return wire.SubFilter{Kind: wire.FilterOccupancy, Room: id, Threshold: k}, nil
+	default:
+		return wire.SubFilter{}, errUsage
+	}
+}
+
+// runSubscribe registers the subscription and streams matching events
+// to stdout until the connection ends (deadline, server close, ^C). The
+// deadline expiring is the subcommand's normal way to finish, not a
+// failure.
+func runSubscribe(client *wire.Client, rest []string) error {
+	filter, err := subscribeFilter(rest)
+	if err != nil {
+		return err
+	}
+	// The handler must be installed before the subscribe call: events
+	// may arrive the instant the server registers the filter.
+	client.SetPushHandler(func(env wire.Envelope) {
+		var e wire.Event
+		if err := wire.UnmarshalBody(env, &e); err != nil {
+			return
+		}
+		printEvent(e)
+	})
+	if err := client.Call(wire.MsgSubscribe, wire.Subscribe{
+		ID: "cli", Querier: rest[1], Filter: filter,
+	}, nil); err != nil {
+		return err
+	}
+	fmt.Printf("subscribed (%s); streaming events...\n", filter.Kind)
+	<-client.Done()
+	if err := client.Err(); err != nil && !errors.Is(err, os.ErrDeadlineExceeded) && !errors.Is(err, io.EOF) {
+		return err
+	}
+	return nil
+}
+
+// printEvent renders one pushed event as a line.
+func printEvent(e wire.Event) {
+	switch e.Kind {
+	case wire.EventOccupancyRise, wire.EventOccupancyFall:
+		fmt.Printf("%-14s room %-3d %-20s occupancy=%d at %s\n",
+			e.Kind, e.Room, e.RoomName, e.Occupancy, fmtTick(e.At))
+	default:
+		who := e.User
+		if who == "" {
+			who = e.Device
+		}
+		fmt.Printf("%-14s %-10s room %-3d %-20s at %s\n",
+			e.Kind, who, e.Room, e.RoomName, fmtTick(e.At))
+	}
 }
 
 // parseTime accepts a simulated timestamp as a Go duration ("2m30s") or

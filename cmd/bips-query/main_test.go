@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net"
 	"testing"
+	"time"
 
 	"bips/internal/building"
 	"bips/internal/graph"
@@ -75,6 +76,84 @@ func TestSubcommandsSucceed(t *testing.T) {
 	for _, args := range cases {
 		if err := run(args); err != nil {
 			t.Errorf("run(%v) = %v, want success", args, err)
+		}
+	}
+}
+
+// TestSubscribeStreams: every subscribe filter shape registers against
+// a live server and streams until -timeout expires, which is a clean
+// exit (the deadline is the CLI's streaming window, not a failure).
+func TestSubscribeStreams(t *testing.T) {
+	addr := startServer(t)
+	cases := [][]string{
+		{"-server", addr, "-timeout", "300ms", "subscribe", "alice", "all"},
+		{"-server", addr, "-timeout", "300ms", "subscribe", "alice", "device", "bob"},
+		{"-server", addr, "-timeout", "300ms", "subscribe", "alice", "room", "5"},
+		{"-server", addr, "-timeout", "300ms", "subscribe", "alice", "zone", "bob", "2,5,3"},
+		{"-server", addr, "-timeout", "300ms", "subscribe", "alice", "occupancy", "5", "2"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v) = %v, want clean timeout exit", args, err)
+		}
+	}
+}
+
+// TestSubscribeStreamsEvents: events arriving during the streaming
+// window are consumed (and printed) rather than failing the stream.
+func TestSubscribeStreamsEvents(t *testing.T) {
+	addr := startServer(t)
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return
+		}
+		client := wire.NewClient(wire.NewFrameCodec(conn))
+		defer client.Close()
+		// Move bob into the watched room mid-stream.
+		_ = client.Call(wire.MsgPresence, wire.Presence{
+			Device: "B0:00:00:00:00:02", Room: 5, At: 5000, Present: true,
+		}, nil)
+	}()
+	args := []string{"-server", addr, "-timeout", "500ms", "subscribe", "alice", "room", "5"}
+	if err := run(args); err != nil {
+		t.Errorf("run(%v) = %v, want clean exit after streaming an event", args, err)
+	}
+}
+
+// TestSubscribeDeniedIsError: a rejected subscription must exit with
+// the served error, not sit in the streaming loop.
+func TestSubscribeDeniedIsError(t *testing.T) {
+	addr := startServer(t)
+	err := run([]string{"-server", addr, "-timeout", "2s", "subscribe", "ghost", "room", "5"})
+	if err == nil {
+		t.Fatal("subscribe with unknown querier succeeded")
+	}
+	if errors.Is(err, errUsage) {
+		t.Fatalf("served rejection classed as usage error: %v", err)
+	}
+}
+
+// TestSubscribeUsageErrors: malformed subscribe invocations are usage
+// errors detected before any dial (the address is unreachable).
+func TestSubscribeUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-server", "127.0.0.1:1", "subscribe"},
+		{"-server", "127.0.0.1:1", "subscribe", "alice"},
+		{"-server", "127.0.0.1:1", "subscribe", "alice", "all", "extra"},
+		{"-server", "127.0.0.1:1", "subscribe", "alice", "device"},
+		{"-server", "127.0.0.1:1", "subscribe", "alice", "room"},
+		{"-server", "127.0.0.1:1", "subscribe", "alice", "room", "x"},
+		{"-server", "127.0.0.1:1", "subscribe", "alice", "zone", "bob"},
+		{"-server", "127.0.0.1:1", "subscribe", "alice", "zone", "bob", "1,x"},
+		{"-server", "127.0.0.1:1", "subscribe", "alice", "occupancy", "5"},
+		{"-server", "127.0.0.1:1", "subscribe", "alice", "occupancy", "5", "0"},
+		{"-server", "127.0.0.1:1", "subscribe", "alice", "proximity", "bob"},
+	}
+	for _, args := range cases {
+		if err := run(args); !errors.Is(err, errUsage) {
+			t.Errorf("run(%v) = %v, want usage error", args, err)
 		}
 	}
 }

@@ -26,7 +26,10 @@
 // (default 16); -inflight bounds concurrently executing requests per
 // connection; -loadgen-users N registers the synthetic users user0..N-1
 // with password "loadgen" that bips-loadgen's locate/mixed/mix modes
-// expect. Tuning guidance lives in docs/OPERATIONS.md.
+// expect. Clients may also subscribe to push notifications (PROTOCOL.md
+// §9): -event-buffer, -drop-limit and -max-subs bound what one
+// subscriber connection may cost the server. Tuning guidance lives in
+// docs/OPERATIONS.md.
 //
 // On SIGINT/SIGTERM the server stops accepting, drains connections and —
 // when running with -data-dir — flushes the WAL and writes a final
@@ -82,6 +85,9 @@ func run(args []string) error {
 	snapInterval := fs.Duration("snapshot-interval", storage.DefaultSnapshotInterval, "checkpoint period for -data-dir")
 	historyLimit := fs.Int("history-limit", locdb.DefaultHistoryLimit, "per-device movement-history bound (0 disables at/trajectory queries)")
 	walFlush := fs.Duration("wal-flush", storage.DefaultFlushInterval, "WAL group-commit interval for -data-dir (the crash-loss window)")
+	eventBuffer := fs.Int("event-buffer", server.DefaultEventBuffer, "per-connection push-event buffer (queued events before drops)")
+	dropLimit := fs.Int("drop-limit", server.DefaultDropLimit, "dropped events before a subscriber is disconnected as a slow consumer")
+	maxSubs := fs.Int("max-subs", server.DefaultMaxSubsPerConn, "max subscriptions per connection")
 	addrFile := fs.String("addr-file", "", "write the bound listen address to this file (for scripts using :0)")
 	var users userList
 	fs.Var(&users, "user", "register user:password (repeatable)")
@@ -117,7 +123,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv := server.New(reg, db, bld, server.WithMaxInFlight(*inflight))
+	srv := server.New(reg, db, bld,
+		server.WithMaxInFlight(*inflight),
+		server.WithEventBuffer(*eventBuffer),
+		server.WithDropLimit(*dropLimit),
+		server.WithMaxSubsPerConn(*maxSubs))
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err

@@ -5,7 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"bips/internal/locdb"
+	"bips/internal/fanout"
 )
 
 // EventType classifies a Service event.
@@ -21,9 +21,10 @@ const (
 	// EventUserEntered: a workstation revealed the user's presence in a
 	// room (a new presence delta in the location database).
 	EventUserEntered EventType = "user-entered"
-	// EventUserLeft: the user's cell reported them gone (a new absence
-	// delta). On a handover directly into a neighboring cell only an
-	// EventUserEntered for the new room is emitted.
+	// EventUserLeft: the user left a cell — their old cell reported them
+	// gone, or a handover into a neighboring cell revealed the move (a
+	// handover emits the EventUserLeft for the old room immediately
+	// followed by the EventUserEntered for the new one).
 	EventUserLeft EventType = "user-left"
 )
 
@@ -127,29 +128,38 @@ func (s *Service) Subscribe() *Subscription {
 	return s.hub.subscribe()
 }
 
-// onDelta translates a location-database delta into a public event. It
-// runs on the stepping goroutine, inside the kernel step path.
-func (s *Service) onDelta(e locdb.Event) {
+// onNotification translates a fan-out notification into a public event.
+// The Service rides the server's fan-out tree with a catch-all filter,
+// so in-process subscribers observe the same enter/leave sequence, in
+// the same order, as wire-level subscribers. It runs inside the fan-out
+// delivery path, on whatever goroutine applied the presence delta.
+func (s *Service) onNotification(e fanout.Event) {
+	var typ EventType
+	switch e.Kind {
+	case fanout.Enter:
+		typ = EventUserEntered
+	case fanout.Leave:
+		typ = EventUserLeft
+	default:
+		// A catch-all filter only ever sees enter/leave.
+		return
+	}
 	// Only logged-in devices reach the database, so the lookup normally
 	// succeeds; a logout racing the delta loses the binding, and the
-	// delta is dropped with it.
+	// notification is dropped with it.
 	user, err := s.sys.Server.Registry().UserOf(e.Device)
 	if err != nil {
 		return
 	}
-	typ := EventUserEntered
-	if !e.Present {
-		typ = EventUserLeft
-	}
 	name := ""
-	if r, ok := s.sys.Building.Room(e.Piconet); ok {
+	if r, ok := s.sys.Building.Room(e.Room); ok {
 		name = r.Name
 	}
 	s.hub.publish(Event{
 		Type:     typ,
 		User:     string(user),
 		Device:   e.Device.String(),
-		Room:     int(e.Piconet),
+		Room:     int(e.Room),
 		RoomName: name,
 		At:       e.At.Duration(),
 	})

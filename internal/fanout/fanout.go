@@ -1,0 +1,412 @@
+// Package fanout implements the shared subscription index behind the
+// BIPS push-notification surface: the paper's service vision is
+// proximity and presence *notification* ("alert when device X enters
+// floor 2"), and this package is the piece that makes notification
+// cheap at campus scale.
+//
+// A Tree holds every live subscription — per-device, per-room, geofence
+// zone, occupancy threshold, or catch-all — in per-key indexes
+// (device→subscribers, room→subscribers, threshold watchers). The
+// location database's delta stream is fed in once, through Publish;
+// each delta is routed through the indexes so the cost of a presence
+// change scales with the number of *matching* subscribers, not the
+// total number registered. A hundred thousand idle subscriptions on
+// untouched rooms and devices cost a delta nothing but the index
+// lookups that miss them.
+//
+// The tree keeps its own device→room map, fed by the same deltas (and
+// seeded from a restored backend via Seed), so it can derive the
+// leave half of a handover, maintain per-room occupancy counts, and
+// initialize a zone subscription's inside/outside state — all without
+// querying the database on the hot path.
+//
+// # Delivery contract
+//
+// Registration and delivery are serialized under one mutex: once
+// Subscribe returns, every later Publish that matches is delivered to
+// the callback, and after Cancel returns no further callback runs —
+// the guarantee connection teardown and the race tests lean on.
+// Callbacks therefore run synchronously on the publishing goroutine
+// while the tree is locked and MUST NOT block (hand off to a buffered
+// channel and drop on overflow, as internal/server does) and must not
+// call back into the Tree.
+package fanout
+
+import (
+	"sort"
+	"sync"
+
+	"bips/internal/baseband"
+	"bips/internal/graph"
+	"bips/internal/locdb"
+	"bips/internal/sim"
+)
+
+// Kind selects what a Filter matches.
+type Kind string
+
+// Filter kinds.
+const (
+	// KindAll matches every enter/leave event of every device.
+	KindAll Kind = "all"
+	// KindDevice matches one device's enter/leave events.
+	KindDevice Kind = "device"
+	// KindRoom matches one room's enter/leave events.
+	KindRoom Kind = "room"
+	// KindZone matches one device crossing into or out of a room set
+	// (the geofence predicate device-enters-zone).
+	KindZone Kind = "zone"
+	// KindOccupancy matches one room's occupant count crossing a
+	// threshold (the geofence predicate room-occupancy-crosses-K),
+	// edge-triggered relative to the count at subscribe time.
+	KindOccupancy Kind = "occupancy"
+)
+
+// Filter selects the events a subscription delivers. Device is used by
+// KindDevice and KindZone, Room by KindRoom and KindOccupancy, Zone by
+// KindZone, Threshold (>= 1) by KindOccupancy.
+type Filter struct {
+	Kind      Kind
+	Device    baseband.BDAddr
+	Room      graph.NodeID
+	Zone      []graph.NodeID
+	Threshold int
+}
+
+// EventKind classifies a delivered event.
+type EventKind string
+
+// Delivered event kinds.
+const (
+	Enter         EventKind = "enter"
+	Leave         EventKind = "leave"
+	ZoneEnter     EventKind = "zone-enter"
+	ZoneExit      EventKind = "zone-exit"
+	OccupancyRise EventKind = "occupancy-rise"
+	OccupancyFall EventKind = "occupancy-fall"
+)
+
+// Event is one matched notification. Device is zero for occupancy
+// events; Occupancy is set only for occupancy events (the new count).
+type Event struct {
+	Kind      EventKind
+	Device    baseband.BDAddr
+	Room      graph.NodeID
+	At        sim.Tick
+	Occupancy int
+}
+
+// sub is one registered subscription with its routing state.
+type sub struct {
+	id      uint64
+	filter  Filter
+	deliver func(Event)
+
+	// zone is the zone filter's room set; inZone is the edge-trigger
+	// state (was the device inside after the last delta).
+	zone   map[graph.NodeID]bool
+	inZone bool
+	// above is the occupancy filter's edge-trigger state.
+	above bool
+}
+
+// Subscription is a handle returned by Subscribe; Cancel unregisters.
+type Subscription struct {
+	tree *Tree
+	s    *sub
+	once sync.Once
+}
+
+// Cancel unregisters the subscription. After it returns, the callback
+// will not be invoked again. It is idempotent.
+func (s *Subscription) Cancel() {
+	s.once.Do(func() { s.tree.remove(s.s) })
+}
+
+// Stats is a snapshot of the tree's activity.
+type Stats struct {
+	// Subscriptions is the current number of live subscriptions.
+	Subscriptions int
+	// Published counts deltas fed through Publish.
+	Published int64
+	// Delivered counts callback invocations (events matched and
+	// handed to subscribers).
+	Delivered int64
+}
+
+// Tree is the shared subscription index. All methods are safe for
+// concurrent use.
+type Tree struct {
+	mu     sync.Mutex
+	nextID uint64
+
+	all       map[uint64]*sub
+	byDevice  map[baseband.BDAddr]map[uint64]*sub // device + zone subs
+	byRoom    map[graph.NodeID]map[uint64]*sub
+	occByRoom map[graph.NodeID]map[uint64]*sub
+
+	// devRoom and occupancy are the tree's own view of the world,
+	// derived from the delta stream (and Seed): which room each present
+	// device is in and how many devices each room holds.
+	devRoom   map[baseband.BDAddr]graph.NodeID
+	occupancy map[graph.NodeID]int
+
+	subCount  int
+	published int64
+	delivered int64
+
+	// matched is the scratch slice emit reuses between calls (guarded
+	// by mu): emit runs per delta on the hot path and must not allocate
+	// per event.
+	matched []*sub
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{
+		all:       make(map[uint64]*sub),
+		byDevice:  make(map[baseband.BDAddr]map[uint64]*sub),
+		byRoom:    make(map[graph.NodeID]map[uint64]*sub),
+		occByRoom: make(map[graph.NodeID]map[uint64]*sub),
+		devRoom:   make(map[baseband.BDAddr]graph.NodeID),
+		occupancy: make(map[graph.NodeID]int),
+	}
+}
+
+// Seed primes the tree's device→room view from a restored backend's
+// current fixes (locdb.Store.All). Call it once, after wiring Publish
+// to the store's subscription stream but before any traffic flows;
+// without it a durable server would restart with every room apparently
+// empty until each device moves.
+func (t *Tree) Seed(fixes []locdb.Fix) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, f := range fixes {
+		if _, ok := t.devRoom[f.Device]; ok {
+			continue
+		}
+		t.devRoom[f.Device] = f.Piconet
+		t.occupancy[f.Piconet]++
+	}
+}
+
+// Subscribe registers a filter with a delivery callback (see the
+// package comment for the callback contract). Zone and occupancy
+// filters capture their initial inside/above state from the tree's
+// current view, so they fire only on crossings that happen after
+// registration.
+func (t *Tree) Subscribe(f Filter, deliver func(Event)) *Subscription {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &sub{id: t.nextID, filter: f, deliver: deliver}
+	t.nextID++
+	switch f.Kind {
+	case KindDevice:
+		addIdx(t.byDevice, f.Device, s)
+	case KindRoom:
+		addIdx(t.byRoom, f.Room, s)
+	case KindZone:
+		s.zone = make(map[graph.NodeID]bool, len(f.Zone))
+		for _, r := range f.Zone {
+			s.zone[r] = true
+		}
+		if room, ok := t.devRoom[f.Device]; ok {
+			s.inZone = s.zone[room]
+		}
+		addIdx(t.byDevice, f.Device, s)
+	case KindOccupancy:
+		s.above = t.occupancy[f.Room] >= f.Threshold
+		addIdx(t.occByRoom, f.Room, s)
+	default: // KindAll
+		t.all[s.id] = s
+	}
+	t.subCount++
+	return &Subscription{tree: t, s: s}
+}
+
+func addIdx[K comparable](idx map[K]map[uint64]*sub, key K, s *sub) {
+	m := idx[key]
+	if m == nil {
+		m = make(map[uint64]*sub)
+		idx[key] = m
+	}
+	m[s.id] = s
+}
+
+func delIdx[K comparable](idx map[K]map[uint64]*sub, key K, s *sub) {
+	m := idx[key]
+	delete(m, s.id)
+	if len(m) == 0 {
+		delete(idx, key)
+	}
+}
+
+func (t *Tree) remove(s *sub) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch s.filter.Kind {
+	case KindDevice, KindZone:
+		delIdx(t.byDevice, s.filter.Device, s)
+	case KindRoom:
+		delIdx(t.byRoom, s.filter.Room, s)
+	case KindOccupancy:
+		delIdx(t.occByRoom, s.filter.Room, s)
+	default:
+		delete(t.all, s.id)
+	}
+	t.subCount--
+}
+
+// Stats returns a snapshot of the tree's activity counters.
+func (t *Tree) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Stats{Subscriptions: t.subCount, Published: t.published, Delivered: t.delivered}
+}
+
+// Occupancy returns the tree's current occupant count for the room.
+func (t *Tree) Occupancy(room graph.NodeID) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.occupancy[room]
+}
+
+// Publish routes one location-database delta through the indexes. It
+// is wired to locdb.Store.Subscribe, so it may be called concurrently
+// from many connection handlers; the tree lock serializes them.
+//
+// A presence delta whose device was already elsewhere is expanded into
+// the implied leave of the old room followed by the enter of the new
+// one; zone filters evaluate the handover as one crossing, so moving
+// between two rooms inside the zone emits nothing. Deltas that
+// disagree with the tree's own device view (possible when two writers
+// race on one device and their post-commit notifications arrive out of
+// order) are dropped rather than double-counted.
+func (t *Tree) Publish(ev locdb.Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.published++
+	dev := ev.Device
+	old, had := t.devRoom[dev]
+	if ev.Present {
+		if had && old == ev.Piconet {
+			return
+		}
+		if had {
+			t.dropOccupant(old)
+			t.emit(Event{Kind: Leave, Device: dev, Room: old, At: ev.At})
+			t.occCrossings(old, ev.At)
+		}
+		t.devRoom[dev] = ev.Piconet
+		t.occupancy[ev.Piconet]++
+		t.emit(Event{Kind: Enter, Device: dev, Room: ev.Piconet, At: ev.At})
+		t.occCrossings(ev.Piconet, ev.At)
+		t.zoneCrossings(dev, ev.Piconet, true, ev.At)
+		return
+	}
+	if !had || old != ev.Piconet {
+		return
+	}
+	delete(t.devRoom, dev)
+	t.dropOccupant(old)
+	t.emit(Event{Kind: Leave, Device: dev, Room: old, At: ev.At})
+	t.occCrossings(old, ev.At)
+	t.zoneCrossings(dev, old, false, ev.At)
+}
+
+func (t *Tree) dropOccupant(room graph.NodeID) {
+	t.occupancy[room]--
+	if t.occupancy[room] <= 0 {
+		delete(t.occupancy, room)
+	}
+}
+
+// emit delivers one enter/leave event to the catch-all, device and
+// room subscribers that match, in subscription order.
+func (t *Tree) emit(e Event) {
+	matched := t.matched[:0]
+	for _, s := range t.all {
+		matched = append(matched, s)
+	}
+	for _, s := range t.byDevice[e.Device] {
+		if s.filter.Kind == KindDevice {
+			matched = append(matched, s)
+		}
+	}
+	for _, s := range t.byRoom[e.Room] {
+		matched = append(matched, s)
+	}
+	t.matched = matched
+	if len(matched) == 0 {
+		return
+	}
+	sort.Slice(matched, func(i, j int) bool { return matched[i].id < matched[j].id })
+	for _, s := range matched {
+		s.deliver(e)
+		t.delivered++
+	}
+}
+
+// occCrossings fires the room's threshold watchers whose edge state
+// changed with the new count.
+func (t *Tree) occCrossings(room graph.NodeID, at sim.Tick) {
+	watchers := t.occByRoom[room]
+	if len(watchers) == 0 {
+		return
+	}
+	n := t.occupancy[room]
+	ids := make([]uint64, 0, len(watchers))
+	for id := range watchers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		s := watchers[id]
+		above := n >= s.filter.Threshold
+		if above == s.above {
+			continue
+		}
+		s.above = above
+		kind := OccupancyRise
+		if !above {
+			kind = OccupancyFall
+		}
+		s.deliver(Event{Kind: kind, Room: room, At: at, Occupancy: n})
+		t.delivered++
+	}
+}
+
+// zoneCrossings fires the device's zone watchers whose inside/outside
+// state changed with the delta's final position. room is the device's
+// new room when present is true and its last known room otherwise; an
+// absent device is outside every zone regardless of room.
+func (t *Tree) zoneCrossings(dev baseband.BDAddr, room graph.NodeID, present bool, at sim.Tick) {
+	watchers := t.byDevice[dev]
+	if len(watchers) == 0 {
+		return
+	}
+	ids := make([]uint64, 0, len(watchers))
+	for id := range watchers {
+		if watchers[id].filter.Kind == KindZone {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		s := watchers[id]
+		in := present && s.zone[room]
+		if in == s.inZone {
+			continue
+		}
+		s.inZone = in
+		kind := ZoneEnter
+		if !in {
+			kind = ZoneExit
+		}
+		s.deliver(Event{Kind: kind, Device: dev, Room: room, At: at})
+		t.delivered++
+	}
+}

@@ -20,7 +20,10 @@
 // The "ingest" op drives the sessioned batched write path: each worker
 // streams sequenced MsgPresenceBatch frames of IngestBatch deltas on
 // its own ingest session, so write throughput is measured with the same
-// tool (and counted per delta, like batched sub-requests).
+// tool (and counted per delta, like batched sub-requests). The
+// "subscribe" op churns the push-notification path: each worker toggles
+// a room subscription of its own on and off, exercising the server's
+// fan-out registration indexes under load.
 package loadgen
 
 import (
@@ -66,6 +69,7 @@ const (
 	OpAt         = "at"         // MsgLocateAt: historical point query
 	OpTrajectory = "trajectory" // MsgTrajectory: time-window query
 	OpIngest     = "ingest"     // MsgPresenceBatch: one sequenced ingest frame of IngestBatch deltas
+	OpSubscribe  = "subscribe"  // MsgSubscribe/MsgUnsubscribe: toggle a per-worker room subscription
 )
 
 // mixEntry is one weighted operation of the request mix.
@@ -80,7 +84,7 @@ type mixEntry struct {
 func parseMix(s string) ([]mixEntry, error) {
 	known := map[string]bool{
 		OpRooms: true, OpLocate: true, OpPresence: true,
-		OpAt: true, OpTrajectory: true, OpIngest: true,
+		OpAt: true, OpTrajectory: true, OpIngest: true, OpSubscribe: true,
 	}
 	var out []mixEntry
 	for _, part := range strings.Split(s, ",") {
@@ -91,8 +95,8 @@ func parseMix(s string) ([]mixEntry, error) {
 		name, weightStr, hasWeight := strings.Cut(part, "=")
 		name = strings.TrimSpace(name)
 		if !known[name] {
-			return nil, fmt.Errorf("loadgen: unknown mix op %q (want %s|%s|%s|%s|%s|%s)",
-				name, OpRooms, OpLocate, OpPresence, OpAt, OpTrajectory, OpIngest)
+			return nil, fmt.Errorf("loadgen: unknown mix op %q (want %s|%s|%s|%s|%s|%s|%s)",
+				name, OpRooms, OpLocate, OpPresence, OpAt, OpTrajectory, OpIngest, OpSubscribe)
 		}
 		weight := 1
 		if hasWeight {
@@ -220,6 +224,9 @@ func (c *Config) fill() error {
 	}
 	if c.Batch > 1 && c.hasOp(OpIngest) {
 		return errors.New("loadgen: -batch is incompatible with the ingest op (ingest frames are already batched; size them with IngestBatch)")
+	}
+	if c.Batch > 1 && c.hasOp(OpSubscribe) {
+		return errors.New("loadgen: -batch is incompatible with the subscribe op (subscription management is per-connection and not batchable)")
 	}
 	if c.Users <= 0 {
 		c.Users = 8
@@ -390,6 +397,11 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 			// the report would measure duplicate-ack round trips
 			// instead of ingestion.
 			ing := &ingestState{session: fmt.Sprintf("loadgen-%x-%d", runNonce, w)}
+			// Each worker toggles one subscription of its own: its id is
+			// connection-scoped on the server, so it carries the worker
+			// index to stay unique among the Pipeline workers sharing a
+			// connection.
+			sub := &subState{id: fmt.Sprintf("loadgen-sub-%d", w), user: UserName(w % cfg.Users)}
 			for n := int64(0); ; n++ {
 				if interval > 0 {
 					due := start.Add(time.Duration(n) * interval)
@@ -405,7 +417,7 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 					return
 				}
 				t0 := time.Now()
-				done, err := issue(cfg, client, rng, rooms, &simTick, ing)
+				done, err := issue(cfg, client, rng, rooms, &simTick, ing, sub)
 				hist.ObserveDuration(time.Since(t0))
 				requests.Add(done)
 				if err != nil {
@@ -501,13 +513,23 @@ type ingestState struct {
 	helloed bool
 }
 
+// subState is one worker's subscription toggle for the subscribe op:
+// the worker-scoped subscription id, the querying user, and whether the
+// subscription is currently registered (the op alternates subscribe and
+// unsubscribe, churning the server's fan-out indexes).
+type subState struct {
+	id     string
+	user   string
+	active bool
+}
+
 // issue sends one envelope (a single request, a MsgBatch of cfg.Batch
 // sub-requests, or one ingest frame) and returns how many requests
 // completed (each delta of an ingest frame counts, like batched
 // sub-requests do).
-func issue(cfg Config, client *wire.Client, rng *rand.Rand, rooms []wire.RoomInfo, tick *atomic.Int64, ing *ingestState) (int64, error) {
+func issue(cfg Config, client *wire.Client, rng *rand.Rand, rooms []wire.RoomInfo, tick *atomic.Int64, ing *ingestState, sub *subState) (int64, error) {
 	if cfg.Batch <= 1 {
-		t, body := nextRequest(cfg, rng, rooms, tick, ing)
+		t, body := nextRequest(cfg, rng, rooms, tick, ing, sub)
 		if t == wire.MsgPresenceBatch {
 			return issueIngest(cfg, client, rooms, body.(wire.PresenceBatch), ing)
 		}
@@ -515,9 +537,9 @@ func issue(cfg Config, client *wire.Client, rng *rand.Rand, rooms []wire.RoomInf
 	}
 	var b wire.Batch
 	for i := 0; i < cfg.Batch; i++ {
-		// The ingest op never reaches this path: fill rejects
-		// Batch > 1 together with an ingest mix.
-		t, body := nextRequest(cfg, rng, rooms, tick, ing)
+		// The ingest and subscribe ops never reach this path: fill
+		// rejects Batch > 1 together with either in the mix.
+		t, body := nextRequest(cfg, rng, rooms, tick, ing, sub)
 		if err := b.Add(t, body); err != nil {
 			return 0, err
 		}
@@ -568,7 +590,7 @@ func issueIngest(cfg Config, client *wire.Client, rooms []wire.RoomInfo, frame w
 // advance it, history queries ask about random instants or windows of
 // the time it has covered, so at/trajectory exercise real recorded
 // runs.
-func nextRequest(cfg Config, rng *rand.Rand, rooms []wire.RoomInfo, tick *atomic.Int64, ing *ingestState) (wire.MsgType, any) {
+func nextRequest(cfg Config, rng *rand.Rand, rooms []wire.RoomInfo, tick *atomic.Int64, ing *ingestState, sub *subState) (wire.MsgType, any) {
 	n := rng.Intn(cfg.mixTotal)
 	op := cfg.mix[len(cfg.mix)-1].op
 	for _, e := range cfg.mix {
@@ -603,6 +625,22 @@ func nextRequest(cfg Config, rng *rand.Rand, rooms []wire.RoomInfo, tick *atomic
 			})
 		}
 		return wire.MsgPresenceBatch, frame
+	case OpSubscribe:
+		// Alternate subscribe/unsubscribe so the run churns the fan-out
+		// registration path, not just one static registration. The
+		// toggle flips optimistically: a served error desynchronizes one
+		// round trip, which the next toggle absorbs.
+		if sub.active {
+			sub.active = false
+			return wire.MsgUnsubscribe, wire.Unsubscribe{ID: sub.id}
+		}
+		sub.active = true
+		room := rooms[rng.Intn(len(rooms))]
+		return wire.MsgSubscribe, wire.Subscribe{
+			ID:      sub.id,
+			Querier: sub.user,
+			Filter:  wire.SubFilter{Kind: wire.FilterRoom, Room: room.ID},
+		}
 	case OpAt:
 		lo, upper := historyWindow(cfg, tick)
 		return wire.MsgLocateAt, wire.LocateAt{

@@ -1,0 +1,256 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"bips/internal/graph"
+	"bips/internal/sim"
+	"bips/internal/wire"
+)
+
+// TestSubscribeWorkload: the subscribe op toggles per-worker room
+// subscriptions while presence deltas generate matching events; a clean
+// run proves the registration path holds up as part of a request mix.
+func TestSubscribeWorkload(t *testing.T) {
+	addr := startServer(t, 4)
+	rep, err := Run(context.Background(), Config{
+		Addr:     addr,
+		Clients:  2,
+		Pipeline: 2,
+		Mix:      "subscribe=1,presence=4",
+		Users:    4,
+		Duration: 400 * time.Millisecond,
+		Seed:     8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("report:\n%s", rep)
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d", rep.Errors)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+}
+
+// TestSubscribeIncompatibleWithBatch: subscription management is
+// per-connection state and cannot ride inside MsgBatch envelopes.
+func TestSubscribeIncompatibleWithBatch(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Addr: "x", Mix: "subscribe", Batch: 8}); err == nil {
+		t.Error("subscribe + Batch>1 accepted")
+	}
+}
+
+// TestFanOutSmoke5000Subscriptions is the fan-out scale acceptance run:
+// 5,000 live subscriptions on one server, ingest traffic from the load
+// generator in the background, and a probe mover whose events must
+// reach every subscribed connection with a p99 delivery latency under a
+// generous bound — with zero dropped events, because every consumer
+// here keeps up.
+func TestFanOutSmoke5000Subscriptions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fan-out smoke run skipped in -short mode")
+	}
+	const (
+		conns       = 25
+		subsPerConn = 200 // conns * subsPerConn = 5,000
+		probeRoom   = graph.NodeID(6)
+		parkRoom    = graph.NodeID(5)
+		probeMoves  = 40
+		probeUser   = 7
+	)
+	addr := startServer(t, 8)
+
+	// The driver logs in the probe user and later reads server stats.
+	driverConn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driver := wire.NewClient(wire.NewFrameCodec(driverConn))
+	t.Cleanup(func() { driver.Close() })
+	if err := driver.Call(wire.MsgLogin, wire.Login{
+		User: UserName(probeUser), Password: "loadgen",
+		Device: wire.FormatAddr(UserDevice(probeUser)),
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Latency samples: send wall time per probe tick, matched against
+	// arrival time in each connection's push handler.
+	probeDev := wire.FormatAddr(UserDevice(probeUser))
+	var lat struct {
+		mu      sync.Mutex
+		sent    map[sim.Tick]time.Time
+		samples []time.Duration
+	}
+	lat.sent = make(map[sim.Tick]time.Time, probeMoves)
+
+	// Fan out the subscription population: each connection holds one
+	// probe-room subscription (the measured fan-out path) plus a bulk of
+	// occupancy subscriptions with unreachable thresholds — live index
+	// entries the tree must carry and skip past on every single delta.
+	clients := make([]*wire.Client, conns)
+	var setup sync.WaitGroup
+	setupErr := make(chan error, conns)
+	for i := 0; i < conns; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := wire.NewClient(wire.NewFrameCodec(conn))
+		clients[i] = c
+		c.SetPushHandler(func(env wire.Envelope) {
+			var e wire.Event
+			if wire.UnmarshalBody(env, &e) != nil {
+				return
+			}
+			if e.Sub != "probe" || e.Device != probeDev {
+				return // background ingest traffic, not the probe
+			}
+			now := time.Now()
+			lat.mu.Lock()
+			if sent, ok := lat.sent[e.At]; ok {
+				lat.samples = append(lat.samples, now.Sub(sent))
+			}
+			lat.mu.Unlock()
+		})
+		setup.Add(1)
+		go func(c *wire.Client, i int) {
+			defer setup.Done()
+			if err := c.Call(wire.MsgSubscribe, wire.Subscribe{
+				ID: "probe", Querier: UserName(probeUser),
+				Filter: wire.SubFilter{Kind: wire.FilterRoom, Room: probeRoom},
+			}, nil); err != nil {
+				setupErr <- fmt.Errorf("conn %d probe subscribe: %w", i, err)
+				return
+			}
+			for s := 1; s < subsPerConn; s++ {
+				if err := c.Call(wire.MsgSubscribe, wire.Subscribe{
+					ID: fmt.Sprintf("bulk-%d", s), Querier: UserName(probeUser),
+					Filter: wire.SubFilter{
+						Kind:      wire.FilterOccupancy,
+						Room:      graph.NodeID(1 + s%10),
+						Threshold: 1000, // never crossed: pure index weight
+					},
+				}, nil); err != nil {
+					setupErr <- fmt.Errorf("conn %d bulk subscribe %d: %w", i, s, err)
+					return
+				}
+			}
+		}(c, i)
+	}
+	setup.Wait()
+	close(setupErr)
+	for err := range setupErr {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	})
+
+	var stats wire.StatsResult
+	if err := driver.Call(wire.MsgStats, wire.StatsQuery{}, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Counters["fanout.subscriptions"]; got != conns*subsPerConn {
+		t.Fatalf("live subscriptions = %d, want %d", got, conns*subsPerConn)
+	}
+
+	// Background ingest load for the duration of the probing, paced so
+	// "keeping up" is what we are actually asserting about consumers.
+	loadDone := make(chan error, 1)
+	go func() {
+		rep, err := Run(context.Background(), Config{
+			Addr: addr, Clients: 2, Pipeline: 2,
+			Mix: "ingest", IngestBatch: 32, QPS: 2000,
+			Users: 4, Duration: 1500 * time.Millisecond, Seed: 7,
+		})
+		if err == nil && rep.Errors != 0 {
+			err = fmt.Errorf("background ingest saw %d errors", rep.Errors)
+		}
+		loadDone <- err
+	}()
+
+	// The probe: bounce the probe user in and out of the probe room.
+	// Every move produces exactly one probe-room event fanned out to
+	// all connections.
+	time.Sleep(100 * time.Millisecond) // let the generator spin up
+	for i := 0; i < probeMoves; i++ {
+		room := probeRoom
+		if i%2 == 1 {
+			room = parkRoom
+		}
+		at := sim.Tick(1_000_000 + i)
+		lat.mu.Lock()
+		lat.sent[at] = time.Now()
+		lat.mu.Unlock()
+		if err := driver.Call(wire.MsgPresence, wire.Presence{
+			Device: probeDev, Room: room, At: at, Present: true,
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if err := <-loadDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// Every connection must receive every probe event.
+	wantSamples := conns * probeMoves
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		lat.mu.Lock()
+		n := len(lat.samples)
+		lat.mu.Unlock()
+		if n >= wantSamples {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d probe deliveries arrived", n, wantSamples)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	lat.mu.Lock()
+	samples := append([]time.Duration(nil), lat.samples...)
+	lat.mu.Unlock()
+	if len(samples) != wantSamples {
+		t.Fatalf("probe deliveries = %d, want exactly %d (duplicates?)", len(samples), wantSamples)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	p99 := samples[len(samples)*99/100]
+	t.Logf("probe delivery latency: p50=%v p99=%v max=%v",
+		samples[len(samples)/2], p99, samples[len(samples)-1])
+	bound := 1 * time.Second
+	if raceEnabled {
+		bound = 3 * time.Second
+	}
+	if p99 > bound {
+		t.Errorf("p99 delivery latency %v exceeds %v", p99, bound)
+	}
+
+	// Nobody fell behind: every consumer kept up, so the server dropped
+	// nothing and killed nobody.
+	if err := driver.Call(wire.MsgStats, wire.StatsQuery{}, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Counters["fanout.events_dropped"]; got != 0 {
+		t.Errorf("fanout.events_dropped = %d, want 0", got)
+	}
+	if got := stats.Counters["fanout.slow_kills"]; got != 0 {
+		t.Errorf("fanout.slow_kills = %d, want 0", got)
+	}
+	if got := stats.Counters["fanout.events_pushed"]; got < int64(wantSamples) {
+		t.Errorf("fanout.events_pushed = %d, want >= %d", got, wantSamples)
+	}
+}

@@ -76,19 +76,19 @@ func (db *DB) ApplyBatch(muts []Mutation) int {
 		sh := db.shards[g.idx]
 		sh.mu.Lock()
 		for _, m := range g.muts {
-			var changed bool
+			var (
+				ev      Event
+				changed bool
+			)
 			switch m.Op {
 			case MutPresence:
-				changed = db.setPresenceLocked(sh, g.idx, m.Dev, m.Piconet, m.At)
+				ev, changed = db.setPresenceLocked(sh, g.idx, m.Dev, m.Piconet, m.At)
 			case MutAbsence:
-				changed = db.setAbsenceLocked(sh, g.idx, m.Dev, m.Piconet, m.At)
+				ev, changed = db.setAbsenceLocked(sh, g.idx, m.Dev, m.Piconet, m.At)
 			}
 			if changed {
 				applied++
-				events = append(events, Event{
-					Fix:     Fix{Device: m.Dev, Piconet: m.Piconet, At: m.At},
-					Present: m.Op == MutPresence,
-				})
+				events = append(events, ev)
 			}
 		}
 		sh.mu.Unlock()

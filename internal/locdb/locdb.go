@@ -78,6 +78,13 @@ type Event struct {
 	Fix
 	// Present is true for a new presence, false for a new absence.
 	Present bool `json:"present"`
+	// Prev is the piconet the device was in immediately before this
+	// change, when it had one (HasPrev). A handover directly into a
+	// neighboring cell carries the old room here, so subscribers can
+	// derive the implied departure — and keep per-room aggregates like
+	// occupancy counts — without tracking device state themselves.
+	Prev    graph.NodeID `json:"prev,omitempty"`
+	HasPrev bool         `json:"hasPrev,omitempty"`
 }
 
 // shardSnap is an immutable snapshot of one shard's current fixes,
@@ -244,11 +251,13 @@ func shardIndex(v uint64, n int) int {
 
 // setPresenceLocked applies one presence delta to its shard. The caller
 // holds sh.mu; the returned bool reports whether state changed (delta
-// semantics: re-reporting an unchanged piconet is a no-op).
-func (db *DB) setPresenceLocked(sh *shard, idx int, dev baseband.BDAddr, piconet graph.NodeID, at sim.Tick) bool {
+// semantics: re-reporting an unchanged piconet is a no-op). On a change
+// the returned event carries the previous piconet, when there was one,
+// so subscribers see the handover as one fact.
+func (db *DB) setPresenceLocked(sh *shard, idx int, dev baseband.BDAddr, piconet graph.NodeID, at sim.Tick) (Event, bool) {
 	prev, had := sh.current[dev]
 	if had && prev.Piconet == piconet {
-		return false
+		return Event{}, false
 	}
 	if had {
 		delete(sh.occupants[prev.Piconet], dev)
@@ -266,16 +275,20 @@ func (db *DB) setPresenceLocked(sh *shard, idx int, dev baseband.BDAddr, piconet
 	}
 	sh.version.Add(1)
 	sh.updates.Add(1)
-	return true
+	ev := Event{Fix: Fix{Device: dev, Piconet: piconet, At: at}, Present: true}
+	if had {
+		ev.Prev, ev.HasPrev = prev.Piconet, true
+	}
+	return ev, true
 }
 
 // setAbsenceLocked applies one absence delta to its shard. The caller
 // holds sh.mu; an absence from a piconet the device is no longer in is
 // ignored (false), so out-of-order reports cannot erase a newer fix.
-func (db *DB) setAbsenceLocked(sh *shard, idx int, dev baseband.BDAddr, piconet graph.NodeID, at sim.Tick) bool {
+func (db *DB) setAbsenceLocked(sh *shard, idx int, dev baseband.BDAddr, piconet graph.NodeID, at sim.Tick) (Event, bool) {
 	cur, ok := sh.current[dev]
 	if !ok || cur.Piconet != piconet {
-		return false
+		return Event{}, false
 	}
 	delete(sh.current, dev)
 	delete(sh.occupants[piconet], dev)
@@ -284,7 +297,7 @@ func (db *DB) setAbsenceLocked(sh *shard, idx int, dev baseband.BDAddr, piconet 
 	}
 	sh.version.Add(1)
 	sh.absences.Add(1)
-	return true
+	return Event{Fix: Fix{Device: dev, Piconet: piconet, At: at}, Present: false}, true
 }
 
 // SetPresence records that the device is present in the piconet at the
@@ -294,12 +307,12 @@ func (db *DB) SetPresence(dev baseband.BDAddr, piconet graph.NodeID, at sim.Tick
 	idx := db.shardIdxOf(dev)
 	sh := db.shards[idx]
 	sh.mu.Lock()
-	changed := db.setPresenceLocked(sh, idx, dev, piconet, at)
+	ev, changed := db.setPresenceLocked(sh, idx, dev, piconet, at)
 	sh.mu.Unlock()
 	if !changed {
 		return false
 	}
-	db.notify(Event{Fix: Fix{Device: dev, Piconet: piconet, At: at}, Present: true})
+	db.notify(ev)
 	return true
 }
 
@@ -312,27 +325,33 @@ func (db *DB) SetAbsence(dev baseband.BDAddr, piconet graph.NodeID, at sim.Tick)
 	idx := db.shardIdxOf(dev)
 	sh := db.shards[idx]
 	sh.mu.Lock()
-	changed := db.setAbsenceLocked(sh, idx, dev, piconet, at)
+	ev, changed := db.setAbsenceLocked(sh, idx, dev, piconet, at)
 	sh.mu.Unlock()
 	if !changed {
 		return false
 	}
-	db.notify(Event{Fix: Fix{Device: dev, Piconet: piconet, At: at}, Present: false})
+	db.notify(ev)
 	return true
 }
 
 // Drop removes every trace of a device (logout). It returns whether the
-// device had any state to remove.
+// device had any state to remove. A device that still had a current fix
+// is announced to subscribers as a final absence event from that room,
+// so per-room views (occupancy, room watchers) built from the event
+// stream stay consistent across logouts.
 func (db *DB) Drop(dev baseband.BDAddr) bool {
 	idx := db.shardIdxOf(dev)
 	sh := db.shards[idx]
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	changed := false
+	var ev Event
+	hadFix := false
 	if cur, ok := sh.current[dev]; ok {
 		delete(sh.occupants[cur.Piconet], dev)
 		sh.version.Add(1)
 		changed = true
+		hadFix = true
+		ev = Event{Fix: cur, Present: false}
 	}
 	if sh.hist.Len(dev) > 0 {
 		changed = true
@@ -341,6 +360,10 @@ func (db *DB) Drop(dev baseband.BDAddr) bool {
 	sh.hist.Drop(dev)
 	if changed && db.journal != nil {
 		db.journal.Record(idx, JournalDrop, dev, 0, 0)
+	}
+	sh.mu.Unlock()
+	if hadFix {
+		db.notify(ev)
 	}
 	return changed
 }

@@ -186,6 +186,52 @@ func TestSubscribe(t *testing.T) {
 	}
 }
 
+// TestSubscribeHandoverCarriesPrev: a handover event announces the old
+// piconet, so stream consumers (the fan-out tree, occupancy counters)
+// can derive the implied departure without tracking device state.
+func TestSubscribeHandoverCarriesPrev(t *testing.T) {
+	db := New()
+	var events []Event
+	db.Subscribe(func(e Event) { events = append(events, e) })
+	db.SetPresence(dev1, 3, 100)
+	db.SetPresence(dev1, 5, 200)
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	if events[0].HasPrev {
+		t.Errorf("first appearance claims a previous piconet: %+v", events[0])
+	}
+	if !events[1].HasPrev || events[1].Prev != 3 {
+		t.Errorf("handover event = %+v, want Prev 3", events[1])
+	}
+}
+
+// TestDropEmitsFinalAbsence: a logout of a still-present device is
+// announced as an absence from its last room — otherwise event-stream
+// consumers would count the occupant forever.
+func TestDropEmitsFinalAbsence(t *testing.T) {
+	db := New()
+	var events []Event
+	db.Subscribe(func(e Event) { events = append(events, e) })
+	db.SetPresence(dev1, 3, 100)
+	db.Drop(dev1)
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want presence + final absence", len(events))
+	}
+	last := events[1]
+	if last.Present || last.Piconet != 3 || last.Device != dev1 {
+		t.Errorf("drop event = %+v, want absence from piconet 3", last)
+	}
+	// A device with history but no current fix goes quietly.
+	db.SetPresence(dev2, 1, 200)
+	db.SetAbsence(dev2, 1, 300)
+	n := len(events)
+	db.Drop(dev2)
+	if len(events) != n {
+		t.Errorf("drop of an absent device emitted %d extra events", len(events)-n)
+	}
+}
+
 func TestLocateAt(t *testing.T) {
 	db := New()
 	db.SetPresence(dev1, 3, 100)

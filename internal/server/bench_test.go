@@ -53,7 +53,7 @@ func BenchmarkDispatchLocate(b *testing.B) {
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			resp := s.dispatch(env)
+			resp := s.dispatch(nil, env)
 			if resp.Type != wire.MsgLocateResult {
 				b.Fatalf("response = %+v", resp)
 			}

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"bips/internal/building"
+	"bips/internal/fanout"
 	"bips/internal/graph"
 	"bips/internal/ingest"
 	"bips/internal/locdb"
@@ -80,6 +81,15 @@ type Server struct {
 	ingest     *ingest.Pipeline
 	ingestOpts []ingest.Option
 
+	// tree is the shared subscription index behind wire-level and
+	// in-process push notifications; every locdb delta is fed into it
+	// exactly once. See internal/fanout and docs/PROTOCOL.md section 9.
+	tree        *fanout.Tree
+	eventBuffer int
+	dropLimit   int
+	maxSubs     int
+	killGrace   time.Duration
+
 	// Metrics. The hot-path counters are resolved once at construction;
 	// everything is also reachable through the registry for MsgStats.
 	metrics   *metrics.Registry
@@ -89,6 +99,9 @@ type Server struct {
 	malformed *metrics.Counter
 	connTotal *metrics.Counter
 	latency   *metrics.Histogram
+	evPushed  *metrics.Counter
+	evDropped *metrics.Counter
+	slowKills *metrics.Counter
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -114,6 +127,10 @@ func New(reg *registry.Registry, db locdb.Store, bld *building.Building, opts ..
 		db:          db,
 		bld:         bld,
 		maxInFlight: DefaultMaxInFlight,
+		eventBuffer: DefaultEventBuffer,
+		dropLimit:   DefaultDropLimit,
+		maxSubs:     DefaultMaxSubsPerConn,
+		killGrace:   defaultKillGrace,
 		metrics:     metrics.NewRegistry(),
 		conns:       make(map[net.Conn]bool),
 		Logf:        log.Printf,
@@ -127,10 +144,19 @@ func New(reg *registry.Registry, db locdb.Store, bld *building.Building, opts ..
 	s.malformed = s.metrics.Counter("server.malformed")
 	s.connTotal = s.metrics.Counter("server.connections")
 	s.latency = s.metrics.Histogram("server.dispatch")
+	s.evPushed = s.metrics.Counter("fanout.events_pushed")
+	s.evDropped = s.metrics.Counter("fanout.events_dropped")
+	s.slowKills = s.metrics.Counter("fanout.slow_kills")
 	for _, opt := range opts {
 		opt(s)
 	}
 	s.ingest = ingest.NewPipeline(db, s.resolveDelta, s.ingestOpts...)
+	// Feed every location delta into the fan-out tree exactly once,
+	// and prime the tree's room view from a restored durable backend
+	// (no traffic can flow yet — the caller has not started serving).
+	s.tree = fanout.New()
+	db.Subscribe(s.tree.Publish)
+	s.tree.Seed(db.All())
 	return s
 }
 
@@ -152,6 +178,11 @@ func (s *Server) MaxInFlight() int { return s.maxInFlight }
 // Ingest exposes the workstation ingestion pipeline (for tooling and
 // tests observing session state).
 func (s *Server) Ingest() *ingest.Pipeline { return s.ingest }
+
+// Fanout exposes the shared subscription index, so in-process
+// consumers (the simulation facade's event stream) ride the same tree
+// as wire subscribers and observe deltas in the same order.
+func (s *Server) Fanout() *fanout.Tree { return s.tree }
 
 // --- Business logic -------------------------------------------------------
 
@@ -341,6 +372,10 @@ func (s *Server) StatsResult() wire.StatsResult {
 			P99:   h.Quantile(0.99),
 		}
 	}
+	treeStats := s.tree.Stats()
+	out.Counters["fanout.subscriptions"] = int64(treeStats.Subscriptions)
+	out.Counters["fanout.published"] = treeStats.Published
+	out.Counters["fanout.delivered"] = treeStats.Delivered
 	dbStats := s.db.Stats()
 	out.Counters["locdb.updates"] = dbStats.Updates
 	out.Counters["locdb.absences"] = dbStats.Absences
@@ -374,14 +409,19 @@ func errorCode(err error) string {
 		errors.Is(err, registry.ErrNotLoggedIn),
 		errors.Is(err, locdb.ErrNotPresent),
 		errors.Is(err, building.ErrUnknownRoom),
-		errors.Is(err, ingest.ErrUnknownSession):
+		errors.Is(err, ingest.ErrUnknownSession),
+		errors.Is(err, ErrUnknownSubscription):
 		return wire.CodeNotFound
 	case errors.Is(err, registry.ErrBadDevice),
 		errors.Is(err, registry.ErrEmptyUserID),
 		errors.Is(err, ingest.ErrSeqGap),
 		errors.Is(err, ingest.ErrSessionLimit),
+		errors.Is(err, ErrDuplicateSubscription),
+		errors.Is(err, ErrSubscriptionLimit),
 		errors.Is(err, wire.ErrMalformed):
 		return wire.CodeBadRequest
+	case errors.Is(err, errSlowConsumer):
+		return wire.CodeSlowConsumer
 	default:
 		return wire.CodeInternal
 	}
@@ -452,6 +492,12 @@ func (s *Server) ServeConn(conn io.ReadWriter) {
 		return
 	}
 
+	// Per-connection subscription state. The raw closer (when the stream
+	// is closable at all) lets the slow-consumer backstop sever the
+	// socket without taking transport locks.
+	raw, _ := conn.(io.Closer)
+	cs := newConnSubs(s, tr, raw)
+
 	var handlers sync.WaitGroup
 	sem := make(chan struct{}, s.maxInFlight)
 	for {
@@ -474,20 +520,26 @@ func (s *Server) ServeConn(conn io.ReadWriter) {
 				s.beforeHandle(env.Type)
 			}
 			start := time.Now()
-			resp := s.dispatch(env)
+			resp := s.dispatch(cs, env)
 			s.latency.ObserveDuration(time.Since(start))
 			out <- resp
 		}(env)
 	}
 	handlers.Wait()
+	// Handlers are done, so nobody can add subscriptions anymore: cancel
+	// the connection's fan-out registrations and stop the pusher before
+	// the writer flushes out.
+	cs.shutdown()
 	finish()
 }
 
 // dispatch executes one request envelope and returns the response
 // envelope. It is called from handler goroutines and must stay safe for
 // concurrent use; all mutable state it touches is behind the registry and
-// location-database locks.
-func (s *Server) dispatch(env wire.Envelope) wire.Envelope {
+// location-database locks. cs carries the connection's subscription
+// state; it is nil inside a batch, where subscription management is not
+// allowed (a batch answers once, a subscription pushes forever).
+func (s *Server) dispatch(cs *connSubs, env wire.Envelope) wire.Envelope {
 	if c, ok := s.reqCount[env.Type]; ok {
 		c.Inc()
 	} else {
@@ -605,6 +657,40 @@ func (s *Server) dispatch(env wire.Envelope) wire.Envelope {
 			return fail(err)
 		}
 		return ok(wire.MsgIngestAck, ackRes)
+	case wire.MsgSubscribe:
+		var sub wire.Subscribe
+		if err := wire.UnmarshalBody(env, &sub); err != nil {
+			return fail(err)
+		}
+		if err := sub.Validate(); err != nil {
+			return fail(err)
+		}
+		if cs == nil {
+			return fail(fmt.Errorf("%w: subscribe inside a batch", wire.ErrMalformed))
+		}
+		f, err := s.resolveFilter(sub)
+		if err != nil {
+			return fail(err)
+		}
+		if err := cs.add(sub.ID, f); err != nil {
+			return fail(err)
+		}
+		return ok(wire.MsgOK, struct{}{})
+	case wire.MsgUnsubscribe:
+		var unsub wire.Unsubscribe
+		if err := wire.UnmarshalBody(env, &unsub); err != nil {
+			return fail(err)
+		}
+		if err := unsub.Validate(); err != nil {
+			return fail(err)
+		}
+		if cs == nil {
+			return fail(fmt.Errorf("%w: unsubscribe inside a batch", wire.ErrMalformed))
+		}
+		if err := cs.drop(unsub.ID); err != nil {
+			return fail(err)
+		}
+		return ok(wire.MsgOK, struct{}{})
 	case wire.MsgRooms:
 		return ok(wire.MsgRoomsResult, s.RoomsInfo())
 	case wire.MsgStats:
@@ -624,8 +710,8 @@ func (s *Server) dispatch(env wire.Envelope) wire.Envelope {
 			}
 			// Sequential execution in request order; inner failures
 			// become inner MsgError responses without aborting the
-			// batch.
-			res.Responses = append(res.Responses, s.dispatch(req))
+			// batch. Subscription management is excluded (nil cs).
+			res.Responses = append(res.Responses, s.dispatch(nil, req))
 		}
 		return ok(wire.MsgBatchResult, res)
 	default:

@@ -1,0 +1,161 @@
+// Subscription messages: the push-notification surface of the protocol.
+//
+// A client registers a subscription with MsgSubscribe, naming a
+// client-chosen id (connection-scoped, like ingest session ids) and a
+// filter; the server answers MsgOK and from then on pushes MsgEvent
+// envelopes — correlation id 0, since no request correlates — whenever
+// the filter matches a presence change. MsgUnsubscribe cancels by id.
+// Subscriptions live and die with their connection; they are never
+// shared across connections or resumed. See docs/PROTOCOL.md section 9
+// for the delivery contract and the slow-consumer policy.
+package wire
+
+import (
+	"fmt"
+
+	"bips/internal/graph"
+	"bips/internal/sim"
+)
+
+// MaxSubIDLen bounds a subscription id so a hostile client cannot make
+// the server index arbitrarily large keys.
+const MaxSubIDLen = 128
+
+// MaxZoneRooms bounds the room set of a zone filter.
+const MaxZoneRooms = 64
+
+// Subscription filter kinds.
+const (
+	// FilterAll matches every presence change (enter/leave events for
+	// all tracked devices).
+	FilterAll = "all"
+	// FilterDevice matches one user's device: Target is the userid, and
+	// the subscriber needs the same access Locate requires.
+	FilterDevice = "device"
+	// FilterRoom matches one room: every device entering or leaving it.
+	FilterRoom = "room"
+	// FilterZone is the geofence predicate device-enters-zone: Target's
+	// device crossing into or out of the room set Rooms.
+	FilterZone = "zone"
+	// FilterOccupancy is the geofence predicate
+	// room-occupancy-crosses-K: Room's occupant count crossing
+	// Threshold, edge-triggered in both directions.
+	FilterOccupancy = "occupancy"
+)
+
+// SubFilter selects which presence changes a subscription delivers.
+// Which fields matter depends on Kind; Validate enforces the shape.
+type SubFilter struct {
+	Kind string `json:"kind"`
+	// Target is the tracked userid for device and zone filters.
+	Target string `json:"target,omitempty"`
+	// Room is the watched room for room and occupancy filters.
+	Room graph.NodeID `json:"room,omitempty"`
+	// Rooms is the zone's room set for zone filters.
+	Rooms []graph.NodeID `json:"rooms,omitempty"`
+	// Threshold is the occupancy edge (>= 1) for occupancy filters.
+	Threshold int `json:"threshold,omitempty"`
+}
+
+// Subscribe registers a push subscription on this connection. ID is
+// client-chosen and scoped to the connection; re-using a live id is an
+// error (unsubscribe first). Querier is the userid on whose behalf the
+// subscription runs — it must be logged in, hold the locate right, and
+// for device/zone filters pass the same per-target access check as
+// Locate.
+type Subscribe struct {
+	ID      string    `json:"id"`
+	Querier string    `json:"querier"`
+	Filter  SubFilter `json:"filter"`
+}
+
+// Validate checks the request's protocol shape: a bounded non-empty id,
+// a querier, a known filter kind, and the kind's required fields. Access
+// checks and room existence are the server's business validation.
+func (s *Subscribe) Validate() error {
+	if s.ID == "" {
+		return fmt.Errorf("%w: subscribe without id", ErrMalformed)
+	}
+	if len(s.ID) > MaxSubIDLen {
+		return fmt.Errorf("%w: subscription id of %d bytes exceeds %d", ErrMalformed, len(s.ID), MaxSubIDLen)
+	}
+	if s.Querier == "" {
+		return fmt.Errorf("%w: subscribe without querier", ErrMalformed)
+	}
+	switch s.Filter.Kind {
+	case FilterAll, FilterRoom:
+		// No further shape: room existence is business validation.
+	case FilterDevice:
+		if s.Filter.Target == "" {
+			return fmt.Errorf("%w: device filter without target user", ErrMalformed)
+		}
+	case FilterZone:
+		if s.Filter.Target == "" {
+			return fmt.Errorf("%w: zone filter without target user", ErrMalformed)
+		}
+		if len(s.Filter.Rooms) == 0 {
+			return fmt.Errorf("%w: zone filter without rooms", ErrMalformed)
+		}
+		if len(s.Filter.Rooms) > MaxZoneRooms {
+			return fmt.Errorf("%w: zone of %d rooms exceeds %d", ErrMalformed, len(s.Filter.Rooms), MaxZoneRooms)
+		}
+	case FilterOccupancy:
+		if s.Filter.Threshold < 1 {
+			return fmt.Errorf("%w: occupancy filter needs threshold >= 1", ErrMalformed)
+		}
+	default:
+		return fmt.Errorf("%w: unknown filter kind %q", ErrMalformed, s.Filter.Kind)
+	}
+	return nil
+}
+
+// Unsubscribe cancels the subscription with the given id on this
+// connection; the response is MsgOK. An unknown id is a not-found
+// error.
+type Unsubscribe struct {
+	ID string `json:"id"`
+}
+
+// Validate checks the request's protocol shape.
+func (u *Unsubscribe) Validate() error {
+	if u.ID == "" {
+		return fmt.Errorf("%w: unsubscribe without id", ErrMalformed)
+	}
+	if len(u.ID) > MaxSubIDLen {
+		return fmt.Errorf("%w: subscription id of %d bytes exceeds %d", ErrMalformed, len(u.ID), MaxSubIDLen)
+	}
+	return nil
+}
+
+// Event kinds pushed on a subscription.
+const (
+	// EventEnter: a device was revealed present in Room.
+	EventEnter = "enter"
+	// EventLeave: a device left Room (absence, handover away, or
+	// logout).
+	EventLeave = "leave"
+	// EventZoneEnter / EventZoneExit: the zone filter's target crossed
+	// into / out of the geofence.
+	EventZoneEnter = "zone-enter"
+	EventZoneExit  = "zone-exit"
+	// EventOccupancyRise / EventOccupancyFall: Room's occupant count
+	// crossed the filter's threshold upward / downward; Occupancy
+	// carries the new count.
+	EventOccupancyRise = "occupancy-rise"
+	EventOccupancyFall = "occupancy-fall"
+)
+
+// Event is one push notification. Sub names the subscription it
+// matched; the envelope's correlation id is always 0. Device and User
+// are set for enter/leave (and zone) events when the device is bound to
+// a user; Occupancy is set for occupancy events.
+type Event struct {
+	Sub       string       `json:"sub"`
+	Kind      string       `json:"kind"`
+	Device    string       `json:"device,omitempty"`
+	User      string       `json:"user,omitempty"`
+	Room      graph.NodeID `json:"room"`
+	RoomName  string       `json:"roomName,omitempty"`
+	At        sim.Tick     `json:"at"`
+	Occupancy int          `json:"occupancy,omitempty"`
+}

@@ -1,0 +1,287 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"bips/internal/graph"
+)
+
+func validSubscribe() Subscribe {
+	return Subscribe{
+		ID:      "lab-door",
+		Querier: "alice",
+		Filter:  SubFilter{Kind: FilterRoom, Room: 4},
+	}
+}
+
+func TestSubscribeValidate(t *testing.T) {
+	ok := validSubscribe()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid subscribe rejected: %v", err)
+	}
+	// Every filter kind has a valid shape.
+	valid := map[string]SubFilter{
+		"all":       {Kind: FilterAll},
+		"device":    {Kind: FilterDevice, Target: "bob"},
+		"room":      {Kind: FilterRoom, Room: 2},
+		"zone":      {Kind: FilterZone, Target: "bob", Rooms: []graph.NodeID{1, 2, 3}},
+		"occupancy": {Kind: FilterOccupancy, Room: 2, Threshold: 3},
+	}
+	for name, f := range valid {
+		s := validSubscribe()
+		s.Filter = f
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s filter rejected: %v", name, err)
+		}
+	}
+
+	cases := map[string]func(*Subscribe){
+		"empty id":         func(s *Subscribe) { s.ID = "" },
+		"oversized id":     func(s *Subscribe) { s.ID = strings.Repeat("x", MaxSubIDLen+1) },
+		"empty querier":    func(s *Subscribe) { s.Querier = "" },
+		"unknown kind":     func(s *Subscribe) { s.Filter.Kind = "proximity" },
+		"empty kind":       func(s *Subscribe) { s.Filter.Kind = "" },
+		"device no target": func(s *Subscribe) { s.Filter = SubFilter{Kind: FilterDevice} },
+		"zone no target":   func(s *Subscribe) { s.Filter = SubFilter{Kind: FilterZone, Rooms: []graph.NodeID{1}} },
+		"zone no rooms":    func(s *Subscribe) { s.Filter = SubFilter{Kind: FilterZone, Target: "bob"} },
+		"zone oversized": func(s *Subscribe) {
+			s.Filter = SubFilter{Kind: FilterZone, Target: "bob", Rooms: make([]graph.NodeID, MaxZoneRooms+1)}
+		},
+		"occupancy zero":     func(s *Subscribe) { s.Filter = SubFilter{Kind: FilterOccupancy, Room: 2} },
+		"occupancy negative": func(s *Subscribe) { s.Filter = SubFilter{Kind: FilterOccupancy, Room: 2, Threshold: -1} },
+	}
+	for name, mutate := range cases {
+		s := validSubscribe()
+		mutate(&s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate() = nil, want error", name)
+			continue
+		}
+		// Invalid requests must classify as malformed so the server
+		// answers a bad-request MsgError instead of closing silently.
+		if !strings.Contains(err.Error(), ErrMalformed.Error()) {
+			t.Errorf("%s: error %q does not wrap ErrMalformed", name, err)
+		}
+	}
+}
+
+func TestUnsubscribeValidate(t *testing.T) {
+	if err := (&Unsubscribe{ID: "lab-door"}).Validate(); err != nil {
+		t.Fatalf("valid unsubscribe rejected: %v", err)
+	}
+	for name, u := range map[string]Unsubscribe{
+		"empty id":     {},
+		"oversized id": {ID: strings.Repeat("x", MaxSubIDLen+1)},
+	} {
+		err := u.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate() = nil, want error", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), ErrMalformed.Error()) {
+			t.Errorf("%s: error %q does not wrap ErrMalformed", name, err)
+		}
+	}
+}
+
+func TestSubscribeFrameRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	codec := NewFrameCodec(struct {
+		io.Reader
+		io.Writer
+	}{&buf, &buf})
+
+	env, err := MarshalBody(MsgSubscribe, 7, validSubscribe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := codec.Send(env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := codec.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != MsgSubscribe || got.Seq != 7 {
+		t.Fatalf("roundtrip envelope = %+v", got)
+	}
+	var s Subscribe
+	if err := UnmarshalBody(got, &s); err != nil {
+		t.Fatal(err)
+	}
+	want := validSubscribe()
+	if s.ID != want.ID || s.Querier != want.Querier || s.Filter.Kind != want.Filter.Kind || s.Filter.Room != want.Filter.Room {
+		t.Fatalf("roundtrip subscribe = %+v, want %+v", s, want)
+	}
+}
+
+func TestEventFrameRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	codec := NewFrameCodec(struct {
+		io.Reader
+		io.Writer
+	}{&buf, &buf})
+
+	want := Event{
+		Sub: "lab-door", Kind: EventEnter,
+		Device: "00:00:B0:00:00:02", User: "bob",
+		Room: 4, RoomName: "Lab 2", At: 480000,
+	}
+	// Push envelopes always carry correlation id 0: nothing correlates.
+	env, err := MarshalBody(MsgEvent, 0, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := codec.Send(env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := codec.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != MsgEvent || got.Seq != 0 {
+		t.Fatalf("roundtrip envelope = %+v", got)
+	}
+	var e Event
+	if err := UnmarshalBody(got, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e != want {
+		t.Fatalf("roundtrip event = %+v, want %+v", e, want)
+	}
+}
+
+// TestProtocolDocSubscribeHexExample: the worked hex example of
+// docs/PROTOCOL.md section 9 must be the codec's actual output, byte
+// for byte — if the framing or the JSON encoding of the subscription
+// messages changes, the spec must change with it.
+func TestProtocolDocSubscribeHexExample(t *testing.T) {
+	raw, err := os.ReadFile("../../docs/PROTOCOL.md")
+	if err != nil {
+		t.Fatalf("reading protocol spec: %v", err)
+	}
+	doc := string(raw)
+
+	frameHex := func(env Envelope) string {
+		var buf bytes.Buffer
+		c := NewFrameCodec(struct {
+			io.Reader
+			io.Writer
+		}{&buf, &buf})
+		if err := c.Send(env); err != nil {
+			t.Fatal(err)
+		}
+		return hex.Dump(buf.Bytes())
+	}
+
+	req, err := MarshalBody(MsgSubscribe, 7, validSubscribe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := MarshalBody(MsgOK, 7, struct{}{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	push, err := MarshalBody(MsgEvent, 0, Event{
+		Sub: "lab-door", Kind: EventEnter,
+		Device: "00:00:B0:00:00:02", User: "bob",
+		Room: 4, RoomName: "Lab 2", At: 480000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, dump := range map[string]string{
+		"subscribe request": frameHex(req),
+		"ok response":       frameHex(resp),
+		"event push":        frameHex(push),
+	} {
+		for _, line := range strings.Split(strings.TrimRight(dump, "\n"), "\n") {
+			if !strings.Contains(doc, line) {
+				t.Errorf("docs/PROTOCOL.md section 9 is missing the %s hex line:\n%s", name, line)
+			}
+		}
+	}
+}
+
+// FuzzSubscribeDecode throws arbitrary bytes at the subscribe body
+// decoder: it must never panic, and anything it accepts and Validate
+// passes must survive a marshal/unmarshal roundtrip unchanged.
+func FuzzSubscribeDecode(f *testing.F) {
+	seed, err := json.Marshal(validSubscribe())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"id":"a","querier":"q","filter":{"kind":"all"}}`))
+	f.Add([]byte(`{"id":"a","querier":"q","filter":{"kind":"zone","target":"t","rooms":[1,2]}}`))
+	f.Add([]byte(`{"id":"a","querier":"q","filter":{"kind":"occupancy","room":9,"threshold":-3}}`))
+	f.Add([]byte(`{"filter":{"rooms":[0]}}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var s Subscribe
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			return
+		}
+		re, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("marshal of accepted subscribe failed: %v", err)
+		}
+		var s2 Subscribe
+		if err := json.Unmarshal(re, &s2); err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if s2.ID != s.ID || s2.Querier != s.Querier || s2.Filter.Kind != s.Filter.Kind ||
+			s2.Filter.Target != s.Filter.Target || s2.Filter.Room != s.Filter.Room ||
+			s2.Filter.Threshold != s.Filter.Threshold || len(s2.Filter.Rooms) != len(s.Filter.Rooms) {
+			t.Fatalf("roundtrip changed subscribe: %+v vs %+v", s, s2)
+		}
+		if err := s2.Validate(); err != nil {
+			t.Fatalf("roundtrip broke validity: %v", err)
+		}
+	})
+}
+
+// FuzzEventDecode throws arbitrary bytes at the event body decoder —
+// the message clients decode from the wire, so a hostile server must
+// not be able to panic a subscriber — and checks accepted events
+// roundtrip unchanged.
+func FuzzEventDecode(f *testing.F) {
+	seed, err := json.Marshal(Event{
+		Sub: "s", Kind: EventEnter, Device: "00:00:B0:00:00:01",
+		User: "alice", Room: 3, RoomName: "Lab", At: 100,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"sub":"s","kind":"occupancy-rise","room":2,"at":1,"occupancy":5}`))
+	f.Add([]byte(`{"kind":"zone-exit","at":-1}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return
+		}
+		re, err := json.Marshal(e)
+		if err != nil {
+			t.Fatalf("marshal of decoded event failed: %v", err)
+		}
+		var e2 Event
+		if err := json.Unmarshal(re, &e2); err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if e2 != e {
+			t.Fatalf("roundtrip changed event: %+v vs %+v", e, e2)
+		}
+	})
+}

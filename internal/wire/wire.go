@@ -72,6 +72,13 @@ const (
 	// MsgPresenceBatch carries one sequenced frame of presence deltas on
 	// an ingest session; the response is a MsgIngestAck.
 	MsgPresenceBatch MsgType = "presence.batch"
+	// MsgSubscribe registers a push-notification subscription on this
+	// connection; the response is a MsgOK, after which matching MsgEvent
+	// envelopes are pushed until unsubscribe or disconnect.
+	MsgSubscribe MsgType = "subscribe"
+	// MsgUnsubscribe cancels a subscription by id; the response is a
+	// MsgOK.
+	MsgUnsubscribe MsgType = "unsubscribe"
 	// MsgOK is the empty success response.
 	MsgOK MsgType = "ok"
 	// MsgLocateResult answers MsgLocate and MsgLocateAt.
@@ -89,6 +96,10 @@ const (
 	// MsgIngestAck answers MsgIngestHello and MsgPresenceBatch with the
 	// session's cumulative ack.
 	MsgIngestAck MsgType = "ingest.ack"
+	// MsgEvent is a server push notification on a subscription. It is
+	// not a response: its correlation id is always 0 and it may arrive
+	// between any two responses on the connection.
+	MsgEvent MsgType = "event"
 	// MsgError is the failure response.
 	MsgError MsgType = "error"
 )
@@ -101,9 +112,10 @@ const (
 var AllMsgTypes = []MsgType{
 	MsgHello, MsgPresence, MsgLogin, MsgLogout, MsgLocate, MsgLocateAt,
 	MsgTrajectory, MsgPath, MsgRooms, MsgBatch, MsgStats,
-	MsgIngestHello, MsgPresenceBatch,
+	MsgIngestHello, MsgPresenceBatch, MsgSubscribe, MsgUnsubscribe,
 	MsgOK, MsgLocateResult, MsgTrajectoryResult, MsgPathResult,
-	MsgRoomsResult, MsgBatchResult, MsgStatsResult, MsgIngestAck, MsgError,
+	MsgRoomsResult, MsgBatchResult, MsgStatsResult, MsgIngestAck,
+	MsgEvent, MsgError,
 }
 
 // Envelope frames every message.
@@ -329,6 +341,10 @@ const (
 	CodeBadRequest = "bad-request"
 	CodeAuth       = "auth"
 	CodeInternal   = "internal"
+	// CodeSlowConsumer reports that the connection's subscription event
+	// buffer overflowed past the server's drop limit; the server sends
+	// it best-effort and disconnects.
+	CodeSlowConsumer = "slow-consumer"
 )
 
 // FormatAddr renders a device address for the wire.
@@ -451,6 +467,7 @@ type Client struct {
 	mu      sync.Mutex
 	nextSeq uint64
 	pending map[uint64]chan Envelope
+	push    func(Envelope)
 	err     error
 	done    chan struct{}
 }
@@ -466,6 +483,31 @@ func NewClient(codec Transport) *Client {
 	return c
 }
 
+// SetPushHandler registers fn for server-push envelopes (MsgEvent):
+// envelopes that are notifications, not responses, and therefore match
+// no pending call. fn runs on the receive loop goroutine, so it must
+// not block for long — a stalled handler delays every in-flight
+// response on the connection. Without a handler, push envelopes are
+// silently discarded (the pre-subscription behavior).
+func (c *Client) SetPushHandler(fn func(Envelope)) {
+	c.mu.Lock()
+	c.push = fn
+	c.mu.Unlock()
+}
+
+// Done is closed when the receive loop ends — the server closed the
+// connection, the transport failed, or Close was called. Err reports
+// why. Event-stream consumers (bips-query subscribe) block on it.
+func (c *Client) Done() <-chan struct{} { return c.done }
+
+// Err returns the receive-loop failure, nil while the connection is
+// healthy.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
 func (c *Client) recvLoop() {
 	defer close(c.done)
 	for {
@@ -473,6 +515,15 @@ func (c *Client) recvLoop() {
 		if err != nil {
 			c.fail(fmt.Errorf("wire: receive: %w", err))
 			return
+		}
+		if env.Type == MsgEvent {
+			c.mu.Lock()
+			fn := c.push
+			c.mu.Unlock()
+			if fn != nil {
+				fn(env)
+			}
+			continue
 		}
 		c.mu.Lock()
 		ch, ok := c.pending[env.Seq]
