@@ -4,13 +4,13 @@
 # performance trajectory of the repo is tracked in data, not prose.
 #
 # Usage:
-#   .github/bench.sh [output.json] [ingest-output.json]
+#   .github/bench.sh [output.json] [ingest-output.json] [analytics-output.json]
 #
 # Environment:
 #   BENCHTIME  go test -benchtime value (default 0.5s; CI may use 1s,
 #              quick smoke runs 1x)
 #   BENCHPKGS  packages to benchmark (default: the storage, locdb,
-#              server, loadgen packages and the repo root)
+#              server, loadgen, analytics packages and the repo root)
 #
 # The main record includes, when both sides of BenchmarkLocdbDelta were
 # measured, the derived "locdb_delta_overhead_pct": the saturation
@@ -23,12 +23,20 @@
 # MsgPresence versus sessioned MsgPresenceBatch frames, in ns per delta
 # and deltas/sec, plus "batched_speedup" — the PR 5 acceptance metric
 # (bar: >= 5x on the same hardware).
+#
+# The third record (default BENCH_PR7.json) is the history-analytics
+# acceptance record derived from BenchmarkContactTrace and
+# BenchmarkSegmentCompression in internal/analytics: contact-trace
+# query latency percentiles over a million-device-day sealed history
+# (bar: p99 < 1000 ms on one core) and sealed-segment bytes per
+# presence run versus the 29-byte WAL record (bar: ratio >= 3).
 set -eu
 
 out="${1:-BENCH_PR4.json}"
 ingest_out="${2:-BENCH_PR5.json}"
+analytics_out="${3:-BENCH_PR7.json}"
 benchtime="${BENCHTIME:-0.5s}"
-pkgs="${BENCHPKGS:-./internal/storage ./internal/locdb ./internal/server ./internal/loadgen .}"
+pkgs="${BENCHPKGS:-./internal/storage ./internal/locdb ./internal/server ./internal/loadgen ./internal/analytics .}"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
@@ -43,7 +51,7 @@ if ! go test -run '^$' -bench . -benchmem -benchtime "$benchtime" $pkgs > "$tmp"
 fi
 cat "$tmp" >&2
 
-awk -v benchtime="$benchtime" -v ingout="$ingest_out" '
+awk -v benchtime="$benchtime" -v ingout="$ingest_out" -v anaout="$analytics_out" '
 BEGIN {
     n = 0
     "go version" | getline gover
@@ -67,6 +75,13 @@ $1 == "pkg:" { pkg = $2; next }
         if ($(i + 1) == "ns/op") ns = $i
         if ($(i + 1) == "B/op") bytes = $i
         if ($(i + 1) == "allocs/op") allocs = $i
+        # Custom b.ReportMetric pairs from the analytics benchmarks.
+        if ($(i + 1) == "p50-ms") ctp50 = $i
+        if ($(i + 1) == "p99-ms") ctp99 = $i
+        if ($(i + 1) == "device-days") devdays = $i
+        if ($(i + 1) == "bytes/run") bytesrun = $i
+        if ($(i + 1) == "ratio") ratio = $i
+        if ($(i + 1) == "sealed-runs") sealedruns = $i
     }
     if (ns == "") next
     key = pkg "/" name
@@ -98,6 +113,34 @@ END {
     }
     printf "\n}\n"
 
+    # Third record: the history-analytics acceptance metrics (same pass
+    # over the bench output, written to its own file).
+    if (ctp99 == "" || bytesrun == "") {
+        # BENCHPKGS may deliberately exclude internal/analytics; record
+        # the omission instead of failing the whole run.
+        print "bench.sh: analytics benchmarks not in this run; " anaout " records the omission" > "/dev/stderr"
+        printf "{\n  \"schema\": \"bips-analytics-bench-v1\",\n" > anaout
+        printf "  \"skipped\": \"BenchmarkContactTrace/BenchmarkSegmentCompression not in this run (BENCHPKGS excludes internal/analytics?)\"\n}\n" > anaout
+    } else {
+        printf "{\n" > anaout
+        printf "  \"schema\": \"bips-analytics-bench-v1\",\n" > anaout
+        printf "  \"go\": \"%s\",\n", gover > anaout
+        printf "  \"date\": \"%s\",\n", now > anaout
+        printf "  \"host\": \"%s\",\n", host > anaout
+        printf "  \"benchtime\": \"%s\",\n", benchtime > anaout
+        # The PR 7 acceptance metrics: contact-trace latency over a
+        # million-device-day sealed history (bar: p99 < 1000 ms on one
+        # core) and sealed bytes per presence run vs the 29-byte WAL
+        # record (bar: compression_ratio >= 3).
+        printf "  \"contact_trace_p50_ms\": %s,\n", ctp50 > anaout
+        printf "  \"contact_trace_p99_ms\": %s,\n", ctp99 > anaout
+        printf "  \"device_days\": %.0f,\n", devdays > anaout
+        printf "  \"bytes_per_run\": %s,\n", bytesrun > anaout
+        printf "  \"compression_ratio\": %s,\n", ratio > anaout
+        printf "  \"sealed_runs\": %.0f\n", sealedruns > anaout
+        printf "}\n" > anaout
+    }
+
     # Second record: the ingest write-path throughput (same pass over
     # the bench output, written to its own file).
     if (singlens == "" || batchns == "") {
@@ -126,3 +169,4 @@ END {
 
 echo "wrote $out" >&2
 echo "wrote $ingest_out" >&2
+echo "wrote $analytics_out" >&2

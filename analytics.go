@@ -1,0 +1,152 @@
+package bips
+
+// The public face of the history analytics engine: contact tracing,
+// occupancy time series and dwell-time distributions, all computed from
+// the room → presence-interval index that mirrors the movement history
+// behind LocateAt and Trajectory. Times are simulated durations measured
+// from the deployment's start, exactly like LocateAt's at parameter; all
+// windows are half-open [from, to).
+
+import (
+	"time"
+
+	"bips/internal/graph"
+	"bips/internal/registry"
+	"bips/internal/sim"
+	"bips/internal/wire"
+)
+
+// Contact is one entry of a contact trace: a device that shared a room
+// with the traced user during the queried window.
+type Contact struct {
+	// User is the userid bound to the device, when one is logged in;
+	// empty for a device whose binding has since been released.
+	User   string
+	Device string
+	// Overlap is the total co-presence time within the window.
+	Overlap time.Duration
+	// Rooms are the names of the rooms the contact happened in.
+	Rooms []string
+	// First and Last bound the co-presence: the start of the earliest
+	// overlap and the end of the latest one.
+	First time.Duration
+	Last  time.Duration
+}
+
+// OccupancyPoint is one bucket of an occupancy time series: how many
+// distinct devices were present at some instant of the bucket.
+type OccupancyPoint struct {
+	At    time.Duration
+	Count int
+}
+
+// DwellStats summarizes a dwell-time distribution: one sample per
+// presence run clipped to the queried window.
+type DwellStats struct {
+	Samples int
+	Mean    time.Duration
+	Stddev  time.Duration
+	Min     time.Duration
+	Max     time.Duration
+	P50     time.Duration
+	P90     time.Duration
+	P99     time.Duration
+}
+
+// Contacts answers the contact-tracing query on behalf of querier: every
+// device that shared a room with target during [from, to), with at least
+// minOverlap of total co-presence (minOverlap <= 0 means any positive
+// overlap). Contacts are ordered by descending overlap. The querier
+// needs the locate right and the target must be logged in and trackable,
+// exactly like Locate.
+func (s *Service) Contacts(querier, target string, from, to, minOverlap time.Duration) ([]Contact, error) {
+	res, err := s.sys.Contacts(registry.UserID(querier), registry.UserID(target),
+		sim.FromDuration(from), sim.FromDuration(to), sim.FromDuration(minOverlap))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Contact, 0, len(res.Contacts))
+	for _, c := range res.Contacts {
+		rooms := make([]string, 0, len(c.Rooms))
+		for _, id := range c.Rooms {
+			name := ""
+			if r, ok := s.sys.Building.Room(id); ok {
+				name = r.Name
+			}
+			rooms = append(rooms, name)
+		}
+		out = append(out, Contact{
+			User: c.User, Device: c.Device,
+			Overlap: c.Overlap.Duration(), Rooms: rooms,
+			First: c.First.Duration(), Last: c.Last.Duration(),
+		})
+	}
+	return out, nil
+}
+
+// Occupancy answers the occupancy time-series query on behalf of
+// querier: for each bucket of [from, to), how many distinct devices were
+// present in the named rooms (a single room or a zone of several). The
+// final bucket may cover less than a full bucket width. The querier
+// needs the locate right.
+func (s *Service) Occupancy(querier string, rooms []string, from, to, bucket time.Duration) ([]OccupancyPoint, error) {
+	ids := make([]graph.NodeID, 0, len(rooms))
+	for _, name := range rooms {
+		r, err := s.roomByName(name)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, r.ID)
+	}
+	res, err := s.sys.Occupancy(registry.UserID(querier), ids,
+		sim.FromDuration(from), sim.FromDuration(to), sim.FromDuration(bucket))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]OccupancyPoint, 0, len(res.Buckets))
+	for _, p := range res.Buckets {
+		out = append(out, OccupancyPoint{At: p.At.Duration(), Count: p.Count})
+	}
+	return out, nil
+}
+
+// DwellInRoom answers the per-room dwell-time distribution on behalf of
+// querier: how long visitors of the named room stayed, over [from, to).
+// The querier needs the locate right.
+func (s *Service) DwellInRoom(querier, room string, from, to time.Duration) (DwellStats, error) {
+	r, err := s.roomByName(room)
+	if err != nil {
+		return DwellStats{}, err
+	}
+	res, err := s.sys.DwellRoom(registry.UserID(querier), r.ID,
+		sim.FromDuration(from), sim.FromDuration(to))
+	if err != nil {
+		return DwellStats{}, err
+	}
+	return dwellStats(res), nil
+}
+
+// DwellOf answers the per-user dwell-time distribution on behalf of
+// querier: how long target stayed in each room they visited, over
+// [from, to). Access checks are Locate's.
+func (s *Service) DwellOf(querier, target string, from, to time.Duration) (DwellStats, error) {
+	res, err := s.sys.DwellOf(registry.UserID(querier), registry.UserID(target),
+		sim.FromDuration(from), sim.FromDuration(to))
+	if err != nil {
+		return DwellStats{}, err
+	}
+	return dwellStats(res), nil
+}
+
+func dwellStats(r wire.DwellResult) DwellStats {
+	return DwellStats{
+		Samples: r.Samples,
+		Mean:    time.Duration(r.Mean * float64(sim.TickDuration)),
+		Stddev:  time.Duration(r.Stddev * float64(sim.TickDuration)),
+		Min:     r.Min.Duration(),
+		Max:     r.Max.Duration(),
+		P50:     r.P50.Duration(),
+		P90:     r.P90.Duration(),
+		P99:     r.P99.Duration(),
+	}
+}

@@ -1,0 +1,197 @@
+package bips_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"bips"
+)
+
+// analyticsDeployment builds a deployment with two stationary users
+// sharing the Lobby (so contact tracing has a guaranteed co-presence)
+// and runs it for d of simulated time.
+func analyticsDeployment(t *testing.T, d time.Duration, opts ...bips.Option) *bips.Service {
+	t.Helper()
+	svc, err := bips.New(append([]bips.Option{bips.WithSeed(7)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.MustRegister("alice", "pw")
+	svc.MustRegister("carol", "pw")
+	if _, err := svc.AddStationaryUser("alice", "pw", "Lobby"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.AddStationaryUser("carol", "pw", "Lobby"); err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	svc.Run(d)
+	return svc
+}
+
+// TestAnalyticsEndToEnd: the public Contacts / Occupancy / DwellInRoom /
+// DwellOf surface answers from tracked movement with names and
+// durations, not internal ids and ticks.
+func TestAnalyticsEndToEnd(t *testing.T) {
+	svc := analyticsDeployment(t, 3*time.Minute)
+	now := svc.Now()
+
+	contacts, err := svc.Contacts("alice", "carol", 0, now, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contacts) != 1 {
+		t.Fatalf("contacts of carol = %+v, want exactly alice's device", contacts)
+	}
+	c := contacts[0]
+	if c.User != "alice" {
+		t.Fatalf("contact user = %q, want alice", c.User)
+	}
+	if len(c.Rooms) != 1 || c.Rooms[0] != "Lobby" {
+		t.Fatalf("contact rooms = %v, want [Lobby]", c.Rooms)
+	}
+	if c.Overlap <= 0 || c.First >= c.Last || c.Last > now {
+		t.Fatalf("contact bounds inconsistent: %+v (now %v)", c, now)
+	}
+	// A minimum-overlap bar above the whole window filters it out.
+	none, err := svc.Contacts("alice", "carol", 0, now, now+time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Fatalf("contacts above the overlap bar = %+v", none)
+	}
+
+	occ, err := svc.Occupancy("alice", []string{"Lobby"}, 0, now, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(occ) != 6 {
+		t.Fatalf("occupancy series has %d buckets, want 6: %+v", len(occ), occ)
+	}
+	last := occ[len(occ)-1]
+	if last.Count != 2 {
+		t.Fatalf("final Lobby occupancy = %d, want both stationary users: %+v", last.Count, occ)
+	}
+	if occ[0].At != 0 || occ[1].At != 30*time.Second {
+		t.Fatalf("bucket starts wrong: %+v", occ)
+	}
+
+	dwell, err := svc.DwellInRoom("alice", "Lobby", 0, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dwell.Samples != 2 {
+		t.Fatalf("Lobby dwell samples = %d, want one run per stationary user", dwell.Samples)
+	}
+	if dwell.Min <= 0 || dwell.Min > dwell.P50 || dwell.P50 > dwell.Max || dwell.Mean <= 0 {
+		t.Fatalf("dwell summary inconsistent: %+v", dwell)
+	}
+
+	solo, err := svc.DwellOf("alice", "carol", 0, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Samples != 1 {
+		t.Fatalf("carol dwell samples = %d, want her single Lobby run", solo.Samples)
+	}
+
+	// Unknown room names fail up front, before any access check.
+	if _, err := svc.Occupancy("alice", []string{"Atlantis"}, 0, now, time.Second); !errors.Is(err, bips.ErrUnknownRoom) {
+		t.Fatalf("occupancy of unknown room: %v", err)
+	}
+	if _, err := svc.DwellInRoom("alice", "Atlantis", 0, now); !errors.Is(err, bips.ErrUnknownRoom) {
+		t.Fatalf("dwell of unknown room: %v", err)
+	}
+}
+
+// TestAnalyticsSurvivesRestart: a durable deployment closed cleanly and
+// rebuilt over the same directory answers the analytics surface
+// identically — the public-API face of segment recovery plus reseeding.
+func TestAnalyticsSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	svc1 := analyticsDeployment(t, 3*time.Minute, bips.WithDataDir(dir))
+	now1 := svc1.Now()
+
+	wantC, err := svc1.Contacts("alice", "carol", 0, now1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantC) == 0 {
+		t.Fatal("no contacts to carry across the restart")
+	}
+	wantO, err := svc1.Occupancy("alice", []string{"Lobby"}, 0, now1, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantD, err := svc1.DwellInRoom("alice", "Lobby", 0, now1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1.Stop()
+	if err := svc1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2, err := bips.New(bips.WithSeed(7), bips.WithDataDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	svc2.MustRegister("alice", "pw")
+	svc2.MustRegister("carol", "pw")
+	if _, err := svc2.AddStationaryUser("alice", "pw", "Lobby"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc2.AddStationaryUser("carol", "pw", "Lobby"); err != nil {
+		t.Fatal(err)
+	}
+
+	gotC, err := svc2.Contacts("alice", "carol", 0, now1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotC, wantC) {
+		t.Fatalf("recovered contacts differ:\n got %+v\nwant %+v", gotC, wantC)
+	}
+	gotO, err := svc2.Occupancy("alice", []string{"Lobby"}, 0, now1, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotO, wantO) {
+		t.Fatalf("recovered occupancy differs:\n got %+v\nwant %+v", gotO, wantO)
+	}
+	gotD, err := svc2.DwellInRoom("alice", "Lobby", 0, now1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotD, wantD) {
+		t.Fatalf("recovered dwell differs:\n got %+v\nwant %+v", gotD, wantD)
+	}
+}
+
+// TestAnalyticsOptionsValidated: the retention and seal-interval options
+// reject non-positive values like every other option.
+func TestAnalyticsOptionsValidated(t *testing.T) {
+	for name, opt := range map[string]bips.Option{
+		"zero retention":         bips.WithAnalyticsRetention(0),
+		"negative retention":     bips.WithAnalyticsRetention(-time.Second),
+		"zero seal interval":     bips.WithAnalyticsSealInterval(0),
+		"negative seal interval": bips.WithAnalyticsSealInterval(-time.Second),
+	} {
+		if _, err := bips.New(opt); !errors.Is(err, bips.ErrBadOption) {
+			t.Errorf("%s: err = %v, want ErrBadOption", name, err)
+		}
+	}
+
+	// Valid analytics options build a working deployment even without
+	// a data directory (segments then stay in memory).
+	svc := analyticsDeployment(t, time.Minute,
+		bips.WithAnalyticsRetention(24*time.Hour),
+		bips.WithAnalyticsSealInterval(time.Minute))
+	if _, err := svc.Contacts("alice", "carol", 0, svc.Now(), 0); err != nil {
+		t.Fatal(err)
+	}
+}

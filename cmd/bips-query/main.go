@@ -7,14 +7,25 @@
 //	bips-query -server 127.0.0.1:7700 at alice bob 2m30s
 //	bips-query -server 127.0.0.1:7700 trajectory alice bob 0 5m
 //	bips-query -server 127.0.0.1:7700 path alice bob
+//	bips-query -server 127.0.0.1:7700 contacts alice bob 0 5m 30s
+//	bips-query -server 127.0.0.1:7700 occupancy alice 4,5,6 0 5m 1m
+//	bips-query -server 127.0.0.1:7700 dwell alice room 4 0 5m
+//	bips-query -server 127.0.0.1:7700 dwell alice device bob 0 5m
 //	bips-query -server 127.0.0.1:7700 rooms
 //	bips-query -server 127.0.0.1:7700 logout alice
 //	bips-query -server 127.0.0.1:7700 -stats
 //	bips-query -server 127.0.0.1:7700 -timeout 0 subscribe alice room 4
 //
-// Timestamps for at/trajectory are simulated time since the server's
-// tracking started: either a Go duration ("2m30s", "150s") or a raw
-// tick count (an integer; 3200 ticks = 1 s).
+// Timestamps for at/trajectory and the analytics windows are simulated
+// time since the server's tracking started: either a Go duration
+// ("2m30s", "150s") or a raw tick count (an integer; 3200 ticks = 1 s).
+//
+// The analytics subcommands ask the history engine (docs/PROTOCOL.md
+// section 10): contacts lists who shared a room with the target over
+// [from, to) — with an optional minimum total overlap — occupancy
+// renders a distinct-device time series per bucket over a
+// comma-separated room zone, and dwell summarizes how long visitors
+// stayed (per room or per user).
 //
 // The subscribe subcommand registers a push subscription (docs/
 // PROTOCOL.md section 9) and streams the matching events to stdout, one
@@ -60,6 +71,9 @@ import (
 var errUsage = errors.New("usage: bips-query [-server addr] [-timeout d] [-v1] [-stats] " +
 	"{login user pw dev | logout user | locate querier target | at querier target time | " +
 	"trajectory querier target from to | path querier target | rooms | " +
+	"contacts querier target from to [minOverlap] | " +
+	"occupancy querier id,id,... from to bucket | " +
+	"dwell querier {room id | device target} from to | " +
 	"subscribe querier {all | device target | room id | zone target id,id,... | occupancy id K}}")
 
 func main() {
@@ -140,9 +154,17 @@ func validate(rest []string) error {
 		_, err := subscribeFilter(rest)
 		return err
 	}
+	if rest[0] == "contacts" {
+		// Variable arity: the minimum-overlap argument is optional.
+		if len(rest) != 5 && len(rest) != 6 {
+			return errUsage
+		}
+		return parseTimes(rest[3:]...)
+	}
 	want := map[string]int{
 		"login": 4, "logout": 2, "locate": 3, "at": 4,
 		"trajectory": 5, "path": 3, "rooms": 1,
+		"occupancy": 6, "dwell": 6,
 	}
 	n, ok := want[rest[0]]
 	if !ok || len(rest) != n {
@@ -153,11 +175,34 @@ func validate(rest []string) error {
 		_, err := parseTime(rest[3])
 		return err
 	case "trajectory":
-		if _, err := parseTime(rest[3]); err != nil {
+		return parseTimes(rest[3], rest[4])
+	case "occupancy":
+		if _, err := parseRoomList(rest[2]); err != nil {
 			return err
 		}
-		_, err := parseTime(rest[4])
-		return err
+		return parseTimes(rest[3], rest[4], rest[5])
+	case "dwell":
+		switch rest[2] {
+		case "room":
+			if _, err := parseRoomID(rest[3]); err != nil {
+				return err
+			}
+		case "device":
+			// rest[3] is a userid; the server validates it.
+		default:
+			return errUsage
+		}
+		return parseTimes(rest[4], rest[5])
+	}
+	return nil
+}
+
+// parseTimes validates a sequence of timestamp arguments.
+func parseTimes(args ...string) error {
+	for _, a := range args {
+		if _, err := parseTime(a); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -244,6 +289,77 @@ func runCommand(client *wire.Client, rest []string) error {
 		for _, r := range res.Rooms {
 			fmt.Printf("%-4d %-20s %8.1f %8.1f\n", r.ID, r.Name, r.X, r.Y)
 		}
+	case "contacts":
+		from, _ := parseTime(rest[3])
+		to, _ := parseTime(rest[4])
+		var minOverlap sim.Tick
+		if len(rest) == 6 {
+			minOverlap, _ = parseTime(rest[5])
+		}
+		var res wire.ContactsResult
+		if err := client.Call(wire.MsgContacts, wire.ContactsQuery{
+			Querier: rest[1], Target: rest[2], From: from, To: to, MinOverlap: minOverlap,
+		}, &res); err != nil {
+			return err
+		}
+		if len(res.Contacts) == 0 {
+			fmt.Printf("no contacts of %s in [%s, %s)\n", rest[2], fmtTick(from), fmtTick(to))
+			return nil
+		}
+		fmt.Printf("%d contact(s) of %s in [%s, %s):\n", len(res.Contacts), rest[2], fmtTick(from), fmtTick(to))
+		for _, c := range res.Contacts {
+			who := c.User
+			if who == "" {
+				who = c.Device
+			}
+			rooms := make([]string, 0, len(c.Rooms))
+			for _, id := range c.Rooms {
+				rooms = append(rooms, strconv.FormatInt(int64(id), 10))
+			}
+			fmt.Printf("  %-10s overlap %-12v rooms %-10s from %s to %s\n",
+				who, c.Overlap.Duration(), strings.Join(rooms, ","), fmtTick(c.First), fmtTick(c.Last))
+		}
+	case "occupancy":
+		rooms, _ := parseRoomList(rest[2])
+		from, _ := parseTime(rest[3])
+		to, _ := parseTime(rest[4])
+		bucket, _ := parseTime(rest[5])
+		var res wire.OccupancyResult
+		if err := client.Call(wire.MsgOccupancy, wire.OccupancyQuery{
+			Querier: rest[1], Rooms: rooms, From: from, To: to, Bucket: bucket,
+		}, &res); err != nil {
+			return err
+		}
+		fmt.Printf("occupancy of rooms %s in [%s, %s), bucket %s:\n",
+			rest[2], fmtTick(from), fmtTick(to), fmtTick(bucket))
+		for _, p := range res.Buckets {
+			fmt.Printf("  %-22s %d\n", fmtTick(p.At), p.Count)
+		}
+	case "dwell":
+		from, _ := parseTime(rest[4])
+		to, _ := parseTime(rest[5])
+		req := wire.DwellQuery{Querier: rest[1], From: from, To: to}
+		var what string
+		if rest[2] == "room" {
+			id, _ := parseRoomID(rest[3])
+			req.Kind, req.Room = wire.DwellRoom, id
+			what = "in room " + rest[3]
+		} else {
+			req.Kind, req.Target = wire.DwellDevice, rest[3]
+			what = "of " + rest[3]
+		}
+		var res wire.DwellResult
+		if err := client.Call(wire.MsgDwell, req, &res); err != nil {
+			return err
+		}
+		if res.Samples == 0 {
+			fmt.Printf("no dwell samples %s in [%s, %s)\n", what, fmtTick(from), fmtTick(to))
+			return nil
+		}
+		fmt.Printf("dwell %s in [%s, %s): %d sample(s)\n", what, fmtTick(from), fmtTick(to), res.Samples)
+		fmt.Printf("  mean %v  stddev %v\n", fmtMeanTick(res.Mean), fmtMeanTick(res.Stddev))
+		fmt.Printf("  min %v  p50 %v  p90 %v  p99 %v  max %v\n",
+			res.Min.Duration(), res.P50.Duration(), res.P90.Duration(), res.P99.Duration(), res.Max.Duration())
 	case "subscribe":
 		return runSubscribe(client, rest)
 	default:
@@ -258,13 +374,7 @@ func subscribeFilter(rest []string) (wire.SubFilter, error) {
 	if len(rest) < 3 {
 		return wire.SubFilter{}, errUsage
 	}
-	roomID := func(s string) (graph.NodeID, error) {
-		n, err := strconv.ParseInt(s, 10, 64)
-		if err != nil {
-			return 0, fmt.Errorf("bad room id %q (want an integer): %w", s, errUsage)
-		}
-		return graph.NodeID(n), nil
-	}
+	roomID := parseRoomID
 	switch rest[2] {
 	case "all":
 		if len(rest) != 3 {
@@ -361,6 +471,34 @@ func printEvent(e wire.Event) {
 		fmt.Printf("%-14s %-10s room %-3d %-20s at %s\n",
 			e.Kind, who, e.Room, e.RoomName, fmtTick(e.At))
 	}
+}
+
+// parseRoomID parses a single numeric room id.
+func parseRoomID(s string) (graph.NodeID, error) {
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad room id %q (want an integer): %w", s, errUsage)
+	}
+	return graph.NodeID(n), nil
+}
+
+// parseRoomList parses a comma-separated room-id list ("4,5,6").
+func parseRoomList(s string) ([]graph.NodeID, error) {
+	var rooms []graph.NodeID
+	for _, part := range strings.Split(s, ",") {
+		id, err := parseRoomID(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		rooms = append(rooms, id)
+	}
+	return rooms, nil
+}
+
+// fmtMeanTick renders a fractional tick count (a mean or a standard
+// deviation) as a duration.
+func fmtMeanTick(ticks float64) time.Duration {
+	return time.Duration(ticks * float64(sim.TickDuration))
 }
 
 // parseTime accepts a simulated timestamp as a Go duration ("2m30s") or

@@ -22,6 +22,13 @@
 // restart starts empty. -history-limit bounds the per-device history
 // backing the at/trajectory queries (0 disables them).
 //
+// The history analytics queries (contacts/occupancy/dwell, PROTOCOL.md
+// §10) are always served; with -data-dir their sealed segments live
+// under <data-dir>/analytics and survive restarts. -analytics-seal sets
+// the compaction period and -analytics-retention bounds how far back
+// (in simulated time) the analytics history reaches; see
+// docs/OPERATIONS.md §9 for tuning.
+//
 // -shards splits the location database into independently locked shards
 // (default 16); -inflight bounds concurrently executing requests per
 // connection; -loadgen-users N registers the synthetic users user0..N-1
@@ -43,16 +50,19 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"bips"
+	"bips/internal/analytics"
 	"bips/internal/building"
 	"bips/internal/loadgen"
 	"bips/internal/locdb"
 	"bips/internal/registry"
 	"bips/internal/server"
+	"bips/internal/sim"
 	"bips/internal/storage"
 )
 
@@ -85,6 +95,8 @@ func run(args []string) error {
 	snapInterval := fs.Duration("snapshot-interval", storage.DefaultSnapshotInterval, "checkpoint period for -data-dir")
 	historyLimit := fs.Int("history-limit", locdb.DefaultHistoryLimit, "per-device movement-history bound (0 disables at/trajectory queries)")
 	walFlush := fs.Duration("wal-flush", storage.DefaultFlushInterval, "WAL group-commit interval for -data-dir (the crash-loss window)")
+	analyticsSeal := fs.Duration("analytics-seal", 0, "analytics segment-seal period (0: the 30s default; negative: seal only at shutdown)")
+	analyticsRetention := fs.Duration("analytics-retention", 0, "analytics history retention in simulated time (0: keep everything)")
 	eventBuffer := fs.Int("event-buffer", server.DefaultEventBuffer, "per-connection push-event buffer (queued events before drops)")
 	dropLimit := fs.Int("drop-limit", server.DefaultDropLimit, "dropped events before a subscriber is disconnected as a slow consumer")
 	maxSubs := fs.Int("max-subs", server.DefaultMaxSubsPerConn, "max subscriptions per connection")
@@ -123,11 +135,21 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv := server.New(reg, db, bld,
+	srvOpts := []server.Option{
 		server.WithMaxInFlight(*inflight),
 		server.WithEventBuffer(*eventBuffer),
 		server.WithDropLimit(*dropLimit),
-		server.WithMaxSubsPerConn(*maxSubs))
+		server.WithMaxSubsPerConn(*maxSubs),
+	}
+	eng, err := openAnalytics(*dataDir, *historyLimit, *analyticsSeal, *analyticsRetention)
+	if err != nil {
+		closeStore()
+		return err
+	}
+	if eng != nil {
+		srvOpts = append(srvOpts, server.WithAnalytics(eng))
+	}
+	srv := server.New(reg, db, bld, srvOpts...)
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
@@ -158,7 +180,42 @@ func run(args []string) error {
 			serveErr = err
 		}
 	}
+	if eng != nil {
+		if err := eng.Close(); err != nil {
+			log.Printf("analytics close: %v", err)
+			if serveErr == nil {
+				serveErr = err
+			}
+		}
+	}
 	return serveErr
+}
+
+// openAnalytics builds the history analytics engine when the deployment
+// is durable or asks for a non-default seal/retention policy; segments
+// then live under <data-dir>/analytics beside the WAL. Otherwise it
+// returns nil and the server runs its own memory-only engine.
+func openAnalytics(dataDir string, historyLimit int, seal, retention time.Duration) (*analytics.Engine, error) {
+	if dataDir == "" && seal == 0 && retention == 0 {
+		return nil, nil
+	}
+	opts := analytics.Options{
+		HistoryLimit: historyLimit,
+		SealInterval: seal,
+		Retain:       sim.FromDuration(retention),
+	}
+	if dataDir != "" {
+		opts.Dir = filepath.Join(dataDir, "analytics")
+	}
+	eng, err := analytics.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Dir != "" {
+		log.Printf("analytics engine %s: %d segments (%d sealed runs) recovered",
+			opts.Dir, eng.Stats()["segments"], eng.Stats()["sealed_runs"])
+	}
+	return eng, nil
 }
 
 // openStore builds the location backend: durable when dataDir is set,

@@ -1,0 +1,392 @@
+// The three analytics query families. All of them answer from the
+// union of the sealed and hot tiers — disjoint by the watermark
+// invariant — with every interval clipped to the query window first,
+// and all of them are deterministic: iteration over internal maps never
+// leaks into result order or floating-point accumulation order.
+package analytics
+
+import (
+	"sort"
+
+	"bips/internal/baseband"
+	"bips/internal/graph"
+	"bips/internal/sim"
+	"bips/internal/stats"
+)
+
+// Contact is one contact-trace answer: a device that shared rooms with
+// the traced device, with the total co-location time, the rooms it
+// happened in (ascending) and the first/last instants of co-location
+// inside the window.
+type Contact struct {
+	Device  baseband.BDAddr
+	Overlap sim.Tick
+	Rooms   []graph.NodeID
+	First   sim.Tick
+	Last    sim.Tick
+}
+
+// OccupancyPoint is one bucket of an occupancy time series: the number
+// of distinct devices present at some instant of [Start, Start+bucket).
+type OccupancyPoint struct {
+	Start sim.Tick
+	Count int
+}
+
+// DwellStats summarizes a dwell-time distribution: one sample per
+// presence run clipped to the window, positive-length only.
+type DwellStats struct {
+	Samples int
+	Mean    float64
+	Stddev  float64
+	Min     sim.Tick
+	Max     sim.Tick
+	P50     sim.Tick
+	P90     sim.Tick
+	P99     sim.Tick
+}
+
+// clip bounds a run to the half-open window [from, to); ok is false
+// when nothing positive remains.
+func clip(r runIv, from, to sim.Tick) (runIv, bool) {
+	if r.start < from {
+		r.start = from
+	}
+	if r.end > to {
+		r.end = to
+	}
+	return r, r.end > r.start
+}
+
+// hotRuns appends the device's hot runs — optionally only those in
+// room (anyRoom false) — clipped to [from, to). The newest visit's run
+// is open-ended and clips to the window end. Caller holds e.mu.
+func (e *Engine) hotRuns(dst []runIv, dev baseband.BDAddr, room graph.NodeID, anyRoom bool, from, to sim.Tick) []runIv {
+	ds := e.devs[dev]
+	if ds == nil {
+		return dst
+	}
+	v := ds.visits
+	for i, vis := range v {
+		if !anyRoom && vis.Piconet != room {
+			continue
+		}
+		end := to
+		if i+1 < len(v) {
+			end = v[i+1].At
+		}
+		if r, ok := clip(runIv{start: vis.At, end: end}, from, to); ok {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+// contactAcc accumulates one peer device's co-location evidence.
+type contactAcc struct {
+	overlap sim.Tick
+	rooms   map[graph.NodeID]struct{}
+	first   sim.Tick
+	last    sim.Tick
+}
+
+// Contacts traces co-location: every device that spent time in the same
+// room as dev inside the half-open window [from, to), with at least
+// minOverlap ticks of total overlap (always > 0). Answers are sorted by
+// overlap descending, then device ascending, and capped at MaxContacts.
+func (e *Engine) Contacts(dev baseband.BDAddr, from, to, minOverlap sim.Tick) []Contact {
+	e.qContacts.Add(1)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if to <= from {
+		return nil
+	}
+	if minOverlap < 1 {
+		minOverlap = 1
+	}
+
+	// The rooms dev visited inside the window: hot log plus the sealed
+	// device index.
+	roomSet := make(map[graph.NodeID]struct{})
+	if ds := e.devs[dev]; ds != nil {
+		v := ds.visits
+		for i, vis := range v {
+			end := to
+			if i+1 < len(v) {
+				end = v[i+1].At
+			}
+			if _, ok := clip(runIv{start: vis.At, end: end}, from, to); ok {
+				roomSet[vis.Piconet] = struct{}{}
+			}
+		}
+	}
+	for _, seg := range e.segs {
+		if !seg.overlaps(from, to) {
+			continue
+		}
+		for _, room := range seg.devRooms[dev] {
+			roomSet[room] = struct{}{}
+		}
+	}
+
+	acc := make(map[baseband.BDAddr]*contactAcc)
+	var truns []runIv
+	for room := range roomSet {
+		truns = e.hotRuns(truns[:0], dev, room, false, from, to)
+		others := make(map[baseband.BDAddr][]runIv)
+		for other := range e.roomDevs[room] {
+			if other == dev {
+				continue
+			}
+			if runs := e.hotRuns(nil, other, room, false, from, to); len(runs) > 0 {
+				others[other] = runs
+			}
+		}
+		for _, seg := range e.segs {
+			if !seg.overlaps(from, to) {
+				continue
+			}
+			for _, sr := range seg.decodeRoom(room) {
+				r, ok := clip(sr.runIv, from, to)
+				if !ok {
+					continue
+				}
+				if sr.dev == dev {
+					truns = append(truns, r)
+				} else {
+					others[sr.dev] = append(others[sr.dev], r)
+				}
+			}
+		}
+		if len(truns) == 0 {
+			continue
+		}
+		sortRuns(truns)
+		for other, runs := range others {
+			sortRuns(runs)
+			intersect(acc, other, room, truns, runs)
+		}
+	}
+
+	out := make([]Contact, 0, len(acc))
+	for other, a := range acc {
+		if a.overlap < minOverlap {
+			continue
+		}
+		rooms := make([]graph.NodeID, 0, len(a.rooms))
+		for r := range a.rooms {
+			rooms = append(rooms, r)
+		}
+		sort.Slice(rooms, func(i, j int) bool { return rooms[i] < rooms[j] })
+		out = append(out, Contact{
+			Device: other, Overlap: a.overlap, Rooms: rooms,
+			First: a.first, Last: a.last,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Overlap != out[j].Overlap {
+			return out[i].Overlap > out[j].Overlap
+		}
+		return out[i].Device < out[j].Device
+	})
+	if len(out) > MaxContacts {
+		out = out[:MaxContacts]
+	}
+	return out
+}
+
+func sortRuns(runs []runIv) {
+	sort.Slice(runs, func(i, j int) bool {
+		if runs[i].start != runs[j].start {
+			return runs[i].start < runs[j].start
+		}
+		return runs[i].end < runs[j].end
+	})
+}
+
+// intersect merges two start-sorted run lists of one room and adds
+// every positive pairwise overlap to the peer's accumulator.
+func intersect(acc map[baseband.BDAddr]*contactAcc, other baseband.BDAddr, room graph.NodeID, truns, oruns []runIv) {
+	i, j := 0, 0
+	for i < len(truns) && j < len(oruns) {
+		a, b := truns[i], oruns[j]
+		s, en := a.start, a.end
+		if b.start > s {
+			s = b.start
+		}
+		if b.end < en {
+			en = b.end
+		}
+		if en > s {
+			ca := acc[other]
+			if ca == nil {
+				ca = &contactAcc{rooms: make(map[graph.NodeID]struct{}), first: s, last: en}
+				acc[other] = ca
+			}
+			ca.overlap += en - s
+			ca.rooms[room] = struct{}{}
+			if s < ca.first {
+				ca.first = s
+			}
+			if en > ca.last {
+				ca.last = en
+			}
+		}
+		if a.end < b.end {
+			i++
+		} else {
+			j++
+		}
+	}
+}
+
+// Occupancy builds a distinct-device occupancy time series over the
+// union of rooms (a zone), bucketed at bucket ticks from `from`. The
+// final bucket may be shorter when the window is not a multiple of the
+// bucket. Invalid shapes (empty window, non-positive bucket) and
+// series longer than the engine backstop yield nil.
+func (e *Engine) Occupancy(rooms []graph.NodeID, from, to, bucket sim.Tick) []OccupancyPoint {
+	e.qOccupancy.Add(1)
+	if to <= from || bucket <= 0 {
+		return nil
+	}
+	nb64 := (int64(to-from) + int64(bucket) - 1) / int64(bucket)
+	if nb64 <= 0 || nb64 > maxBuckets {
+		return nil
+	}
+	nb := int(nb64)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
+	sets := make([]map[baseband.BDAddr]struct{}, nb)
+	mark := func(dev baseband.BDAddr, r runIv) {
+		lo := int((r.start - from) / bucket)
+		hi := int((r.end - 1 - from) / bucket)
+		for k := lo; k <= hi; k++ {
+			if sets[k] == nil {
+				sets[k] = make(map[baseband.BDAddr]struct{})
+			}
+			sets[k][dev] = struct{}{}
+		}
+	}
+	seen := make(map[graph.NodeID]struct{}, len(rooms))
+	var runs []runIv
+	for _, room := range rooms {
+		if _, dup := seen[room]; dup {
+			continue
+		}
+		seen[room] = struct{}{}
+		for dev := range e.roomDevs[room] {
+			runs = e.hotRuns(runs[:0], dev, room, false, from, to)
+			for _, r := range runs {
+				mark(dev, r)
+			}
+		}
+		for _, seg := range e.segs {
+			if !seg.overlaps(from, to) {
+				continue
+			}
+			for _, sr := range seg.decodeRoom(room) {
+				if r, ok := clip(sr.runIv, from, to); ok {
+					mark(sr.dev, r)
+				}
+			}
+		}
+	}
+	out := make([]OccupancyPoint, nb)
+	for k := range out {
+		out[k] = OccupancyPoint{Start: from + sim.Tick(k)*bucket, Count: len(sets[k])}
+	}
+	return out
+}
+
+// DwellRoom summarizes how long devices dwell in one room inside the
+// window: one sample per presence run of any device in the room,
+// clipped to [from, to).
+func (e *Engine) DwellRoom(room graph.NodeID, from, to sim.Tick) DwellStats {
+	e.qDwell.Add(1)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if to <= from {
+		return DwellStats{}
+	}
+	var durs []float64
+	var runs []runIv
+	for dev := range e.roomDevs[room] {
+		runs = e.hotRuns(runs[:0], dev, room, false, from, to)
+		for _, r := range runs {
+			durs = append(durs, float64(r.end-r.start))
+		}
+	}
+	for _, seg := range e.segs {
+		if !seg.overlaps(from, to) {
+			continue
+		}
+		for _, sr := range seg.decodeRoom(room) {
+			if r, ok := clip(sr.runIv, from, to); ok {
+				durs = append(durs, float64(r.end-r.start))
+			}
+		}
+	}
+	return summarize(durs)
+}
+
+// DwellDevice summarizes how long one device dwells per room visit
+// inside the window, across every room it was in.
+func (e *Engine) DwellDevice(dev baseband.BDAddr, from, to sim.Tick) DwellStats {
+	e.qDwell.Add(1)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if to <= from {
+		return DwellStats{}
+	}
+	var durs []float64
+	for _, r := range e.hotRuns(nil, dev, 0, true, from, to) {
+		durs = append(durs, float64(r.end-r.start))
+	}
+	for _, seg := range e.segs {
+		if !seg.overlaps(from, to) {
+			continue
+		}
+		for _, room := range seg.devRooms[dev] {
+			for _, sr := range seg.decodeRoom(room) {
+				if sr.dev != dev {
+					continue
+				}
+				if r, ok := clip(sr.runIv, from, to); ok {
+					durs = append(durs, float64(r.end-r.start))
+				}
+			}
+		}
+	}
+	return summarize(durs)
+}
+
+// summarize folds dwell durations into a DwellStats. Samples are sorted
+// first so the floating-point accumulation order — and therefore every
+// bit of the answer — is independent of map iteration order.
+func summarize(durs []float64) DwellStats {
+	if len(durs) == 0 {
+		return DwellStats{}
+	}
+	sort.Float64s(durs)
+	var sum stats.Summary
+	sum.AddAll(durs)
+	q := func(p float64) sim.Tick {
+		v, err := stats.Quantile(durs, p)
+		if err != nil {
+			return 0
+		}
+		return sim.Tick(v)
+	}
+	return DwellStats{
+		Samples: sum.N(),
+		Mean:    sum.Mean(),
+		Stddev:  sum.Stddev(),
+		Min:     sim.Tick(sum.Min()),
+		Max:     sim.Tick(sum.Max()),
+		P50:     q(0.50),
+		P90:     q(0.90),
+		P99:     q(0.99),
+	}
+}

@@ -15,10 +15,12 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
+	"bips/internal/analytics"
 	"bips/internal/baseband"
 	"bips/internal/building"
 	"bips/internal/device"
@@ -63,6 +65,17 @@ type SystemConfig struct {
 	// SnapshotInterval is the durable backend's checkpoint period; 0
 	// selects storage.DefaultSnapshotInterval. Ignored without DataDir.
 	SnapshotInterval time.Duration
+	// AnalyticsSealInterval is the analytics engine's background
+	// sealing period in wall-clock time: how often closed presence
+	// runs are compacted into immutable segments. Zero selects
+	// analytics.DefaultSealInterval; negative disables the background
+	// sealer (segments are then cut only at Close).
+	AnalyticsSealInterval time.Duration
+	// AnalyticsRetention bounds the analytics history in simulated
+	// time: after a seal, segments whose newest run ended more than
+	// this long before the newest observed tick are deleted. Zero
+	// keeps everything.
+	AnalyticsRetention time.Duration
 }
 
 // System is a fully wired BIPS deployment.
@@ -96,6 +109,10 @@ type System struct {
 	// store is the location backend behind Server, retained so Close
 	// can release it (flush + final checkpoint for a durable backend).
 	store locdb.Store
+	// analytics, when non-nil, is the system-owned engine behind the
+	// Contacts/Occupancy/Dwell queries, closed alongside the store.
+	// When nil the server runs its own memory-only engine instead.
+	analytics *analytics.Engine
 }
 
 // NewSystem wires a deployment: one workstation (HCI + discovery schedule)
@@ -157,7 +174,29 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		db = mem
 	}
 	s.store = db
-	s.Server = server.New(registry.New(), db, bld)
+	// A durable deployment (or one asking for retention / a custom seal
+	// cadence) gets a system-owned analytics engine; segments live next
+	// to the WAL so a reopened deployment keeps its sealed history.
+	// Otherwise the server builds its own memory-only engine.
+	var serverOpts []server.Option
+	if cfg.DataDir != "" || cfg.AnalyticsSealInterval != 0 || cfg.AnalyticsRetention != 0 {
+		aopts := analytics.Options{
+			HistoryLimit: historyLimit,
+			SealInterval: cfg.AnalyticsSealInterval,
+			Retain:       sim.FromDuration(cfg.AnalyticsRetention),
+		}
+		if cfg.DataDir != "" {
+			aopts.Dir = filepath.Join(cfg.DataDir, "analytics")
+		}
+		eng, err := analytics.Open(aopts)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		s.analytics = eng
+		serverOpts = append(serverOpts, server.WithAnalytics(eng))
+	}
+	s.Server = server.New(registry.New(), db, bld, serverOpts...)
 
 	for _, room := range bld.Rooms() {
 		room := room
@@ -299,6 +338,50 @@ func (s *System) Trajectory(querier, target registry.UserID, from, to sim.Tick) 
 	})
 }
 
+// Contacts answers the contact-tracing query on behalf of querier: who
+// shared a room with target during [from, to), for at least minOverlap
+// ticks in total. Safe for concurrent use like Locate.
+func (s *System) Contacts(querier, target registry.UserID, from, to, minOverlap sim.Tick) (wire.ContactsResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.Server.Contacts(wire.ContactsQuery{
+		Querier: string(querier), Target: string(target),
+		From: from, To: to, MinOverlap: minOverlap,
+	})
+}
+
+// Occupancy answers the occupancy time-series query on behalf of
+// querier: distinct devices present in the room set per bucket of
+// [from, to). Safe for concurrent use like Locate.
+func (s *System) Occupancy(querier registry.UserID, rooms []graph.NodeID, from, to, bucket sim.Tick) (wire.OccupancyResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.Server.Occupancy(wire.OccupancyQuery{
+		Querier: string(querier), Rooms: rooms,
+		From: from, To: to, Bucket: bucket,
+	})
+}
+
+// DwellRoom answers the per-room dwell-time distribution over [from,
+// to) on behalf of querier. Safe for concurrent use like Locate.
+func (s *System) DwellRoom(querier registry.UserID, room graph.NodeID, from, to sim.Tick) (wire.DwellResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.Server.Dwell(wire.DwellQuery{
+		Querier: string(querier), Kind: wire.DwellRoom, Room: room, From: from, To: to,
+	})
+}
+
+// DwellOf answers the per-user dwell-time distribution over [from, to)
+// on behalf of querier. Safe for concurrent use like Locate.
+func (s *System) DwellOf(querier, target registry.UserID, from, to sim.Tick) (wire.DwellResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.Server.Dwell(wire.DwellQuery{
+		Querier: string(querier), Kind: wire.DwellDevice, Target: string(target), From: from, To: to,
+	})
+}
+
 // Close releases the location backend: for a durable store it flushes
 // the WAL and writes the final checkpoint, so a subsequent deployment
 // over the same data directory recovers this one's state. Stop the
@@ -306,7 +389,13 @@ func (s *System) Trajectory(querier, target registry.UserID, from, to sim.Tick) 
 func (s *System) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.store.Close()
+	err := s.store.Close()
+	if s.analytics != nil {
+		if aerr := s.analytics.Close(); aerr != nil && err == nil {
+			err = aerr
+		}
+	}
+	return err
 }
 
 // UserLocation is one entry of a LocateAll batch answer.

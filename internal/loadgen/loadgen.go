@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"bips/internal/baseband"
+	"bips/internal/graph"
 	"bips/internal/locdb"
 	"bips/internal/metrics"
 	"bips/internal/sim"
@@ -70,6 +71,9 @@ const (
 	OpTrajectory = "trajectory" // MsgTrajectory: time-window query
 	OpIngest     = "ingest"     // MsgPresenceBatch: one sequenced ingest frame of IngestBatch deltas
 	OpSubscribe  = "subscribe"  // MsgSubscribe/MsgUnsubscribe: toggle a per-worker room subscription
+	OpContacts   = "contacts"   // MsgContacts: contact trace over a recent window
+	OpOccupancy  = "occupancy"  // MsgOccupancy: occupancy time series over a small random zone
+	OpDwell      = "dwell"      // MsgDwell: dwell-time distribution, alternating room/device form
 )
 
 // mixEntry is one weighted operation of the request mix.
@@ -85,6 +89,7 @@ func parseMix(s string) ([]mixEntry, error) {
 	known := map[string]bool{
 		OpRooms: true, OpLocate: true, OpPresence: true,
 		OpAt: true, OpTrajectory: true, OpIngest: true, OpSubscribe: true,
+		OpContacts: true, OpOccupancy: true, OpDwell: true,
 	}
 	var out []mixEntry
 	for _, part := range strings.Split(s, ",") {
@@ -95,8 +100,9 @@ func parseMix(s string) ([]mixEntry, error) {
 		name, weightStr, hasWeight := strings.Cut(part, "=")
 		name = strings.TrimSpace(name)
 		if !known[name] {
-			return nil, fmt.Errorf("loadgen: unknown mix op %q (want %s|%s|%s|%s|%s|%s|%s)",
-				name, OpRooms, OpLocate, OpPresence, OpAt, OpTrajectory, OpIngest, OpSubscribe)
+			return nil, fmt.Errorf("loadgen: unknown mix op %q (want %s|%s|%s|%s|%s|%s|%s|%s|%s|%s)",
+				name, OpRooms, OpLocate, OpPresence, OpAt, OpTrajectory, OpIngest, OpSubscribe,
+				OpContacts, OpOccupancy, OpDwell)
 		}
 		weight := 1
 		if hasWeight {
@@ -144,10 +150,11 @@ type Config struct {
 	Mode Mode
 	// Mix selects an explicit weighted request mix, overriding Mode: a
 	// comma list of op[=weight] over rooms | locate | presence | at |
-	// trajectory, e.g. "locate=60,presence=20,at=10,trajectory=10" —
-	// the read/history serving mix of the storage engine. The history
-	// ops query random instants/windows of the simulated time the run's
-	// own presence deltas have advanced through.
+	// trajectory | ingest | subscribe | contacts | occupancy | dwell,
+	// e.g. "locate=60,presence=20,at=10,trajectory=10" — the
+	// read/history serving mix of the storage engine. The history and
+	// analytics ops query random instants/windows of the simulated time
+	// the run's own presence deltas have advanced through.
 	Mix string
 
 	// mix is the resolved weight table (from Mix or Mode).
@@ -658,6 +665,50 @@ func nextRequest(cfg Config, rng *rand.Rand, rooms []wire.RoomInfo, tick *atomic
 			From:    sim.Tick(from),
 			To:      sim.Tick(to),
 		}
+	case OpContacts:
+		lo, upper := historyWindow(cfg, tick)
+		from := lo + rng.Int63n(upper-lo+1)
+		return wire.MsgContacts, wire.ContactsQuery{
+			Querier: UserName(rng.Intn(cfg.Users)),
+			Target:  UserName(rng.Intn(cfg.Users)),
+			From:    sim.Tick(from),
+			To:      sim.Tick(upper + 1),
+		}
+	case OpOccupancy:
+		lo, upper := historyWindow(cfg, tick)
+		// A zone of 1-3 random rooms; the bucket width keeps the series
+		// comfortably inside the wire limit whatever the window is.
+		zone := make([]graph.NodeID, 0, 3)
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			zone = append(zone, rooms[rng.Intn(len(rooms))].ID)
+		}
+		from, to := lo, upper+1
+		bucket := (to - from + 15) / 16
+		if bucket < 1 {
+			bucket = 1
+		}
+		return wire.MsgOccupancy, wire.OccupancyQuery{
+			Querier: UserName(rng.Intn(cfg.Users)),
+			Rooms:   zone,
+			From:    sim.Tick(from),
+			To:      sim.Tick(to),
+			Bucket:  sim.Tick(bucket),
+		}
+	case OpDwell:
+		lo, upper := historyWindow(cfg, tick)
+		req := wire.DwellQuery{
+			Querier: UserName(rng.Intn(cfg.Users)),
+			From:    sim.Tick(lo),
+			To:      sim.Tick(upper + 1),
+		}
+		if rng.Intn(2) == 0 {
+			req.Kind = wire.DwellRoom
+			req.Room = rooms[rng.Intn(len(rooms))].ID
+		} else {
+			req.Kind = wire.DwellDevice
+			req.Target = UserName(rng.Intn(cfg.Users))
+		}
+		return wire.MsgDwell, req
 	default:
 		return wire.MsgRooms, wire.RoomsQuery{}
 	}

@@ -291,6 +291,32 @@ func TestMixedHistoryWorkload(t *testing.T) {
 	}
 }
 
+// TestAnalyticsWorkload: the analytics ops (contacts, occupancy, dwell)
+// run clean against a live server alongside the presence writes that
+// feed them — the analytics engine answers from the run's own movement.
+func TestAnalyticsWorkload(t *testing.T) {
+	addr := startServer(t, 4)
+	rep, err := Run(context.Background(), Config{
+		Addr:     addr,
+		Clients:  2,
+		Pipeline: 2,
+		Mix:      "presence=4,contacts=2,occupancy=2,dwell=2",
+		Users:    4,
+		Duration: 400 * time.Millisecond,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("report:\n%s", rep)
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d", rep.Errors)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+}
+
 // TestMixValidationAtRun: a bad -mix fails the run up front.
 func TestMixValidationAtRun(t *testing.T) {
 	if _, err := Run(context.Background(), Config{Addr: "x", Mix: "nope=3"}); err == nil {

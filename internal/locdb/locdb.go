@@ -85,6 +85,12 @@ type Event struct {
 	// occupancy counts — without tracking device state themselves.
 	Prev    graph.NodeID `json:"prev,omitempty"`
 	HasPrev bool         `json:"hasPrev,omitempty"`
+	// Dropped marks the final event of a Drop (logout): unlike a plain
+	// absence, the device's history was erased too, so derived stores
+	// that index the movement history (not just the current fix) must
+	// forget the device entirely. A Drop of a device that was already
+	// absent but still had history carries only the device address.
+	Dropped bool `json:"dropped,omitempty"`
 }
 
 // shardSnap is an immutable snapshot of one shard's current fixes,
@@ -335,23 +341,23 @@ func (db *DB) SetAbsence(dev baseband.BDAddr, piconet graph.NodeID, at sim.Tick)
 }
 
 // Drop removes every trace of a device (logout). It returns whether the
-// device had any state to remove. A device that still had a current fix
-// is announced to subscribers as a final absence event from that room,
-// so per-room views (occupancy, room watchers) built from the event
-// stream stay consistent across logouts.
+// device had any state to remove. Any drop that removed state is
+// announced to subscribers as a final Dropped absence event — from the
+// device's room when it still had a current fix, or carrying just the
+// device address when only history remained — so per-room views
+// (occupancy, room watchers) and history-derived indexes built from the
+// event stream stay consistent across logouts.
 func (db *DB) Drop(dev baseband.BDAddr) bool {
 	idx := db.shardIdxOf(dev)
 	sh := db.shards[idx]
 	sh.mu.Lock()
 	changed := false
-	var ev Event
-	hadFix := false
+	ev := Event{Fix: Fix{Device: dev}, Present: false, Dropped: true}
 	if cur, ok := sh.current[dev]; ok {
 		delete(sh.occupants[cur.Piconet], dev)
 		sh.version.Add(1)
 		changed = true
-		hadFix = true
-		ev = Event{Fix: cur, Present: false}
+		ev.Fix = cur
 	}
 	if sh.hist.Len(dev) > 0 {
 		changed = true
@@ -362,7 +368,7 @@ func (db *DB) Drop(dev baseband.BDAddr) bool {
 		db.journal.Record(idx, JournalDrop, dev, 0, 0)
 	}
 	sh.mu.Unlock()
-	if hadFix {
+	if changed {
 		db.notify(ev)
 	}
 	return changed

@@ -222,13 +222,27 @@ func TestDropEmitsFinalAbsence(t *testing.T) {
 	if last.Present || last.Piconet != 3 || last.Device != dev1 {
 		t.Errorf("drop event = %+v, want absence from piconet 3", last)
 	}
-	// A device with history but no current fix goes quietly.
+	if !last.Dropped {
+		t.Errorf("drop event = %+v, want Dropped flag", last)
+	}
+	// A device with history but no current fix still announces the drop
+	// (history-derived indexes must forget it), but carries no room.
 	db.SetPresence(dev2, 1, 200)
 	db.SetAbsence(dev2, 1, 300)
 	n := len(events)
 	db.Drop(dev2)
+	if len(events) != n+1 {
+		t.Fatalf("drop of an absent device emitted %d events, want 1", len(events)-n)
+	}
+	ev := events[n]
+	if ev.Present || !ev.Dropped || ev.Device != dev2 || ev.Piconet != 0 {
+		t.Errorf("history-only drop event = %+v, want bare Dropped absence", ev)
+	}
+	// A device with no state at all really does go quietly.
+	n = len(events)
+	db.Drop(baseband.BDAddr(0xDEAD))
 	if len(events) != n {
-		t.Errorf("drop of an absent device emitted %d extra events", len(events)-n)
+		t.Errorf("drop of an unknown device emitted %d extra events", len(events)-n)
 	}
 }
 

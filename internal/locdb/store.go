@@ -47,6 +47,14 @@ type Store interface {
 	All() []Fix
 	// Present returns the number of devices with a known position.
 	Present() int
+	// Dump returns every device's full state (current fix plus recorded
+	// history), ascending by device. It is the seed for derived indexes
+	// (the analytics engine rebuilds its hot interval store from it) and
+	// the snapshot source for durable backends.
+	Dump() []DeviceDump
+	// HistoryLimit reports the per-device history bound, so derived
+	// indexes can mirror the same eviction policy.
+	HistoryLimit() int
 
 	// Stats returns the activity counters.
 	Stats() Stats

@@ -1,0 +1,128 @@
+// Analytics queries: the server side of MsgContacts, MsgOccupancy and
+// MsgDwell, backed by the room → presence-interval index of
+// internal/analytics. The engine subscribes to the location store's
+// delta stream at construction (exactly like the fan-out tree) and is
+// seeded from the store's dump, so a durable backend's restored history
+// is queryable immediately after restart.
+package server
+
+import (
+	"fmt"
+
+	"bips/internal/analytics"
+	"bips/internal/building"
+	"bips/internal/registry"
+	"bips/internal/wire"
+)
+
+// WithAnalytics installs a caller-owned analytics engine (typically one
+// opened over a segment directory for durable retention). The server
+// wires it to the location store but the caller keeps ownership: Close
+// remains the caller's job. Without this option the server creates and
+// owns a memory-only engine.
+func WithAnalytics(e *analytics.Engine) Option {
+	return func(s *Server) { s.analytics = e }
+}
+
+// Analytics exposes the analytics engine (for tooling and tests).
+func (s *Server) Analytics() *analytics.Engine { return s.analytics }
+
+// roomKnown rejects queries about rooms missing from the floor plan.
+func (s *Server) roomKnown(id building.RoomID) error {
+	if _, ok := s.bld.Room(id); !ok {
+		return fmt.Errorf("%w: room %d", building.ErrUnknownRoom, id)
+	}
+	return nil
+}
+
+// authorizeRoomQuery is the access check for queries about rooms rather
+// than people (occupancy, room dwell): the querier must be logged in
+// and hold the locate right — the same bar a room subscription sets.
+func (s *Server) authorizeRoomQuery(querier registry.UserID) error {
+	if _, err := s.reg.DeviceOf(querier); err != nil {
+		return err
+	}
+	if !s.reg.HasRight(querier, registry.RightLocate) {
+		return fmt.Errorf("%w: %s lacks %q", registry.ErrDenied, querier, registry.RightLocate)
+	}
+	return nil
+}
+
+// Contacts runs the contact-tracing query with Locate's access checks:
+// the querier must hold the locate right and the target must be
+// trackable and logged in. Contact devices are resolved back to userids
+// where a binding exists.
+func (s *Server) Contacts(req wire.ContactsQuery) (wire.ContactsResult, error) {
+	if err := req.Validate(); err != nil {
+		return wire.ContactsResult{}, err
+	}
+	dev, err := s.reg.Authorize(registry.UserID(req.Querier), registry.UserID(req.Target))
+	if err != nil {
+		return wire.ContactsResult{}, err
+	}
+	contacts := s.analytics.Contacts(dev, req.From, req.To, req.MinOverlap)
+	out := wire.ContactsResult{Contacts: make([]wire.Contact, 0, len(contacts))}
+	for _, c := range contacts {
+		wc := wire.Contact{
+			Device: wire.FormatAddr(c.Device), Overlap: c.Overlap,
+			Rooms: c.Rooms, First: c.First, Last: c.Last,
+		}
+		if user, uerr := s.reg.UserOf(c.Device); uerr == nil {
+			wc.User = string(user)
+		}
+		out.Contacts = append(out.Contacts, wc)
+	}
+	return out, nil
+}
+
+// Occupancy runs the occupancy-time-series query. Every room of the
+// zone must exist in the building.
+func (s *Server) Occupancy(req wire.OccupancyQuery) (wire.OccupancyResult, error) {
+	if err := req.Validate(); err != nil {
+		return wire.OccupancyResult{}, err
+	}
+	if err := s.authorizeRoomQuery(registry.UserID(req.Querier)); err != nil {
+		return wire.OccupancyResult{}, err
+	}
+	for _, room := range req.Rooms {
+		if err := s.roomKnown(room); err != nil {
+			return wire.OccupancyResult{}, err
+		}
+	}
+	points := s.analytics.Occupancy(req.Rooms, req.From, req.To, req.Bucket)
+	out := wire.OccupancyResult{Buckets: make([]wire.OccupancyPoint, 0, len(points))}
+	for _, p := range points {
+		out.Buckets = append(out.Buckets, wire.OccupancyPoint{At: p.Start, Count: p.Count})
+	}
+	return out, nil
+}
+
+// Dwell runs the dwell-time-distribution query: per room (locate right
+// plus a known room) or per user device (Locate's per-target access
+// check).
+func (s *Server) Dwell(req wire.DwellQuery) (wire.DwellResult, error) {
+	if err := req.Validate(); err != nil {
+		return wire.DwellResult{}, err
+	}
+	var st analytics.DwellStats
+	switch req.Kind {
+	case wire.DwellRoom:
+		if err := s.authorizeRoomQuery(registry.UserID(req.Querier)); err != nil {
+			return wire.DwellResult{}, err
+		}
+		if err := s.roomKnown(req.Room); err != nil {
+			return wire.DwellResult{}, err
+		}
+		st = s.analytics.DwellRoom(req.Room, req.From, req.To)
+	case wire.DwellDevice:
+		dev, err := s.reg.Authorize(registry.UserID(req.Querier), registry.UserID(req.Target))
+		if err != nil {
+			return wire.DwellResult{}, err
+		}
+		st = s.analytics.DwellDevice(dev, req.From, req.To)
+	}
+	return wire.DwellResult{
+		Samples: st.Samples, Mean: st.Mean, Stddev: st.Stddev,
+		Min: st.Min, Max: st.Max, P50: st.P50, P90: st.P90, P99: st.P99,
+	}, nil
+}

@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"bips/internal/analytics"
 	"bips/internal/building"
 	"bips/internal/fanout"
 	"bips/internal/graph"
@@ -80,6 +81,14 @@ type Server struct {
 	// ack); see internal/ingest and docs/PROTOCOL.md section 8.
 	ingest     *ingest.Pipeline
 	ingestOpts []ingest.Option
+
+	// analytics is the room → presence-interval index behind the
+	// contact-tracing, occupancy and dwell queries; like the fan-out
+	// tree it consumes every locdb delta exactly once. ownAnalytics
+	// records whether the server created it (and must close it) or it
+	// was injected with WithAnalytics.
+	analytics    *analytics.Engine
+	ownAnalytics bool
 
 	// tree is the shared subscription index behind wire-level and
 	// in-process push notifications; every locdb delta is fed into it
@@ -157,6 +166,14 @@ func New(reg *registry.Registry, db locdb.Store, bld *building.Building, opts ..
 	s.tree = fanout.New()
 	db.Subscribe(s.tree.Publish)
 	s.tree.Seed(db.All())
+	// The analytics engine rides the same delta stream; seeding from the
+	// store's dump restores a durable backend's history after restart.
+	if s.analytics == nil {
+		s.analytics = analytics.NewMemory(db.HistoryLimit())
+		s.ownAnalytics = true
+	}
+	db.Subscribe(s.analytics.Apply)
+	s.analytics.Seed(db.Dump())
 	return s
 }
 
@@ -384,6 +401,9 @@ func (s *Server) StatsResult() wire.StatsResult {
 	out.Counters["locdb.shards"] = int64(dbStats.Shards)
 	for name, v := range s.ingest.Stats() {
 		out.Counters["ingest."+name] = v
+	}
+	for name, v := range s.analytics.Stats() {
+		out.Counters["analytics."+name] = v
 	}
 	// A durable backend additionally reports its WAL/snapshot counters.
 	if ss, ok := s.db.(interface{ StorageStats() map[string]int64 }); ok {
@@ -691,6 +711,36 @@ func (s *Server) dispatch(cs *connSubs, env wire.Envelope) wire.Envelope {
 			return fail(err)
 		}
 		return ok(wire.MsgOK, struct{}{})
+	case wire.MsgContacts:
+		var q wire.ContactsQuery
+		if err := wire.UnmarshalBody(env, &q); err != nil {
+			return fail(err)
+		}
+		res, err := s.Contacts(q)
+		if err != nil {
+			return fail(err)
+		}
+		return ok(wire.MsgContactsResult, res)
+	case wire.MsgOccupancy:
+		var q wire.OccupancyQuery
+		if err := wire.UnmarshalBody(env, &q); err != nil {
+			return fail(err)
+		}
+		res, err := s.Occupancy(q)
+		if err != nil {
+			return fail(err)
+		}
+		return ok(wire.MsgOccupancyResult, res)
+	case wire.MsgDwell:
+		var q wire.DwellQuery
+		if err := wire.UnmarshalBody(env, &q); err != nil {
+			return fail(err)
+		}
+		res, err := s.Dwell(q)
+		if err != nil {
+			return fail(err)
+		}
+		return ok(wire.MsgDwellResult, res)
 	case wire.MsgRooms:
 		return ok(wire.MsgRoomsResult, s.RoomsInfo())
 	case wire.MsgStats:
@@ -775,5 +825,10 @@ func (s *Server) Close() error {
 		err = l.Close()
 	}
 	s.wg.Wait()
+	if s.ownAnalytics {
+		if aerr := s.analytics.Close(); aerr != nil && err == nil {
+			err = aerr
+		}
+	}
 	return err
 }

@@ -437,6 +437,12 @@ func (d *Durable) All() []locdb.Fix { return d.mem.All() }
 // Present returns the number of devices with a known position.
 func (d *Durable) Present() int { return d.mem.Present() }
 
+// Dump returns every device's full state from the memory store.
+func (d *Durable) Dump() []locdb.DeviceDump { return d.mem.Dump() }
+
+// HistoryLimit reports the memory store's per-device history bound.
+func (d *Durable) HistoryLimit() int { return d.mem.HistoryLimit() }
+
 // Stats returns the memory store's activity counters.
 func (d *Durable) Stats() locdb.Stats { return d.mem.Stats() }
 

@@ -56,9 +56,6 @@ func sameState(t *testing.T, want, got locdb.Store) {
 	}
 }
 
-// Dump exposes the memory dump for state comparison in tests.
-func (d *Durable) Dump() []locdb.DeviceDump { return d.mem.Dump() }
-
 // applyScript walks devices through a deterministic move/absence/drop
 // sequence and returns the store for chaining.
 func applyScript(s locdb.Store, steps int) {

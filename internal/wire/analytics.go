@@ -1,0 +1,177 @@
+// Analytics messages: the history-analytics query surface of the
+// protocol — contact tracing, occupancy time series and dwell-time
+// distributions, served by the server's room → presence-interval index.
+// All windows are half-open [from, to) in simulation ticks. See
+// docs/PROTOCOL.md section 10.
+package wire
+
+import (
+	"fmt"
+
+	"bips/internal/graph"
+	"bips/internal/sim"
+)
+
+// MaxOccupancyRooms bounds the room set (zone) of one occupancy query.
+const MaxOccupancyRooms = 64
+
+// MaxOccupancyBuckets bounds the series length of one occupancy query,
+// so a hostile client cannot make the server materialize an arbitrarily
+// long answer.
+const MaxOccupancyBuckets = 2048
+
+// Dwell query kinds.
+const (
+	// DwellRoom asks for the dwell-time distribution of one room: one
+	// sample per presence run of any device in it.
+	DwellRoom = "room"
+	// DwellDevice asks for the dwell-time distribution of one user's
+	// device across every room it visited.
+	DwellDevice = "device"
+)
+
+// ContactsQuery asks which devices shared a room with the target user's
+// device inside the window, and for how long. The querier needs the
+// same per-target access Locate requires.
+type ContactsQuery struct {
+	Querier string   `json:"querier"`
+	Target  string   `json:"target"`
+	From    sim.Tick `json:"from"`
+	To      sim.Tick `json:"to"`
+	// MinOverlap drops contacts below this many ticks of total
+	// co-location; the server always requires at least 1.
+	MinOverlap sim.Tick `json:"minOverlap,omitempty"`
+}
+
+// Validate checks the request's protocol shape.
+func (q *ContactsQuery) Validate() error {
+	if q.Querier == "" {
+		return fmt.Errorf("%w: contacts without querier", ErrMalformed)
+	}
+	if q.Target == "" {
+		return fmt.Errorf("%w: contacts without target user", ErrMalformed)
+	}
+	if q.To < q.From {
+		return fmt.Errorf("%w: contacts window [%d, %d) is inverted", ErrMalformed, q.From, q.To)
+	}
+	if q.MinOverlap < 0 {
+		return fmt.Errorf("%w: negative minOverlap %d", ErrMalformed, q.MinOverlap)
+	}
+	return nil
+}
+
+// Contact is one contact-trace answer: a device that shared rooms with
+// the target, strongest (longest overlap) first. User is set when the
+// device is bound to a user.
+type Contact struct {
+	User    string         `json:"user,omitempty"`
+	Device  string         `json:"device"`
+	Overlap sim.Tick       `json:"overlap"`
+	Rooms   []graph.NodeID `json:"rooms"`
+	First   sim.Tick       `json:"first"`
+	Last    sim.Tick       `json:"last"`
+}
+
+// ContactsResult answers ContactsQuery, capped at the server's contact
+// limit.
+type ContactsResult struct {
+	Contacts []Contact `json:"contacts"`
+}
+
+// OccupancyQuery asks for a distinct-device occupancy time series over
+// the union of Rooms (a zone), bucketed at Bucket ticks. The querier
+// needs the locate right.
+type OccupancyQuery struct {
+	Querier string         `json:"querier"`
+	Rooms   []graph.NodeID `json:"rooms"`
+	From    sim.Tick       `json:"from"`
+	To      sim.Tick       `json:"to"`
+	Bucket  sim.Tick       `json:"bucket"`
+}
+
+// Validate checks the request's protocol shape, including the series
+// length bound.
+func (q *OccupancyQuery) Validate() error {
+	if q.Querier == "" {
+		return fmt.Errorf("%w: occupancy without querier", ErrMalformed)
+	}
+	if len(q.Rooms) == 0 {
+		return fmt.Errorf("%w: occupancy without rooms", ErrMalformed)
+	}
+	if len(q.Rooms) > MaxOccupancyRooms {
+		return fmt.Errorf("%w: occupancy zone of %d rooms exceeds %d", ErrMalformed, len(q.Rooms), MaxOccupancyRooms)
+	}
+	if q.To <= q.From {
+		return fmt.Errorf("%w: occupancy window [%d, %d) is empty", ErrMalformed, q.From, q.To)
+	}
+	if q.Bucket < 1 {
+		return fmt.Errorf("%w: occupancy bucket %d, want >= 1", ErrMalformed, q.Bucket)
+	}
+	if nb := (int64(q.To-q.From) + int64(q.Bucket) - 1) / int64(q.Bucket); nb > MaxOccupancyBuckets {
+		return fmt.Errorf("%w: occupancy series of %d buckets exceeds %d", ErrMalformed, nb, MaxOccupancyBuckets)
+	}
+	return nil
+}
+
+// OccupancyPoint is one bucket of the series: the number of distinct
+// devices present at some instant of [At, At+bucket).
+type OccupancyPoint struct {
+	At    sim.Tick `json:"at"`
+	Count int      `json:"count"`
+}
+
+// OccupancyResult answers OccupancyQuery, one point per bucket, oldest
+// first. The final bucket may cover less than a full bucket width.
+type OccupancyResult struct {
+	Buckets []OccupancyPoint `json:"buckets"`
+}
+
+// DwellQuery asks for a dwell-time distribution: per room (Kind
+// DwellRoom, the querier needs the locate right) or per user device
+// (Kind DwellDevice, the querier needs the same per-target access
+// Locate requires).
+type DwellQuery struct {
+	Querier string `json:"querier"`
+	Kind    string `json:"kind"`
+	// Target is the userid for device-kind queries.
+	Target string `json:"target,omitempty"`
+	// Room is the watched room for room-kind queries.
+	Room graph.NodeID `json:"room,omitempty"`
+	From sim.Tick     `json:"from"`
+	To   sim.Tick     `json:"to"`
+}
+
+// Validate checks the request's protocol shape.
+func (q *DwellQuery) Validate() error {
+	if q.Querier == "" {
+		return fmt.Errorf("%w: dwell without querier", ErrMalformed)
+	}
+	switch q.Kind {
+	case DwellRoom:
+		// Room existence is business validation.
+	case DwellDevice:
+		if q.Target == "" {
+			return fmt.Errorf("%w: device dwell without target user", ErrMalformed)
+		}
+	default:
+		return fmt.Errorf("%w: unknown dwell kind %q", ErrMalformed, q.Kind)
+	}
+	if q.To < q.From {
+		return fmt.Errorf("%w: dwell window [%d, %d) is inverted", ErrMalformed, q.From, q.To)
+	}
+	return nil
+}
+
+// DwellResult answers DwellQuery: summary statistics of the dwell
+// distribution, durations in ticks. All fields are zero when no run
+// fell inside the window.
+type DwellResult struct {
+	Samples int      `json:"samples"`
+	Mean    float64  `json:"mean"`
+	Stddev  float64  `json:"stddev"`
+	Min     sim.Tick `json:"min"`
+	Max     sim.Tick `json:"max"`
+	P50     sim.Tick `json:"p50"`
+	P90     sim.Tick `json:"p90"`
+	P99     sim.Tick `json:"p99"`
+}

@@ -1,0 +1,350 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"bips/internal/graph"
+)
+
+func validContacts() ContactsQuery {
+	return ContactsQuery{Querier: "alice", Target: "bob", From: 0, To: 480000, MinOverlap: 6000}
+}
+
+func validOccupancy() OccupancyQuery {
+	return OccupancyQuery{Querier: "alice", Rooms: []graph.NodeID{4, 5}, From: 0, To: 480000, Bucket: 60000}
+}
+
+func validDwell() DwellQuery {
+	return DwellQuery{Querier: "alice", Kind: DwellRoom, Room: 4, From: 0, To: 480000}
+}
+
+func TestContactsQueryValidate(t *testing.T) {
+	ok := validContacts()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid contacts rejected: %v", err)
+	}
+	// An empty window and a zero minOverlap are well-formed shapes.
+	empty := ContactsQuery{Querier: "a", Target: "b", From: 100, To: 100}
+	if err := empty.Validate(); err != nil {
+		t.Fatalf("empty-window contacts rejected: %v", err)
+	}
+	cases := map[string]func(*ContactsQuery){
+		"empty querier":       func(q *ContactsQuery) { q.Querier = "" },
+		"empty target":        func(q *ContactsQuery) { q.Target = "" },
+		"inverted window":     func(q *ContactsQuery) { q.From, q.To = q.To, q.From },
+		"negative minOverlap": func(q *ContactsQuery) { q.MinOverlap = -1 },
+	}
+	for name, mutate := range cases {
+		q := validContacts()
+		mutate(&q)
+		err := q.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate() = nil, want error", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), ErrMalformed.Error()) {
+			t.Errorf("%s: error %q does not wrap ErrMalformed", name, err)
+		}
+	}
+}
+
+func TestOccupancyQueryValidate(t *testing.T) {
+	ok := validOccupancy()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid occupancy rejected: %v", err)
+	}
+	// The widest admissible series is exactly MaxOccupancyBuckets long.
+	edge := OccupancyQuery{Querier: "a", Rooms: []graph.NodeID{1}, From: 0, To: MaxOccupancyBuckets, Bucket: 1}
+	if err := edge.Validate(); err != nil {
+		t.Fatalf("edge-size occupancy rejected: %v", err)
+	}
+	cases := map[string]func(*OccupancyQuery){
+		"empty querier": func(q *OccupancyQuery) { q.Querier = "" },
+		"no rooms":      func(q *OccupancyQuery) { q.Rooms = nil },
+		"oversized zone": func(q *OccupancyQuery) {
+			q.Rooms = make([]graph.NodeID, MaxOccupancyRooms+1)
+		},
+		"empty window":     func(q *OccupancyQuery) { q.To = q.From },
+		"inverted window":  func(q *OccupancyQuery) { q.From, q.To = q.To, q.From },
+		"zero bucket":      func(q *OccupancyQuery) { q.Bucket = 0 },
+		"negative bucket":  func(q *OccupancyQuery) { q.Bucket = -60 },
+		"too many buckets": func(q *OccupancyQuery) { q.Bucket = 1; q.From = 0; q.To = MaxOccupancyBuckets + 1 },
+	}
+	for name, mutate := range cases {
+		q := validOccupancy()
+		mutate(&q)
+		err := q.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate() = nil, want error", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), ErrMalformed.Error()) {
+			t.Errorf("%s: error %q does not wrap ErrMalformed", name, err)
+		}
+	}
+}
+
+func TestDwellQueryValidate(t *testing.T) {
+	okDwell := validDwell()
+	if err := okDwell.Validate(); err != nil {
+		t.Fatalf("valid room dwell rejected: %v", err)
+	}
+	dev := DwellQuery{Querier: "alice", Kind: DwellDevice, Target: "bob", From: 0, To: 100}
+	if err := dev.Validate(); err != nil {
+		t.Fatalf("valid device dwell rejected: %v", err)
+	}
+	cases := map[string]func(*DwellQuery){
+		"empty querier":    func(q *DwellQuery) { q.Querier = "" },
+		"unknown kind":     func(q *DwellQuery) { q.Kind = "zone" },
+		"empty kind":       func(q *DwellQuery) { q.Kind = "" },
+		"device no target": func(q *DwellQuery) { q.Kind = DwellDevice; q.Target = "" },
+		"inverted window":  func(q *DwellQuery) { q.From, q.To = 10, 5 },
+	}
+	for name, mutate := range cases {
+		q := validDwell()
+		mutate(&q)
+		err := q.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate() = nil, want error", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), ErrMalformed.Error()) {
+			t.Errorf("%s: error %q does not wrap ErrMalformed", name, err)
+		}
+	}
+}
+
+func TestAnalyticsFrameRoundtrips(t *testing.T) {
+	roundtrip := func(tp MsgType, seq uint64, body, out any) Envelope {
+		t.Helper()
+		var buf bytes.Buffer
+		codec := NewFrameCodec(struct {
+			io.Reader
+			io.Writer
+		}{&buf, &buf})
+		env, err := MarshalBody(tp, seq, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := codec.Send(env); err != nil {
+			t.Fatal(err)
+		}
+		got, err := codec.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != tp || got.Seq != seq {
+			t.Fatalf("roundtrip envelope = %+v", got)
+		}
+		if err := UnmarshalBody(got, out); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	var cq ContactsQuery
+	roundtrip(MsgContacts, 7, validContacts(), &cq)
+	if cq != validContacts() {
+		t.Fatalf("roundtrip contacts = %+v", cq)
+	}
+	var cr ContactsResult
+	wantCR := ContactsResult{Contacts: []Contact{{
+		User: "bob", Device: "00:00:B0:00:00:02", Overlap: 90000,
+		Rooms: []graph.NodeID{4, 6}, First: 60000, Last: 300000,
+	}}}
+	roundtrip(MsgContactsResult, 7, wantCR, &cr)
+	if len(cr.Contacts) != 1 || cr.Contacts[0].Device != "00:00:B0:00:00:02" ||
+		cr.Contacts[0].Overlap != 90000 || len(cr.Contacts[0].Rooms) != 2 {
+		t.Fatalf("roundtrip contacts result = %+v", cr)
+	}
+
+	var oq OccupancyQuery
+	roundtrip(MsgOccupancy, 8, validOccupancy(), &oq)
+	if oq.Querier != "alice" || len(oq.Rooms) != 2 || oq.Bucket != 60000 {
+		t.Fatalf("roundtrip occupancy = %+v", oq)
+	}
+	var or OccupancyResult
+	roundtrip(MsgOccupancyResult, 8, OccupancyResult{
+		Buckets: []OccupancyPoint{{At: 0, Count: 3}, {At: 60000, Count: 1}},
+	}, &or)
+	if len(or.Buckets) != 2 || or.Buckets[0].Count != 3 {
+		t.Fatalf("roundtrip occupancy result = %+v", or)
+	}
+
+	var dq DwellQuery
+	roundtrip(MsgDwell, 9, validDwell(), &dq)
+	if dq != validDwell() {
+		t.Fatalf("roundtrip dwell = %+v", dq)
+	}
+	var dr DwellResult
+	wantDR := DwellResult{Samples: 4, Mean: 120.5, Stddev: 8.25, Min: 100, Max: 140, P50: 120, P90: 138, P99: 140}
+	roundtrip(MsgDwellResult, 9, wantDR, &dr)
+	if dr != wantDR {
+		t.Fatalf("roundtrip dwell result = %+v, want %+v", dr, wantDR)
+	}
+}
+
+// TestProtocolDocContactsHexExample: the worked hex example of
+// docs/PROTOCOL.md section 10 must be the codec's actual output, byte
+// for byte — if the framing or the JSON encoding of the analytics
+// messages changes, the spec must change with it.
+func TestProtocolDocContactsHexExample(t *testing.T) {
+	raw, err := os.ReadFile("../../docs/PROTOCOL.md")
+	if err != nil {
+		t.Fatalf("reading protocol spec: %v", err)
+	}
+	doc := string(raw)
+
+	frameHex := func(env Envelope) string {
+		var buf bytes.Buffer
+		c := NewFrameCodec(struct {
+			io.Reader
+			io.Writer
+		}{&buf, &buf})
+		if err := c.Send(env); err != nil {
+			t.Fatal(err)
+		}
+		return hex.Dump(buf.Bytes())
+	}
+
+	req, err := MarshalBody(MsgContacts, 7, validContacts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := MarshalBody(MsgContactsResult, 7, ContactsResult{Contacts: []Contact{{
+		User: "bob", Device: "00:00:B0:00:00:02", Overlap: 90000,
+		Rooms: []graph.NodeID{4, 6}, First: 60000, Last: 300000,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, dump := range map[string]string{
+		"contacts request":         frameHex(req),
+		"contacts.result response": frameHex(resp),
+	} {
+		for _, line := range strings.Split(strings.TrimRight(dump, "\n"), "\n") {
+			if !strings.Contains(doc, line) {
+				t.Errorf("docs/PROTOCOL.md section 10 is missing the %s hex line:\n%s", name, line)
+			}
+		}
+	}
+}
+
+// FuzzContactsQueryDecode throws arbitrary bytes at the contacts body
+// decoder: it must never panic, and anything it accepts and Validate
+// passes must survive a marshal/unmarshal roundtrip unchanged.
+func FuzzContactsQueryDecode(f *testing.F) {
+	seed, err := json.Marshal(validContacts())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"querier":"a","target":"b","from":0,"to":10}`))
+	f.Add([]byte(`{"querier":"a","target":"b","from":10,"to":0}`))
+	f.Add([]byte(`{"querier":"a","target":"b","minOverlap":-5}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var q ContactsQuery
+		if err := json.Unmarshal(raw, &q); err != nil {
+			return
+		}
+		if err := q.Validate(); err != nil {
+			return
+		}
+		re, err := json.Marshal(q)
+		if err != nil {
+			t.Fatalf("marshal of accepted contacts failed: %v", err)
+		}
+		var q2 ContactsQuery
+		if err := json.Unmarshal(re, &q2); err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if q2 != q {
+			t.Fatalf("roundtrip changed contacts: %+v vs %+v", q, q2)
+		}
+		if err := q2.Validate(); err != nil {
+			t.Fatalf("roundtrip broke validity: %v", err)
+		}
+	})
+}
+
+// FuzzOccupancyQueryDecode: same contract for the occupancy decoder,
+// including the bucket-count bound surviving the roundtrip.
+func FuzzOccupancyQueryDecode(f *testing.F) {
+	seed, err := json.Marshal(validOccupancy())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"querier":"a","rooms":[1],"from":0,"to":100,"bucket":1}`))
+	f.Add([]byte(`{"querier":"a","rooms":[1],"from":0,"to":100,"bucket":0}`))
+	f.Add([]byte(`{"querier":"a","rooms":[],"from":0,"to":100,"bucket":10}`))
+	f.Add([]byte(`{"querier":"a","rooms":[1],"from":0,"to":9007199254740993,"bucket":1}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var q OccupancyQuery
+		if err := json.Unmarshal(raw, &q); err != nil {
+			return
+		}
+		if err := q.Validate(); err != nil {
+			return
+		}
+		re, err := json.Marshal(q)
+		if err != nil {
+			t.Fatalf("marshal of accepted occupancy failed: %v", err)
+		}
+		var q2 OccupancyQuery
+		if err := json.Unmarshal(re, &q2); err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if q2.Querier != q.Querier || len(q2.Rooms) != len(q.Rooms) ||
+			q2.From != q.From || q2.To != q.To || q2.Bucket != q.Bucket {
+			t.Fatalf("roundtrip changed occupancy: %+v vs %+v", q, q2)
+		}
+		if err := q2.Validate(); err != nil {
+			t.Fatalf("roundtrip broke validity: %v", err)
+		}
+	})
+}
+
+// FuzzDwellQueryDecode: same contract for the dwell decoder.
+func FuzzDwellQueryDecode(f *testing.F) {
+	seed, err := json.Marshal(validDwell())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"querier":"a","kind":"device","target":"b","from":0,"to":100}`))
+	f.Add([]byte(`{"querier":"a","kind":"room","room":4,"from":100,"to":100}`))
+	f.Add([]byte(`{"querier":"a","kind":"zone","room":4}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var q DwellQuery
+		if err := json.Unmarshal(raw, &q); err != nil {
+			return
+		}
+		if err := q.Validate(); err != nil {
+			return
+		}
+		re, err := json.Marshal(q)
+		if err != nil {
+			t.Fatalf("marshal of accepted dwell failed: %v", err)
+		}
+		var q2 DwellQuery
+		if err := json.Unmarshal(re, &q2); err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if q2 != q {
+			t.Fatalf("roundtrip changed dwell: %+v vs %+v", q, q2)
+		}
+		if err := q2.Validate(); err != nil {
+			t.Fatalf("roundtrip broke validity: %v", err)
+		}
+	})
+}

@@ -72,6 +72,16 @@ const (
 	// MsgPresenceBatch carries one sequenced frame of presence deltas on
 	// an ingest session; the response is a MsgIngestAck.
 	MsgPresenceBatch MsgType = "presence.batch"
+	// MsgContacts asks which devices shared a room with a target user's
+	// device inside a time window (contact tracing); the response is a
+	// MsgContactsResult.
+	MsgContacts MsgType = "contacts"
+	// MsgOccupancy asks for a distinct-device occupancy time series
+	// over a room set; the response is a MsgOccupancyResult.
+	MsgOccupancy MsgType = "occupancy"
+	// MsgDwell asks for a dwell-time distribution, per room or per user
+	// device; the response is a MsgDwellResult.
+	MsgDwell MsgType = "dwell"
 	// MsgSubscribe registers a push-notification subscription on this
 	// connection; the response is a MsgOK, after which matching MsgEvent
 	// envelopes are pushed until unsubscribe or disconnect.
@@ -96,6 +106,12 @@ const (
 	// MsgIngestAck answers MsgIngestHello and MsgPresenceBatch with the
 	// session's cumulative ack.
 	MsgIngestAck MsgType = "ingest.ack"
+	// MsgContactsResult answers MsgContacts.
+	MsgContactsResult MsgType = "contacts.result"
+	// MsgOccupancyResult answers MsgOccupancy.
+	MsgOccupancyResult MsgType = "occupancy.result"
+	// MsgDwellResult answers MsgDwell.
+	MsgDwellResult MsgType = "dwell.result"
 	// MsgEvent is a server push notification on a subscription. It is
 	// not a response: its correlation id is always 0 and it may arrive
 	// between any two responses on the connection.
@@ -112,9 +128,11 @@ const (
 var AllMsgTypes = []MsgType{
 	MsgHello, MsgPresence, MsgLogin, MsgLogout, MsgLocate, MsgLocateAt,
 	MsgTrajectory, MsgPath, MsgRooms, MsgBatch, MsgStats,
-	MsgIngestHello, MsgPresenceBatch, MsgSubscribe, MsgUnsubscribe,
+	MsgIngestHello, MsgPresenceBatch, MsgContacts, MsgOccupancy,
+	MsgDwell, MsgSubscribe, MsgUnsubscribe,
 	MsgOK, MsgLocateResult, MsgTrajectoryResult, MsgPathResult,
 	MsgRoomsResult, MsgBatchResult, MsgStatsResult, MsgIngestAck,
+	MsgContactsResult, MsgOccupancyResult, MsgDwellResult,
 	MsgEvent, MsgError,
 }
 

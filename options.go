@@ -38,6 +38,10 @@ type settings struct {
 	// historyLimit uses the core convention: 0 = default, negative =
 	// history disabled.
 	historyLimit int
+	// analyticsSeal uses the core convention: 0 = default period,
+	// negative = background sealing disabled.
+	analyticsSeal      time.Duration
+	analyticsRetention time.Duration
 }
 
 // WithSeed sets the root random seed. All randomness (radio phases,
@@ -139,6 +143,37 @@ func WithHistoryLimit(n int) Option {
 		} else {
 			s.historyLimit = n
 		}
+		return nil
+	})
+}
+
+// WithAnalyticsRetention bounds the analytics history (the data behind
+// Contacts, Occupancy, DwellInRoom and DwellOf) to the most recent d of
+// simulated time: sealed segments whose newest presence run ended more
+// than d before the newest observed movement are deleted at the next
+// compaction. d must be positive. The default keeps everything for the
+// life of the deployment (and, with WithDataDir, across restarts).
+func WithAnalyticsRetention(d time.Duration) Option {
+	return optionFunc(func(s *settings) error {
+		if d <= 0 {
+			return fmt.Errorf("%w: analytics retention %v must be positive", ErrBadOption, d)
+		}
+		s.analyticsRetention = d
+		return nil
+	})
+}
+
+// WithAnalyticsSealInterval sets how often (in wall-clock time) the
+// analytics engine compacts closed presence runs into immutable
+// compressed segments. Shorter intervals bound the uncompacted hot tier
+// more tightly; longer ones cut fewer, larger segments. d must be
+// positive; the default is analytics.DefaultSealInterval (30s).
+func WithAnalyticsSealInterval(d time.Duration) Option {
+	return optionFunc(func(s *settings) error {
+		if d <= 0 {
+			return fmt.Errorf("%w: analytics seal interval %v must be positive", ErrBadOption, d)
+		}
+		s.analyticsSeal = d
 		return nil
 	})
 }
