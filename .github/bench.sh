@@ -4,7 +4,7 @@
 # performance trajectory of the repo is tracked in data, not prose.
 #
 # Usage:
-#   .github/bench.sh [output.json] [ingest-output.json] [analytics-output.json]
+#   .github/bench.sh [output.json] [ingest-output.json] [analytics-output.json] [hotpath-output.json]
 #
 # Environment:
 #   BENCHTIME  go test -benchtime value (default 0.5s; CI may use 1s,
@@ -30,11 +30,20 @@
 # query latency percentiles over a million-device-day sealed history
 # (bar: p99 < 1000 ms on one core) and sealed-segment bytes per
 # presence run versus the 29-byte WAL record (bar: ratio >= 3).
+#
+# The fourth record (default BENCH_PR8.json) is the zero-alloc serving
+# hot-path record: before (the PR 4 baselines, hardcoded) and after
+# ns/bytes/allocs per op for the gated hot-path benchmarks, plus
+# "serve_conn_alloc_reduction" — BenchmarkServeConnPipelined allocs/op
+# before over after, the PR 8 acceptance metric (bar: >= 5x) — and
+# "snapshot_unchanged_bytes_per_op", which must be 0 now that All()
+# serves a cached merged snapshot on a quiescent database.
 set -eu
 
 out="${1:-BENCH_PR4.json}"
 ingest_out="${2:-BENCH_PR5.json}"
 analytics_out="${3:-BENCH_PR7.json}"
+hot_out="${4:-BENCH_PR8.json}"
 benchtime="${BENCHTIME:-0.5s}"
 pkgs="${BENCHPKGS:-./internal/storage ./internal/locdb ./internal/server ./internal/loadgen ./internal/analytics .}"
 
@@ -51,7 +60,7 @@ if ! go test -run '^$' -bench . -benchmem -benchtime "$benchtime" $pkgs > "$tmp"
 fi
 cat "$tmp" >&2
 
-awk -v benchtime="$benchtime" -v ingout="$ingest_out" -v anaout="$analytics_out" '
+awk -v benchtime="$benchtime" -v ingout="$ingest_out" -v anaout="$analytics_out" -v hotout="$hot_out" '
 BEGIN {
     n = 0
     "go version" | getline gover
@@ -91,6 +100,10 @@ $1 == "pkg:" { pkg = $2; next }
     if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
     printf "}"
     n++
+    if (ns != "" && bytes != "" && allocs != "") {
+        # Hot-path capture for the PR 8 record.
+        hotns[name] = ns; hotbytes[name] = bytes; hotallocs[name] = allocs
+    }
     if (name == "BenchmarkLocdbDelta/mem") memns = ns
     if (name == "BenchmarkLocdbDelta/durable") durns = ns
     if (name == "BenchmarkLocdbDelta/journal") jns = ns
@@ -165,8 +178,58 @@ END {
     # MsgPresence envelope per delta, same hardware (bar: >= 5).
     printf "  \"batched_speedup\": %.1f\n", singlens / batchns > ingout
     printf "}\n" > ingout
+
+    # Fourth record: the zero-alloc serving hot path (PR 8). Before
+    # values are the PR 4 baselines from BENCH_PR4.json at commit time;
+    # after values come from this run.
+    scname = "BenchmarkServeConnPipelined"
+    if (!(scname in hotallocs)) {
+        print "bench.sh: hot-path benchmarks not in this run; " hotout " records the omission" > "/dev/stderr"
+        printf "{\n  \"schema\": \"bips-hotpath-bench-v1\",\n" > hotout
+        printf "  \"skipped\": \"BenchmarkServeConnPipelined not in this run (BENCHPKGS excludes internal/server?)\"\n}\n" > hotout
+        exit 0
+    }
+    printf "{\n" > hotout
+    printf "  \"schema\": \"bips-hotpath-bench-v1\",\n" > hotout
+    printf "  \"go\": \"%s\",\n", gover > hotout
+    printf "  \"date\": \"%s\",\n", now > hotout
+    printf "  \"host\": \"%s\",\n", host > hotout
+    printf "  \"benchtime\": \"%s\",\n", benchtime > hotout
+    # PR 4 baselines (before the pooled-buffer refactor).
+    before["BenchmarkDispatchLocate"]      = "1285 336 9"
+    before["BenchmarkServeConnPipelined"]  = "18075 2072 46"
+    before["BenchmarkApplyBatch/batched"]  = "177 166 0"
+    before["BenchmarkIngestDelta/batched"] = "3549 852 8"
+    before["BenchmarkLocdbSnapshotAll"]    = "124275 76390 9"
+    ngate = split("BenchmarkDispatchLocate BenchmarkServeConnPipelined BenchmarkApplyBatch/batched BenchmarkIngestDelta/batched BenchmarkFanoutEventPush BenchmarkLocdbSnapshotAll BenchmarkLocdbAllSince", gates, " ")
+    printf "  \"benchmarks\": {\n" > hotout
+    first = 1
+    for (gi = 1; gi <= ngate; gi++) {
+        g = gates[gi]
+        if (!(g in hotallocs)) continue
+        if (!first) printf ",\n" > hotout
+        first = 0
+        printf "    \"%s\": {", g > hotout
+        if (g in before) {
+            split(before[g], bv, " ")
+            printf "\"before\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}, ", bv[1], bv[2], bv[3] > hotout
+        }
+        printf "\"after\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}}", hotns[g], hotbytes[g], hotallocs[g] > hotout
+    }
+    printf "\n  },\n" > hotout
+    # The PR 8 acceptance metric: ServeConnPipelined allocs/op before
+    # over after (bar: >= 5x).
+    if (hotallocs[scname] + 0 > 0)
+        printf "  \"serve_conn_alloc_reduction\": %.1f,\n", 46.0 / hotallocs[scname] > hotout
+    else
+        printf "  \"serve_conn_alloc_reduction\": null,\n" > hotout
+    # All() on a quiescent database must no longer rebuild O(devices)
+    # bytes per call.
+    printf "  \"snapshot_unchanged_bytes_per_op\": %s\n", hotbytes["BenchmarkLocdbSnapshotAll"] > hotout
+    printf "}\n" > hotout
 }' "$tmp" > "$out"
 
 echo "wrote $out" >&2
 echo "wrote $ingest_out" >&2
 echo "wrote $analytics_out" >&2
+echo "wrote $hot_out" >&2

@@ -1,0 +1,269 @@
+package allocbudget
+
+import (
+	"fmt"
+	"net"
+	"testing"
+
+	"bips/internal/baseband"
+	"bips/internal/building"
+	"bips/internal/graph"
+	"bips/internal/locdb"
+	"bips/internal/registry"
+	"bips/internal/server"
+	"bips/internal/sim"
+	"bips/internal/wire"
+)
+
+// budgets is THE allocation table: every hot-path ceiling in one place,
+// asserted by the subtests below. The numbers are the measured steady
+// state of the pooled-buffer serving path (see docs/OPERATIONS.md §4),
+// not aspirations — raise one only with a benchmark run in hand
+// explaining where the new allocations come from.
+var budgets = map[string]float64{
+	// DispatchBytes for a MsgLocate: fast body decode, registry
+	// authorization, sharded lookup, append-encode into the caller's
+	// buffer. The remaining allocations are the two result strings
+	// (device address, room name) and error-path-free interface
+	// plumbing in the registry.
+	"dispatch_locate": 4,
+	// Full client round trip over net.Pipe through ServeConn's inline
+	// reader path: pooled receive buffer on each side, pooled response
+	// buffer, pooled completion channel — what is left is the pending-
+	// map entry and the result decode.
+	"serve_conn_round_trip": 9,
+	// One locdb.ApplyBatch call with a reused 64-mutation frame: the
+	// per-shard group headers amortize, history ring entries reuse
+	// their storage in steady state.
+	"locdb_apply_batch": 4,
+	// One ingest frame (64 deltas) through Pipeline.Apply: batch
+	// validation, mutation build, ApplyBatch, ack.
+	"ingest_apply": 8,
+	// One presence change pushed through locdb notify, the fan-out
+	// tree, the connection pusher (pooled pre-encoded frame), and
+	// received by a raw frame codec into a reused buffer.
+	"fanout_event_push": 8,
+	// Full snapshot of a quiescent database: version-vector check and
+	// a shared cached slice. Anything above zero means the cache
+	// stopped being a cache.
+	"locdb_all_unchanged": 0,
+	// Incremental poll with a current base: same contract as above.
+	"locdb_all_since_current": 0,
+}
+
+const pw = "pw"
+
+// check measures op and asserts its table ceiling. Under -race the
+// path is exercised (the aliasing coverage is the point there) but the
+// number is only logged: detector bookkeeping allocates.
+func check(t *testing.T, name string, runs int, op func()) {
+	t.Helper()
+	ceiling, ok := budgets[name]
+	if !ok {
+		t.Fatalf("no budget table entry for %q", name)
+	}
+	got := testing.AllocsPerRun(runs, op)
+	if raceEnabled {
+		t.Logf("%s: %.2f allocs/op (race build, budget %.0f not asserted)", name, got, ceiling)
+		return
+	}
+	if got > ceiling {
+		t.Errorf("%s: %.2f allocs/op exceeds budget %.0f", name, got, ceiling)
+	} else {
+		t.Logf("%s: %.2f allocs/op (budget %.0f)", name, got, ceiling)
+	}
+}
+
+// newHotServer builds a server with devs logged-in users (w0..wN, each
+// on its own device) ready for the hot-path fixtures.
+func newHotServer(t testing.TB, devs int) *server.Server {
+	t.Helper()
+	bld, err := building.AcademicDepartment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New()
+	db, err := locdb.NewSharded(locdb.DefaultShards, locdb.DefaultHistoryLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(reg, db, bld)
+	s.Logf = nil
+	for i := 0; i < devs; i++ {
+		name := fmt.Sprintf("w%d", i)
+		if err := reg.Register(registry.UserID(name), name, pw,
+			registry.RightLocate, registry.RightTrackable); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Login(wire.Login{User: name, Password: pw, Device: dev(i).String()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func dev(i int) baseband.BDAddr {
+	return baseband.BDAddr(0xA110_0000_0000 + uint64(i+1))
+}
+
+func TestDispatchLocateBudget(t *testing.T) {
+	s := newHotServer(t, 2)
+	if err := s.ApplyPresence(wire.Presence{Device: dev(1).String(), Room: 6, At: 1, Present: true}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := wire.MarshalBody(wire.MsgLocate, 1, wire.Locate{Querier: "w0", Target: "w1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	check(t, "dispatch_locate", 200, func() {
+		buf = s.DispatchBytes(env, buf[:0])
+		if len(buf) == 0 {
+			t.Fatal("empty response")
+		}
+	})
+}
+
+func TestServeConnRoundTripBudget(t *testing.T) {
+	s := newHotServer(t, 2)
+	if err := s.ApplyPresence(wire.Presence{Device: dev(1).String(), Room: 6, At: 1, Present: true}); err != nil {
+		t.Fatal(err)
+	}
+	cliConn, srvConn := net.Pipe()
+	go s.ServeConn(srvConn)
+	client := wire.NewClient(wire.NewFrameCodec(cliConn))
+	defer client.Close()
+
+	req := wire.Locate{Querier: "w0", Target: "w1"}
+	var res wire.LocateResult
+	check(t, "serve_conn_round_trip", 200, func() {
+		if err := client.Call(wire.MsgLocate, &req, &res); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestApplyBatchBudget(t *testing.T) {
+	db, err := locdb.NewSharded(locdb.DefaultShards, locdb.DefaultHistoryLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const frame = 64
+	muts := make([]locdb.Mutation, frame)
+	tick := sim.Tick(0)
+	check(t, "locdb_apply_batch", 200, func() {
+		tick++
+		for i := range muts {
+			muts[i] = locdb.Mutation{
+				Op:      locdb.MutPresence,
+				Dev:     dev(i),
+				Piconet: graph.NodeID(int(tick) % 8),
+				At:      tick,
+			}
+		}
+		db.ApplyBatch(muts)
+	})
+}
+
+func TestIngestApplyBudget(t *testing.T) {
+	s := newHotServer(t, 64)
+	pl := s.Ingest()
+	if _, err := pl.Hello(wire.IngestHello{Session: "budget", Station: "S", Room: 1}); err != nil {
+		t.Fatal(err)
+	}
+	const frame = 64
+	addrs := make([]string, frame)
+	for i := range addrs {
+		addrs[i] = dev(i).String()
+	}
+	deltas := make([]wire.Presence, frame)
+	seq := uint64(0)
+	tick := sim.Tick(0)
+	check(t, "ingest_apply", 200, func() {
+		seq++
+		tick++
+		for i := range deltas {
+			deltas[i] = wire.Presence{
+				Device:  addrs[i],
+				Room:    graph.NodeID(1 + int(tick)%7),
+				At:      tick,
+				Present: true,
+			}
+		}
+		if _, err := pl.Apply(wire.PresenceBatch{Session: "budget", Seq: seq, Deltas: deltas}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestFanoutEventPushBudget(t *testing.T) {
+	s := newHotServer(t, 2)
+	if err := s.ApplyPresence(wire.Presence{Device: dev(1).String(), Room: 6, At: 1, Present: true}); err != nil {
+		t.Fatal(err)
+	}
+	cliConn, srvConn := net.Pipe()
+	go s.ServeConn(srvConn)
+	codec := wire.NewFrameCodec(cliConn)
+	defer codec.Close()
+
+	sub, err := wire.MarshalBody(wire.MsgSubscribe, 1, wire.Subscribe{
+		ID: "track", Querier: "w0",
+		Filter: wire.SubFilter{Kind: wire.FilterDevice, Target: "w1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := codec.Send(sub); err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	ack, buf, err := codec.RecvBuf(buf)
+	if err != nil || ack.Type != wire.MsgOK {
+		t.Fatalf("subscribe ack = %+v, %v", ack, err)
+	}
+
+	tick := sim.Tick(1)
+	present := false
+	check(t, "fanout_event_push", 200, func() {
+		tick++
+		// Alternate leave/enter: exactly one event per mutation.
+		if err := s.ApplyPresence(wire.Presence{
+			Device: dev(1).String(), Room: 6, At: tick, Present: present,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		present = !present
+		var env wire.Envelope
+		env, buf, err = codec.RecvBuf(buf)
+		if err != nil || env.Type != wire.MsgEvent {
+			t.Fatalf("push = %+v, %v", env, err)
+		}
+	})
+}
+
+func TestSnapshotBudgets(t *testing.T) {
+	db, err := locdb.NewSharded(locdb.DefaultShards, locdb.DefaultHistoryLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 512; i++ {
+		db.SetPresence(dev(i), graph.NodeID(i%8), 1)
+	}
+	if got := len(db.All()); got != 512 {
+		t.Fatalf("All returned %d fixes", got)
+	}
+	check(t, "locdb_all_unchanged", 500, func() {
+		if len(db.All()) != 512 {
+			t.Fatal("snapshot shrank")
+		}
+	})
+	base := db.SnapshotToken()
+	check(t, "locdb_all_since_current", 500, func() {
+		d := db.AllSince(base)
+		if d.Token != base || d.Full {
+			t.Fatalf("delta = %+v", d)
+		}
+	})
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package allocbudget
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package allocbudget
+
+// raceEnabled is true in -race builds, where the detector's own
+// bookkeeping allocates and the numeric budgets do not hold.
+const raceEnabled = true

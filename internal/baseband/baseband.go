@@ -14,8 +14,6 @@ package baseband
 import (
 	"errors"
 	"fmt"
-	"strconv"
-	"strings"
 
 	"bips/internal/sim"
 )
@@ -23,36 +21,55 @@ import (
 // BDAddr is a 48-bit Bluetooth device address.
 type BDAddr uint64
 
-// ParseBDAddr parses the canonical colon form "AA:BB:CC:DD:EE:FF".
+// ParseBDAddr parses the canonical colon form "AA:BB:CC:DD:EE:FF"
+// (hex digits in either case). It is on the ingest hot path — every
+// workstation delta carries an address — so it scans the string in
+// place instead of splitting it.
 func ParseBDAddr(s string) (BDAddr, error) {
-	parts := strings.Split(s, ":")
-	if len(parts) != 6 {
+	if len(s) != 17 {
 		return 0, fmt.Errorf("baseband: address %q: want 6 octets", s)
 	}
 	var v uint64
-	for _, p := range parts {
-		if len(p) != 2 {
-			return 0, fmt.Errorf("baseband: address %q: octet %q malformed", s, p)
+	for i := 0; i < 6; i++ {
+		if i > 0 && s[i*3-1] != ':' {
+			return 0, fmt.Errorf("baseband: address %q: want 6 octets", s)
 		}
-		o, err := strconv.ParseUint(p, 16, 8)
-		if err != nil {
-			return 0, fmt.Errorf("baseband: address %q: %w", s, err)
+		hi := unhex(s[i*3])
+		lo := unhex(s[i*3+1])
+		if hi < 0 || lo < 0 {
+			return 0, fmt.Errorf("baseband: address %q: octet %q malformed", s, s[i*3:i*3+2])
 		}
-		v = v<<8 | o
+		v = v<<8 | uint64(hi)<<4 | uint64(lo)
 	}
 	return BDAddr(v), nil
 }
 
-// String renders the address in canonical colon form.
-func (a BDAddr) String() string {
-	var sb strings.Builder
-	for shift := 40; shift >= 0; shift -= 8 {
-		if shift != 40 {
-			sb.WriteByte(':')
-		}
-		fmt.Fprintf(&sb, "%02X", byte(a>>uint(shift)))
+func unhex(c byte) int {
+	switch {
+	case '0' <= c && c <= '9':
+		return int(c - '0')
+	case 'a' <= c && c <= 'f':
+		return int(c-'a') + 10
+	case 'A' <= c && c <= 'F':
+		return int(c-'A') + 10
 	}
-	return sb.String()
+	return -1
+}
+
+// String renders the address in canonical colon form. One allocation:
+// the returned string.
+func (a BDAddr) String() string {
+	const hexUpper = "0123456789ABCDEF"
+	var b [17]byte
+	for i := 0; i < 6; i++ {
+		if i > 0 {
+			b[i*3-1] = ':'
+		}
+		o := byte(a >> uint(40-8*i))
+		b[i*3] = hexUpper[o>>4]
+		b[i*3+1] = hexUpper[o&0xF]
+	}
+	return string(b[:])
 }
 
 // Valid reports whether the address fits in 48 bits and is non-zero.

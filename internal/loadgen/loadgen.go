@@ -538,7 +538,7 @@ func issue(cfg Config, client *wire.Client, rng *rand.Rand, rooms []wire.RoomInf
 	if cfg.Batch <= 1 {
 		t, body := nextRequest(cfg, rng, rooms, tick, ing, sub)
 		if t == wire.MsgPresenceBatch {
-			return issueIngest(cfg, client, rooms, body.(wire.PresenceBatch), ing)
+			return issueIngest(cfg, client, rooms, body.(*wire.PresenceBatch), ing)
 		}
 		return 1, call(client, t, body)
 	}
@@ -564,7 +564,7 @@ func issue(cfg Config, client *wire.Client, rng *rand.Rand, rooms []wire.RoomInf
 // opening the session on first use. The frame's sequence number only
 // advances on success, so a served error is retried with the next draw
 // under the same number (the protocol's idempotent-resend rule).
-func issueIngest(cfg Config, client *wire.Client, rooms []wire.RoomInfo, frame wire.PresenceBatch, ing *ingestState) (int64, error) {
+func issueIngest(cfg Config, client *wire.Client, rooms []wire.RoomInfo, frame *wire.PresenceBatch, ing *ingestState) (int64, error) {
 	if !ing.helloed {
 		var ack wire.IngestAck
 		if err := client.Call(wire.MsgIngestHello, wire.IngestHello{
@@ -613,7 +613,10 @@ func nextRequest(cfg Config, rng *rand.Rand, rooms []wire.RoomInfo, tick *atomic
 	case OpPresence:
 		u := rng.Intn(cfg.Users)
 		room := rooms[rng.Intn(len(rooms))]
-		return wire.MsgPresence, wire.Presence{
+		// Pointer bodies ride the client's append-encode fast path
+		// (wire.Appender), so the generator itself stays off the
+		// allocating marshal path for the hot mix entries.
+		return wire.MsgPresence, &wire.Presence{
 			Device:  wire.FormatAddr(UserDevice(u)),
 			Room:    room.ID,
 			At:      sim.Tick(tick.Add(1)),
@@ -631,7 +634,7 @@ func nextRequest(cfg Config, rng *rand.Rand, rooms []wire.RoomInfo, tick *atomic
 				Present: true,
 			})
 		}
-		return wire.MsgPresenceBatch, frame
+		return wire.MsgPresenceBatch, &frame
 	case OpSubscribe:
 		// Alternate subscribe/unsubscribe so the run churns the fan-out
 		// registration path, not just one static registration. The
@@ -650,7 +653,7 @@ func nextRequest(cfg Config, rng *rand.Rand, rooms []wire.RoomInfo, tick *atomic
 		}
 	case OpAt:
 		lo, upper := historyWindow(cfg, tick)
-		return wire.MsgLocateAt, wire.LocateAt{
+		return wire.MsgLocateAt, &wire.LocateAt{
 			Querier: UserName(rng.Intn(cfg.Users)),
 			Target:  UserName(rng.Intn(cfg.Users)),
 			At:      sim.Tick(lo + rng.Int63n(upper-lo+1)),
@@ -737,7 +740,7 @@ func historyWindow(cfg Config, tick *atomic.Int64) (lo, hi int64) {
 func locateRequest(cfg Config, rng *rand.Rand) (wire.MsgType, any) {
 	querier := rng.Intn(cfg.Users)
 	target := rng.Intn(cfg.Users)
-	return wire.MsgLocate, wire.Locate{
+	return wire.MsgLocate, &wire.Locate{
 		Querier: UserName(querier),
 		Target:  UserName(target),
 	}

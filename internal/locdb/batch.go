@@ -25,13 +25,15 @@ type Mutation struct {
 	At      sim.Tick
 }
 
-// shardBatch groups a batch's mutations by destination shard, in first-
-// touch order, preserving the batch's relative order within each shard
-// (which is all that matters: every stored fact is per-device, and a
-// device always maps to one shard).
-type shardBatch struct {
-	idx  int
-	muts []Mutation
+// batchScratch is ApplyBatch's reusable grouping storage, pooled on the
+// DB so a steady stream of ingest frames does not allocate a fresh set
+// of group slices per frame. Everything in it is value-typed, so
+// returning it to the pool retains no references.
+type batchScratch struct {
+	idx    []int32    // per-mutation destination shard
+	counts []int32    // per-shard offsets during the counting sort
+	order  []Mutation // mutations regrouped by shard, batch order within
+	events []Event
 }
 
 // ApplyBatch applies a batch of mutations, acquiring each destination
@@ -51,40 +53,69 @@ func (db *DB) ApplyBatch(muts []Mutation) int {
 	if len(muts) == 0 {
 		return 0
 	}
-	// Group by shard. The number of distinct shards touched is small
-	// (bounded by both the batch and the shard count), so a linear scan
-	// over the group list beats allocating a per-shard table.
-	groups := make([]shardBatch, 0, 8)
-	for _, m := range muts {
-		idx := db.shardIdxOf(m.Dev)
-		found := false
-		for gi := range groups {
-			if groups[gi].idx == idx {
-				groups[gi].muts = append(groups[gi].muts, m)
-				found = true
-				break
-			}
-		}
-		if !found {
-			groups = append(groups, shardBatch{idx: idx, muts: []Mutation{m}})
-		}
+	sc, _ := db.batchPool.Get().(*batchScratch)
+	if sc == nil {
+		sc = &batchScratch{}
 	}
+	// Group by shard with a stable counting sort into pooled scratch:
+	// one pass to bucket-count, one to scatter. Stability preserves the
+	// batch's relative order within each shard, which is all that
+	// matters — every stored fact is per-device, and a device always
+	// maps to one shard.
+	n := len(db.shards)
+	if cap(sc.counts) < n {
+		sc.counts = make([]int32, n)
+	}
+	counts := sc.counts[:n]
+	for i := range counts {
+		counts[i] = 0
+	}
+	if cap(sc.idx) < len(muts) {
+		sc.idx = make([]int32, len(muts))
+	}
+	idx := sc.idx[:len(muts)]
+	for i := range muts {
+		j := int32(db.shardIdxOf(muts[i].Dev))
+		idx[i] = j
+		counts[j]++
+	}
+	if cap(sc.order) < len(muts) {
+		sc.order = make([]Mutation, len(muts))
+	}
+	order := sc.order[:len(muts)]
+	sum := int32(0)
+	for j := range counts {
+		c := counts[j]
+		counts[j] = sum
+		sum += c
+	}
+	for i := range muts {
+		j := idx[i]
+		order[counts[j]] = muts[i]
+		counts[j]++
+	}
+	// counts[j] is now the end offset of shard j's run in order.
 
 	applied := 0
-	events := make([]Event, 0, len(muts))
-	for _, g := range groups {
-		sh := db.shards[g.idx]
+	events := sc.events[:0]
+	start := int32(0)
+	for j := 0; j < n; j++ {
+		end := counts[j]
+		if end == start {
+			continue
+		}
+		sh := db.shards[j]
 		sh.mu.Lock()
-		for _, m := range g.muts {
+		for _, m := range order[start:end] {
 			var (
 				ev      Event
 				changed bool
 			)
 			switch m.Op {
 			case MutPresence:
-				ev, changed = db.setPresenceLocked(sh, g.idx, m.Dev, m.Piconet, m.At)
+				ev, changed = db.setPresenceLocked(sh, j, m.Dev, m.Piconet, m.At)
 			case MutAbsence:
-				ev, changed = db.setAbsenceLocked(sh, g.idx, m.Dev, m.Piconet, m.At)
+				ev, changed = db.setAbsenceLocked(sh, j, m.Dev, m.Piconet, m.At)
 			}
 			if changed {
 				applied++
@@ -92,9 +123,12 @@ func (db *DB) ApplyBatch(muts []Mutation) int {
 			}
 		}
 		sh.mu.Unlock()
+		start = end
 	}
 	for _, ev := range events {
 		db.notify(ev)
 	}
+	sc.events = events[:0]
+	db.batchPool.Put(sc)
 	return applied
 }

@@ -56,8 +56,10 @@ func benchmarkLocdb(b *testing.B, shards int) {
 func BenchmarkLocdbSingleMutex(b *testing.B) { benchmarkLocdb(b, 1) }
 func BenchmarkLocdbSharded(b *testing.B)     { benchmarkLocdb(b, 16) }
 
-// BenchmarkLocdbSnapshotAll measures the lock-free full-database read used
-// by administrative snapshot queries.
+// BenchmarkLocdbSnapshotAll measures the full-database read used by
+// administrative snapshot queries. On a quiescent database this is the
+// cached merged snapshot: a version-vector check and a shared slice,
+// zero allocation — not an O(devices) rebuild per call.
 func BenchmarkLocdbSnapshotAll(b *testing.B) {
 	db := New()
 	for i := 0; i < 1024; i++ {
@@ -71,4 +73,42 @@ func BenchmarkLocdbSnapshotAll(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkLocdbSnapshotAllChurn measures All under write churn: every
+// iteration moves one device and re-reads, so each call pays the full
+// re-merge. This is the bound the cache does NOT help with, kept honest
+// next to the quiescent number above.
+func BenchmarkLocdbSnapshotAllChurn(b *testing.B) {
+	db := New()
+	for i := 0; i < 1024; i++ {
+		db.SetPresence(baseband.BDAddr(0xB000_0000_0001+uint64(i)), graph.NodeID(i%32), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.SetPresence(baseband.BDAddr(0xB000_0000_0001+uint64(i%1024)), graph.NodeID((i+i/1024)%32), sim.Tick(i+1))
+		if got := db.All(); len(got) != 1024 {
+			b.Fatalf("All returned %d fixes", len(got))
+		}
+	}
+}
+
+// BenchmarkLocdbAllSince measures the incremental snapshot poll: one
+// device moves between polls, so each delta re-merges once and then
+// diffs two sorted slices to a single changed fix.
+func BenchmarkLocdbAllSince(b *testing.B) {
+	db := New()
+	for i := 0; i < 1024; i++ {
+		db.SetPresence(baseband.BDAddr(0xB000_0000_0001+uint64(i)), graph.NodeID(i%32), 0)
+	}
+	base := db.SnapshotToken()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.SetPresence(baseband.BDAddr(0xB000_0000_0001+uint64(i%1024)), graph.NodeID((i+i/1024)%32), sim.Tick(i+1))
+		d := db.AllSince(base)
+		if d.Full {
+			b.Fatalf("base %d evicted from ring after a single rebuild", base)
+		}
+		base = d.Token
+	}
 }

@@ -1,0 +1,13 @@
+package locdb
+
+// SetSnapTokenForTest jumps the merged-snapshot token counter so tests
+// can exercise the wrap-around (the counter must skip zero, which is
+// the "no base" sentinel). The next rebuild issues v+1.
+func (db *DB) SetSnapTokenForTest(v uint64) {
+	db.allMu.Lock()
+	db.allToken = v
+	db.allMu.Unlock()
+}
+
+// SnapRingSizeForTest exposes the delta ring depth for eviction tests.
+const SnapRingSizeForTest = snapRingSize

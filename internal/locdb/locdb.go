@@ -132,14 +132,15 @@ func newShard(historyLimit int) *shard {
 	return s
 }
 
-// snapshot returns the shard's current fixes. In the steady state (no
-// mutation since the last call) it is lock-free: two atomic loads, no
-// mutex. After a mutation it rebuilds under the read lock and publishes
-// the result for subsequent callers. The returned slice is immutable.
-func (sh *shard) snapshot() []Fix {
+// snapshot returns the shard's current fixes paired with the shard
+// version they were built at. In the steady state (no mutation since
+// the last call) it is lock-free: two atomic loads, no mutex. After a
+// mutation it rebuilds under the read lock and publishes the result for
+// subsequent callers. The returned snapshot is immutable.
+func (sh *shard) snapshot() *shardSnap {
 	v := sh.version.Load()
 	if s := sh.snap.Load(); s.version == v {
-		return s.fixes
+		return s
 	}
 	sh.mu.RLock()
 	// Re-read under the lock: the version observed here is consistent
@@ -151,8 +152,9 @@ func (sh *shard) snapshot() []Fix {
 	}
 	sh.mu.RUnlock()
 	sort.Slice(fixes, func(i, j int) bool { return fixes[i].Device < fixes[j].Device })
-	sh.snap.Store(&shardSnap{version: v, fixes: fixes})
-	return fixes
+	s := &shardSnap{version: v, fixes: fixes}
+	sh.snap.Store(s)
+	return s
 }
 
 // DB is the central location database. It is safe for concurrent use: in
@@ -171,6 +173,23 @@ type DB struct {
 	subsMu  sync.RWMutex
 	subs    map[int]func(Event)
 	nextSub int
+	// subsList is the subscription-ordered callback list notify iterates,
+	// rebuilt on (un)subscribe and read through one atomic load so the
+	// per-delta hot path allocates nothing.
+	subsList atomic.Pointer[[]func(Event)]
+
+	// Merged-snapshot cache: allCur is the last full merge (with the
+	// per-shard versions it was built from), allRing keeps the most
+	// recent builds so AllSince can serve deltas against a base a client
+	// still holds. See snapshot.go.
+	allMu     sync.Mutex
+	allCur    atomic.Pointer[allSnap]
+	allRing   [snapRingSize]*allSnap
+	allRingAt int
+	allToken  uint64
+
+	// batchPool recycles ApplyBatch's grouping scratch (see batch.go).
+	batchPool sync.Pool
 
 	// snapshotQueries counts All calls (the hot per-device counters are
 	// per shard).
@@ -442,18 +461,15 @@ func (db *DB) Occupants(piconet graph.NodeID) []baseband.BDAddr {
 	return out
 }
 
-// All returns every current fix, in ascending device order. It uses the
-// per-shard snapshot path: on a quiescent database it performs no lock
-// acquisition at all, which is what makes frequent full-building snapshot
-// queries cheap while workstations keep reporting.
+// All returns every current fix, in ascending device order. The merged
+// view is cached against a per-shard version vector: on a quiescent
+// database the call is a handful of atomic loads and ZERO allocation —
+// no O(devices) rebuild per call — and after mutations exactly one
+// caller pays the re-merge (see snapshot.go). The returned slice is
+// shared and immutable: callers must not modify it.
 func (db *DB) All() []Fix {
 	db.snapshotQueries.Add(1)
-	var out []Fix
-	for _, sh := range db.shards {
-		out = append(out, sh.snapshot()...)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })
-	return out
+	return db.allSnapshot().fixes
 }
 
 // History returns the device's recorded movement history, oldest first.
@@ -521,31 +537,40 @@ func (db *DB) Subscribe(fn func(Event)) (cancel func()) {
 	id := db.nextSub
 	db.nextSub++
 	db.subs[id] = fn
+	db.rebuildSubsLocked()
 	return func() {
 		db.subsMu.Lock()
 		defer db.subsMu.Unlock()
 		delete(db.subs, id)
+		db.rebuildSubsLocked()
 	}
 }
 
-// notify delivers an event to all subscribers in subscription order.
-func (db *DB) notify(ev Event) {
-	db.subsMu.RLock()
-	if len(db.subs) == 0 {
-		db.subsMu.RUnlock()
-		return
-	}
-	fns := make([]func(Event), 0, len(db.subs))
+// rebuildSubsLocked republishes the subscription-ordered callback list.
+// The caller holds subsMu.
+func (db *DB) rebuildSubsLocked() {
 	ids := make([]int, 0, len(db.subs))
 	for id := range db.subs {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
+	fns := make([]func(Event), 0, len(ids))
 	for _, id := range ids {
 		fns = append(fns, db.subs[id])
 	}
-	db.subsMu.RUnlock()
-	for _, fn := range fns {
+	db.subsList.Store(&fns)
+}
+
+// notify delivers an event to all subscribers in subscription order.
+// The callback list is prebuilt, so a delta with no subscribers — and
+// the common case of a stable subscriber set — costs one atomic load
+// and no allocation.
+func (db *DB) notify(ev Event) {
+	fns := db.subsList.Load()
+	if fns == nil {
+		return
+	}
+	for _, fn := range *fns {
 		fn(ev)
 	}
 }

@@ -1,0 +1,210 @@
+package locdb_test
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"bips/internal/baseband"
+	"bips/internal/graph"
+	"bips/internal/locdb"
+	"bips/internal/sim"
+)
+
+// deltaClient mirrors server state by applying AllSince deltas, the way
+// a remote snapshot poller would.
+type deltaClient struct {
+	token locdb.SnapToken
+	state map[baseband.BDAddr]locdb.Fix
+}
+
+func newDeltaClient() *deltaClient {
+	return &deltaClient{state: make(map[baseband.BDAddr]locdb.Fix)}
+}
+
+func (c *deltaClient) poll(t *testing.T, db *locdb.DB) {
+	t.Helper()
+	d := db.AllSince(c.token)
+	if d.Full {
+		if len(d.Removed) != 0 {
+			t.Fatalf("full delta carries Removed entries: %v", d.Removed)
+		}
+		c.state = make(map[baseband.BDAddr]locdb.Fix, len(d.Fixes))
+	}
+	for _, f := range d.Fixes {
+		c.state[f.Device] = f
+	}
+	for _, dev := range d.Removed {
+		if _, ok := c.state[dev]; !ok {
+			t.Fatalf("delta removes device %#x the client never had", uint64(dev))
+		}
+		delete(c.state, dev)
+	}
+	c.token = d.Token
+}
+
+// fixes returns the client state in All() order.
+func (c *deltaClient) fixes() []locdb.Fix {
+	out := make([]locdb.Fix, 0, len(c.state))
+	for _, f := range c.state {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })
+	return out
+}
+
+func checkConverged(t *testing.T, db *locdb.DB, c *deltaClient) {
+	t.Helper()
+	want := db.All()
+	got := c.fixes()
+	if len(want) == 0 && len(got) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("delta-applied state diverged from full snapshot:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestAllSinceParity drives a random mutation script and checks that a
+// client applying incremental deltas converges to byte-identical state
+// with the full All() rebuild after every poll.
+func TestAllSinceParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xB1B5))
+	db, err := locdb.NewSharded(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	client := newDeltaClient()
+	const devices = 64
+	for step := 0; step < 400; step++ {
+		// Mutate: a mix of direct sets, batches, and drops.
+		switch rng.Intn(4) {
+		case 0: // single presence
+			db.SetPresence(baseband.BDAddr(1+rng.Intn(devices)), graph.NodeID(rng.Intn(8)), sim.Tick(step))
+		case 1: // single absence
+			db.SetAbsence(baseband.BDAddr(1+rng.Intn(devices)), graph.NodeID(rng.Intn(8)), sim.Tick(step))
+		case 2: // batch
+			n := 1 + rng.Intn(12)
+			muts := make([]locdb.Mutation, 0, n)
+			for k := 0; k < n; k++ {
+				op := locdb.MutPresence
+				if rng.Intn(3) == 0 {
+					op = locdb.MutAbsence
+				}
+				muts = append(muts, locdb.Mutation{
+					Op:      op,
+					Dev:     baseband.BDAddr(1 + rng.Intn(devices)),
+					Piconet: graph.NodeID(rng.Intn(8)),
+					At:      sim.Tick(step),
+				})
+			}
+			db.ApplyBatch(muts)
+		case 3: // drop
+			db.Drop(baseband.BDAddr(1 + rng.Intn(devices)))
+		}
+		// Poll sometimes (so several mutations can pile into one delta),
+		// and always verify on the polls we do make.
+		if rng.Intn(3) == 0 {
+			client.poll(t, db)
+			checkConverged(t, db, client)
+		}
+	}
+	client.poll(t, db)
+	checkConverged(t, db, client)
+}
+
+// TestAllSinceUnchanged checks the idle-poller contract: polling with a
+// current base returns the same token, no data, and performs no
+// allocation. Same for All() on a quiescent database.
+func TestAllSinceUnchanged(t *testing.T) {
+	db, err := locdb.NewSharded(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 50; i++ {
+		db.SetPresence(baseband.BDAddr(1+i), graph.NodeID(i%4), sim.Tick(i))
+	}
+
+	base := db.SnapshotToken()
+	d := db.AllSince(base)
+	if d.Token != base || d.Full || len(d.Fixes) != 0 || len(d.Removed) != 0 {
+		t.Fatalf("unchanged poll returned %+v, want empty delta with token %d", d, base)
+	}
+
+	if allocs := testing.AllocsPerRun(100, func() { db.All() }); allocs != 0 {
+		t.Errorf("All() on quiescent db allocates %.1f objects/call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { db.AllSince(base) }); allocs != 0 {
+		t.Errorf("AllSince(current) allocates %.1f objects/call, want 0", allocs)
+	}
+
+	// The quiescent snapshot is shared: both calls must return the same
+	// backing array rather than rebuilding.
+	a, b := db.All(), db.All()
+	if len(a) != 0 && &a[0] != &b[0] {
+		t.Error("quiescent All() calls returned different backing arrays")
+	}
+}
+
+// TestAllSinceRingEviction checks that a base pushed out of the
+// retained ring falls back to a Full snapshot rather than a bogus
+// delta.
+func TestAllSinceRingEviction(t *testing.T) {
+	db, err := locdb.NewSharded(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	db.SetPresence(1, 0, 1)
+	base := db.SnapshotToken()
+
+	// Force more rebuilds than the ring retains.
+	for i := 0; i < locdb.SnapRingSizeForTest+2; i++ {
+		db.SetPresence(baseband.BDAddr(10+i), 1, sim.Tick(10+i))
+		db.All()
+	}
+
+	d := db.AllSince(base)
+	if !d.Full {
+		t.Fatalf("evicted base should force Full delta, got %+v", d)
+	}
+	if want := db.All(); !reflect.DeepEqual(d.Fixes, want) {
+		t.Fatalf("full delta fixes = %v, want %v", d.Fixes, want)
+	}
+}
+
+// TestAllSinceTokenWrap drives the token counter across the uint64 wrap
+// and checks that (a) zero is skipped — a wrapped token never aliases
+// the "no base" sentinel — and (b) delta application stays correct
+// across the wrap.
+func TestAllSinceTokenWrap(t *testing.T) {
+	db, err := locdb.NewSharded(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	db.SetPresence(1, 0, 1)
+	client := newDeltaClient()
+	client.poll(t, db)
+	checkConverged(t, db, client)
+
+	db.SetSnapTokenForTest(math.MaxUint64 - 1)
+	for i := 0; i < 3; i++ {
+		db.SetPresence(baseband.BDAddr(2+i), 1, sim.Tick(2+i))
+		client.poll(t, db)
+		if client.token == 0 {
+			t.Fatal("token counter issued the reserved zero token on wrap")
+		}
+		checkConverged(t, db, client)
+	}
+	if client.token >= locdb.SnapToken(math.MaxUint64-1) {
+		t.Fatalf("token %d did not wrap", client.token)
+	}
+}

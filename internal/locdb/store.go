@@ -43,8 +43,17 @@ type Store interface {
 	History(dev baseband.BDAddr) []Fix
 	// Occupants returns the devices currently in the piconet, ascending.
 	Occupants(piconet graph.NodeID) []baseband.BDAddr
-	// All returns every current fix, in ascending device order.
+	// All returns every current fix, in ascending device order. The
+	// returned slice is a shared immutable snapshot: callers must not
+	// modify it.
 	All() []Fix
+	// AllSince returns the changes since the snapshot identified by
+	// base (zero or unknown base: a Full snapshot). Slices in the
+	// returned delta are shared and immutable.
+	AllSince(base SnapToken) AllDelta
+	// SnapshotToken returns the token identifying the current full
+	// snapshot, for use as a later AllSince base.
+	SnapshotToken() SnapToken
 	// Present returns the number of devices with a known position.
 	Present() int
 	// Dump returns every device's full state (current fix plus recorded

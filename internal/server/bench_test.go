@@ -8,6 +8,7 @@ import (
 	"bips/internal/building"
 	"bips/internal/locdb"
 	"bips/internal/registry"
+	"bips/internal/sim"
 	"bips/internal/wire"
 )
 
@@ -43,7 +44,9 @@ func benchServer(b *testing.B, shards int) *Server {
 }
 
 // BenchmarkDispatchLocate measures the pure request-execution path (no
-// sockets): decode, registry authorization, sharded locdb lookup, encode.
+// sockets) through the append-style hot path ServeConn uses: fast body
+// decode, registry authorization, sharded locdb lookup, append-encode
+// into a reused buffer.
 func BenchmarkDispatchLocate(b *testing.B) {
 	s := benchServer(b, locdb.DefaultShards)
 	env, err := wire.MarshalBody(wire.MsgLocate, 1, wire.Locate{Querier: "alice", Target: "bob"})
@@ -52,10 +55,11 @@ func BenchmarkDispatchLocate(b *testing.B) {
 	}
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
+		var buf []byte
 		for pb.Next() {
-			resp := s.dispatch(nil, env)
-			if resp.Type != wire.MsgLocateResult {
-				b.Fatalf("response = %+v", resp)
+			buf = s.DispatchBytes(env, buf[:0])
+			if len(buf) == 0 || buf[0] != '{' {
+				b.Fatalf("response = %q", buf)
 			}
 		}
 	})
@@ -83,9 +87,12 @@ func BenchmarkServeConnPipelined(b *testing.B) {
 		wg.Add(1)
 		go func(n int) {
 			defer wg.Done()
+			// Pointer bodies keep the client on the append-encode and
+			// fast-decode paths (no per-call interface boxing).
+			req := wire.Locate{Querier: "alice", Target: "bob"}
 			var res wire.LocateResult
 			for i := 0; i < n; i++ {
-				if err := client.Call(wire.MsgLocate, wire.Locate{Querier: "alice", Target: "bob"}, &res); err != nil {
+				if err := client.Call(wire.MsgLocate, &req, &res); err != nil {
 					b.Error(err)
 					return
 				}
@@ -93,6 +100,52 @@ func BenchmarkServeConnPipelined(b *testing.B) {
 		}(n)
 	}
 	wg.Wait()
+}
+
+// BenchmarkFanoutEventPush measures the full event push path: a
+// presence change flows through locdb's subscriber notify, the fan-out
+// tree's filters, and the connection pusher, and leaves as a pooled
+// pre-encoded frame. The client drains with a raw frame codec and one
+// reused receive buffer so the number reflects the server side.
+func BenchmarkFanoutEventPush(b *testing.B) {
+	s := benchServer(b, locdb.DefaultShards)
+	cliConn, srvConn := net.Pipe()
+	go s.ServeConn(srvConn)
+	codec := wire.NewFrameCodec(cliConn)
+	defer codec.Close()
+
+	sub, err := wire.MarshalBody(wire.MsgSubscribe, 1, wire.Subscribe{
+		ID: "track", Querier: "alice",
+		Filter: wire.SubFilter{Kind: wire.FilterDevice, Target: "bob"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := codec.Send(sub); err != nil {
+		b.Fatal(err)
+	}
+	var buf []byte
+	ack, buf, err := codec.RecvBuf(buf)
+	if err != nil || ack.Type != wire.MsgOK {
+		b.Fatalf("subscribe ack = %+v, %v", ack, err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate leave/enter so every mutation is exactly one event.
+		p := wire.Presence{Device: wire.FormatAddr(devB), Room: 6, At: 2 + sim.Tick(i), Present: i%2 == 1}
+		if err := s.ApplyPresence(p); err != nil {
+			b.Fatal(err)
+		}
+		var env wire.Envelope
+		env, buf, err = codec.RecvBuf(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if env.Type != wire.MsgEvent {
+			b.Fatalf("push type = %v", env.Type)
+		}
+	}
 }
 
 // BenchmarkServeConnBatch measures the bulk path: one envelope carrying

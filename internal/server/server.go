@@ -461,15 +461,42 @@ func errorEnvelope(seq uint64, err error) wire.Envelope {
 	return resp
 }
 
+// outMsg is one response (or push event) queued for the writer: either a
+// plain envelope or an already-encoded payload in a pooled buffer. When
+// buf is set, the queue owns it until the writer (or the teardown drain)
+// releases it after the send.
+type outMsg struct {
+	env wire.Envelope
+	buf *wire.Buf
+}
+
+// inlineRead reports whether a request type is dispatched inline on the
+// reader goroutine: cheap read-mostly queries whose handling costs less
+// than the goroutine handoff they would otherwise pay. Inline requests
+// bypass the MaxInFlight bound (they cannot pile up — the reader handles
+// at most one at a time) and never manage subscriptions, so they are
+// safe without a handler goroutine.
+func inlineRead(t wire.MsgType) bool {
+	switch t {
+	case wire.MsgLocate, wire.MsgLocateAt, wire.MsgStats:
+		return true
+	}
+	return false
+}
+
 // ServeConn handles one protocol connection until EOF. It is exported so
 // tests and in-memory deployments can drive the server over net.Pipe.
 //
 // The connection is served by this goroutine acting as the reader, one
 // writer goroutine serializing responses, and up to MaxInFlight transient
-// handler goroutines. A malformed message is answered with a MsgError
-// (correlation id 0, since a frame that failed to parse has no trustworthy
-// sequence number) and then the connection is closed; a transport error
-// just ends the connection.
+// handler goroutines — except for the cheap read queries (inlineRead),
+// which the reader dispatches itself to skip the per-request goroutine
+// handoff. Requests arrive in pooled receive buffers and responses leave
+// in pooled send buffers; see docs/ARCHITECTURE.md, "Buffer ownership
+// and release rules". A malformed message is answered with a MsgError
+// (correlation id 0, since a frame that failed to parse has no
+// trustworthy sequence number) and then the connection is closed; a
+// transport error just ends the connection.
 func (s *Server) ServeConn(conn io.ReadWriter) {
 	s.connTotal.Inc()
 	tr, terr := wire.ServerTransport(conn)
@@ -478,20 +505,35 @@ func (s *Server) ServeConn(conn io.ReadWriter) {
 		return
 	}
 
-	// Writer goroutine: the single owner of tr.Send for responses. It
-	// keeps draining after a send failure so handler goroutines can
-	// never block on a dead connection.
-	out := make(chan wire.Envelope, s.maxInFlight+1)
+	// Both codecs ServerTransport builds implement the pooled fast
+	// paths; the assertions keep a foreign Transport working through the
+	// allocating envelope path.
+	br, brOK := tr.(wire.BufRecver)
+	ps, psOK := tr.(wire.PayloadSender)
+	fast := brOK && psOK
+
+	// Writer goroutine: the single owner of response sends. It keeps
+	// draining (and releasing pooled buffers) after a send failure so
+	// handler goroutines can never block on a dead connection.
+	out := make(chan outMsg, s.maxInFlight+1)
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
 		sendFailed := false
-		for env := range out {
-			if sendFailed {
-				continue
+		for m := range out {
+			if !sendFailed {
+				var err error
+				if m.buf != nil {
+					err = ps.SendPayload(m.buf.B)
+				} else {
+					err = tr.Send(m.env)
+				}
+				if err != nil {
+					sendFailed = true
+				}
 			}
-			if err := tr.Send(env); err != nil {
-				sendFailed = true
+			if m.buf != nil {
+				m.buf.Release()
 			}
 		}
 	}()
@@ -507,7 +549,7 @@ func (s *Server) ServeConn(conn io.ReadWriter) {
 	if terr != nil {
 		// The very first byte already ruled out both protocol versions.
 		s.malformed.Inc()
-		out <- errorEnvelope(0, terr)
+		out <- outMsg{env: errorEnvelope(0, terr)}
 		finish()
 		return
 	}
@@ -521,29 +563,64 @@ func (s *Server) ServeConn(conn io.ReadWriter) {
 	var handlers sync.WaitGroup
 	sem := make(chan struct{}, s.maxInFlight)
 	for {
-		env, err := tr.Recv()
+		var env wire.Envelope
+		var reqBuf *wire.Buf
+		var err error
+		if fast {
+			// The reader owns the request buffer until dispatch has
+			// decoded the body out of it.
+			reqBuf = wire.GetBuf()
+			env, reqBuf.B, err = br.RecvBuf(reqBuf.B)
+		} else {
+			env, err = tr.Recv()
+		}
 		if err != nil {
+			if reqBuf != nil {
+				reqBuf.Release()
+			}
 			if errors.Is(err, wire.ErrMalformed) {
 				// Answer with a reason before closing instead of
 				// silently dropping the connection.
 				s.malformed.Inc()
-				out <- errorEnvelope(0, err)
+				out <- outMsg{env: errorEnvelope(0, err)}
 			}
 			break
 		}
+		if fast && inlineRead(env.Type) {
+			if s.beforeHandle != nil {
+				s.beforeHandle(env.Type)
+			}
+			start := time.Now()
+			resp := wire.GetBuf()
+			resp.B = s.dispatchAppend(cs, env, resp.B)
+			s.latency.ObserveDuration(time.Since(start))
+			reqBuf.Release()
+			out <- outMsg{buf: resp}
+			continue
+		}
 		sem <- struct{}{}
 		handlers.Add(1)
-		go func(env wire.Envelope) {
+		go func(env wire.Envelope, reqBuf *wire.Buf) {
 			defer handlers.Done()
 			defer func() { <-sem }()
 			if s.beforeHandle != nil {
 				s.beforeHandle(env.Type)
 			}
 			start := time.Now()
+			if fast {
+				resp := wire.GetBuf()
+				resp.B = s.dispatchAppend(cs, env, resp.B)
+				s.latency.ObserveDuration(time.Since(start))
+				// dispatchAppend decoded everything it needs out of
+				// env.Body, so the request buffer can go back.
+				reqBuf.Release()
+				out <- outMsg{buf: resp}
+				return
+			}
 			resp := s.dispatch(cs, env)
 			s.latency.ObserveDuration(time.Since(start))
-			out <- resp
-		}(env)
+			out <- outMsg{env: resp}
+		}(env, reqBuf)
 	}
 	handlers.Wait()
 	// Handlers are done, so nobody can add subscriptions anymore: cancel
@@ -551,6 +628,72 @@ func (s *Server) ServeConn(conn io.ReadWriter) {
 	// the writer flushes out.
 	cs.shutdown()
 	finish()
+}
+
+// dispatchAppend executes one request and appends the encoded response
+// envelope to buf. The hot read and ingest types are decoded and encoded
+// through the wire package's zero-allocation paths; everything else
+// delegates to dispatch and re-encodes its envelope, which costs what it
+// always did. env.Body may alias a pooled request buffer — it is dead
+// once this function returns.
+func (s *Server) dispatchAppend(cs *connSubs, env wire.Envelope, buf []byte) []byte {
+	fail := func(err error) []byte {
+		s.errCount.Inc()
+		werr := wire.Error{Code: errorCode(err), Message: err.Error()}
+		return wire.AppendEnvelope(buf, wire.MsgError, env.Seq, &werr)
+	}
+	switch env.Type {
+	case wire.MsgLocate:
+		s.reqCount[wire.MsgLocate].Inc()
+		var q wire.Locate
+		if !q.DecodeBody(env.Body) {
+			if err := wire.UnmarshalBody(env, &q); err != nil {
+				return fail(err)
+			}
+		}
+		res, err := s.Locate(q)
+		if err != nil {
+			return fail(err)
+		}
+		return wire.AppendEnvelope(buf, wire.MsgLocateResult, env.Seq, &res)
+	case wire.MsgLocateAt:
+		s.reqCount[wire.MsgLocateAt].Inc()
+		var q wire.LocateAt
+		if !q.DecodeBody(env.Body) {
+			if err := wire.UnmarshalBody(env, &q); err != nil {
+				return fail(err)
+			}
+		}
+		res, err := s.LocateAt(q)
+		if err != nil {
+			return fail(err)
+		}
+		return wire.AppendEnvelope(buf, wire.MsgLocateResult, env.Seq, &res)
+	case wire.MsgPresenceBatch:
+		s.reqCount[wire.MsgPresenceBatch].Inc()
+		var b wire.PresenceBatch
+		if err := wire.UnmarshalBody(env, &b); err != nil {
+			return fail(err)
+		}
+		ack, err := s.ingest.Apply(b)
+		if err != nil {
+			return fail(err)
+		}
+		return wire.AppendEnvelope(buf, wire.MsgIngestAck, env.Seq, &ack)
+	default:
+		return wire.AppendEnvelopeRaw(buf, s.dispatch(cs, env))
+	}
+}
+
+// DispatchBytes executes one decoded request envelope through the
+// append-style dispatch path and returns buf extended with the encoded
+// response envelope. It is the transport-free entry point the
+// allocation-budget suite and benchmarks measure; ServeConn goes
+// through the same code. env.Body may alias a caller-owned buffer — it
+// is dead once the call returns. Subscription management types are not
+// supported (they need per-connection state).
+func (s *Server) DispatchBytes(env wire.Envelope, buf []byte) []byte {
+	return s.dispatchAppend(nil, env, buf)
 }
 
 // dispatch executes one request envelope and returns the response

@@ -96,13 +96,17 @@ func WithMaxSubsPerConn(n int) Option {
 type connSubs struct {
 	srv *Server
 	tr  wire.Transport
+	// ps is the transport's pooled-payload send path (nil for foreign
+	// transports); events are encoded once into a pooled buffer at
+	// publish time and the pump writes the bytes straight out.
+	ps wire.PayloadSender
 	// raw severs the underlying connection without taking transport
 	// locks — Transport.Close takes the write mutex, which a Send
 	// stalled on a full socket holds, so the slow-consumer backstop
 	// must bypass it.
 	raw io.Closer
 
-	events chan wire.Envelope
+	events chan outMsg
 	kill   chan struct{}
 
 	startOnce sync.Once
@@ -117,15 +121,17 @@ type connSubs struct {
 }
 
 func newConnSubs(s *Server, tr wire.Transport, raw io.Closer) *connSubs {
-	return &connSubs{
+	cs := &connSubs{
 		srv:      s,
 		tr:       tr,
 		raw:      raw,
-		events:   make(chan wire.Envelope, s.eventBuffer),
+		events:   make(chan outMsg, s.eventBuffer),
 		kill:     make(chan struct{}),
 		pumpDone: make(chan struct{}),
 		subs:     make(map[string]*fanout.Subscription),
 	}
+	cs.ps, _ = tr.(wire.PayloadSender)
+	return cs
 }
 
 // add registers one subscription: reserve the id, register on the
@@ -151,7 +157,7 @@ func (cs *connSubs) add(id string, f fanout.Filter) error {
 
 	cs.startOnce.Do(func() { go cs.pump() })
 	fsub := cs.srv.tree.Subscribe(f, func(e fanout.Event) {
-		cs.push(cs.srv.eventEnvelope(id, e))
+		cs.push(cs.eventMsg(id, e))
 	})
 	cs.mu.Lock()
 	cs.subs[id] = fsub
@@ -176,25 +182,31 @@ func (cs *connSubs) drop(id string) error {
 	return nil
 }
 
-// push enqueues one event envelope without ever blocking: it runs
+// push enqueues one encoded event without ever blocking: it runs
 // inside a fan-out callback, under the tree lock, on whatever
 // goroutine applied the presence delta. A full buffer drops the event
-// (accounted, never silent); crossing the drop limit declares the
-// connection a slow consumer.
-func (cs *connSubs) push(env wire.Envelope) {
+// (accounted, never silent — and the pooled payload is released);
+// crossing the drop limit declares the connection a slow consumer.
+func (cs *connSubs) push(m outMsg) {
 	cs.mu.Lock()
 	if cs.closed || cs.killed {
 		cs.mu.Unlock()
+		if m.buf != nil {
+			m.buf.Release()
+		}
 		return
 	}
 	select {
-	case cs.events <- env:
+	case cs.events <- m:
 		cs.mu.Unlock()
 		cs.srv.evPushed.Inc()
 	default:
 		cs.drops++
 		over := cs.drops >= int64(cs.srv.dropLimit)
 		cs.mu.Unlock()
+		if m.buf != nil {
+			m.buf.Release()
+		}
 		cs.srv.evDropped.Inc()
 		if over {
 			cs.killSlow()
@@ -226,16 +238,29 @@ func (cs *connSubs) killSlow() {
 // connection's first subscription.
 func (cs *connSubs) pump() {
 	defer close(cs.pumpDone)
+	sendFailed := false
 	for {
 		select {
-		case env, ok := <-cs.events:
+		case m, ok := <-cs.events:
 			if !ok {
 				return
 			}
-			if err := cs.tr.Send(env); err != nil {
-				// The connection is gone; keep draining so shutdown
-				// can close the channel without anything queued.
-				continue
+			if !sendFailed {
+				var err error
+				if m.buf != nil {
+					err = cs.ps.SendPayload(m.buf.B)
+				} else {
+					err = cs.tr.Send(m.env)
+				}
+				if err != nil {
+					// The connection is gone; keep draining (and
+					// releasing) so shutdown can close the channel
+					// without anything queued.
+					sendFailed = true
+				}
+			}
+			if m.buf != nil {
+				m.buf.Release()
 			}
 		case <-cs.kill:
 			resp, merr := wire.MarshalBody(wire.MsgError, 0, wire.Error{
@@ -248,8 +273,12 @@ func (cs *connSubs) pump() {
 			if cs.raw != nil {
 				_ = cs.raw.Close()
 			}
-			// Drain until shutdown closes the channel.
-			for range cs.events { //nolint:revive // intentional drain
+			// Drain until shutdown closes the channel, releasing every
+			// queued payload.
+			for m := range cs.events {
+				if m.buf != nil {
+					m.buf.Release()
+				}
 			}
 			return
 		}
@@ -350,11 +379,11 @@ func (s *Server) resolveFilter(req wire.Subscribe) (fanout.Filter, error) {
 	}
 }
 
-// eventEnvelope renders one fan-out event as a MsgEvent push envelope
-// (correlation id 0) for the subscription with the given id. It runs
-// under the tree lock; the registry lookup is the only other lock it
-// takes, and the registry never calls into the tree.
-func (s *Server) eventEnvelope(id string, e fanout.Event) wire.Envelope {
+// eventBody renders one fan-out event as a MsgEvent body for the
+// subscription with the given id. It runs under the tree lock; the
+// registry lookup is the only other lock it takes, and the registry
+// never calls into the tree.
+func (s *Server) eventBody(id string, e fanout.Event) wire.Event {
 	body := wire.Event{
 		Sub:       id,
 		Kind:      string(e.Kind),
@@ -369,11 +398,25 @@ func (s *Server) eventEnvelope(id string, e fanout.Event) wire.Envelope {
 			body.User = string(user)
 		}
 	}
-	env, err := wire.MarshalBody(wire.MsgEvent, 0, body)
-	if err != nil {
-		// Marshalling a flat struct cannot fail; deliver an empty
-		// event rather than nothing.
-		return wire.Envelope{Type: wire.MsgEvent}
+	return body
+}
+
+// eventMsg encodes one fan-out event as a queued push message. On the
+// pooled path the MsgEvent envelope is appended straight into a pooled
+// buffer owned by the event queue until the pump (or a drop/teardown
+// path) releases it; foreign transports get a marshaled envelope.
+func (cs *connSubs) eventMsg(id string, e fanout.Event) outMsg {
+	body := cs.srv.eventBody(id, e)
+	if cs.ps == nil {
+		env, err := wire.MarshalBody(wire.MsgEvent, 0, body)
+		if err != nil {
+			// Marshalling a flat struct cannot fail; deliver an empty
+			// event rather than nothing.
+			return outMsg{env: wire.Envelope{Type: wire.MsgEvent}}
+		}
+		return outMsg{env: env}
 	}
-	return env
+	buf := wire.GetBuf()
+	buf.B = wire.AppendEnvelope(buf.B, wire.MsgEvent, 0, &body)
+	return outMsg{buf: buf}
 }

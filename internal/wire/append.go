@@ -1,0 +1,664 @@
+// Zero-allocation encode/decode path for the hot message types.
+//
+// The encoding/json round trip dominates the serving-tier allocation
+// profile (BENCH_PR4.json: 46 allocs per pipelined locate), so the hot
+// types carry hand-rolled append-style encoders (AppendTo) and strict
+// decoders (DecodeBody) that are verified byte-identical to
+// encoding/json by differential and fuzz tests (append_test.go). The
+// rules that keep this safe:
+//
+//   - AppendTo output MUST equal json.Marshal output byte for byte —
+//     including encoding/json's HTML escaping of '<', '>', '&' — so v1
+//     and v2 frames are indistinguishable from the marshaled form and
+//     docs/PROTOCOL.md's hex examples stay valid.
+//   - DecodeBody accepts exactly the canonical encoding this package
+//     produces and reports false on anything else; callers MUST fall
+//     back to UnmarshalBody so foreign-but-valid JSON keeps working.
+//   - Pooled buffers (Buf) have a single owner at any instant. The
+//     owner — and only the owner — calls Release exactly once, after
+//     which the buffer and any Envelope.Body aliasing it are invalid.
+//     See docs/ARCHITECTURE.md, "Buffer ownership and release rules".
+package wire
+
+import (
+	"encoding/json"
+	"strconv"
+	"sync"
+	"unicode/utf8"
+
+	"bips/internal/graph"
+	"bips/internal/sim"
+)
+
+// Appender is implemented by message bodies that can encode themselves
+// by appending their canonical JSON to buf, byte-identical to
+// json.Marshal, without allocating (beyond growing buf).
+type Appender interface {
+	AppendTo(buf []byte) []byte
+}
+
+// BodyDecoder is implemented by message bodies that can decode the
+// canonical encoding this package produces without allocating
+// intermediate state. DecodeBody reports false when body is not in
+// canonical form — the caller must then fall back to UnmarshalBody,
+// which accepts any valid JSON. On false the receiver may be partially
+// overwritten.
+type BodyDecoder interface {
+	DecodeBody(body []byte) bool
+}
+
+// Buf is a pooled frame buffer. Get one with GetBuf, append into B
+// (always through the returned slice: B = append(B, ...)), and Release
+// it when — and only when — you are its current owner and are done with
+// every view into it. Ownership transfers are explicit and linear:
+// reader → handler for request buffers, handler → writer for response
+// buffers. Double release or use after release corrupts the pool; the
+// -race aliasing tests exist to catch exactly that.
+type Buf struct {
+	B []byte
+}
+
+// maxPooledBuf bounds what Release returns to the pool, so one huge
+// frame (a 4096-delta presence batch) does not pin megabytes forever.
+const maxPooledBuf = 64 << 10
+
+var bufPool = sync.Pool{
+	New: func() any { return &Buf{B: make([]byte, 0, 512)} },
+}
+
+// GetBuf returns an empty pooled buffer. The caller becomes its owner.
+func GetBuf() *Buf {
+	b := bufPool.Get().(*Buf)
+	b.B = b.B[:0]
+	return b
+}
+
+// Release returns the buffer to the pool. After Release the buffer, and
+// every byte slice or Envelope.Body that aliased it, must not be
+// touched.
+func (b *Buf) Release() {
+	if cap(b.B) > maxPooledBuf {
+		return
+	}
+	bufPool.Put(b)
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string, replicating
+// encoding/json's escaping exactly: HTML escaping on ('<', '>', '&'
+// become \u003c, \u003e, \u0026), short escapes for quote, backslash,
+// newline, carriage return and tab, \u00xx for other control bytes,
+// U+2028/U+2029 escaped, and each invalid UTF-8 byte encoded as the
+// replacement-character escape \ufffd.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			buf = append(buf, s[start:i]...)
+			switch b {
+			case '\\':
+				buf = append(buf, '\\', '\\')
+			case '"':
+				buf = append(buf, '\\', '"')
+			case '\n':
+				buf = append(buf, '\\', 'n')
+			case '\r':
+				buf = append(buf, '\\', 'r')
+			case '\t':
+				buf = append(buf, '\\', 't')
+			default:
+				buf = append(buf, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			buf = append(buf, s[start:i]...)
+			buf = append(buf, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			buf = append(buf, s[start:i]...)
+			buf = append(buf, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	buf = append(buf, s[start:]...)
+	return append(buf, '"')
+}
+
+// AppendEnvelope appends the canonical encoding of an envelope carrying
+// body. A nil body yields an envelope without a body key, exactly like
+// marshaling an Envelope with an empty Body (omitempty). Pass body as a
+// pointer so the interface conversion does not allocate.
+func AppendEnvelope(buf []byte, t MsgType, seq uint64, body Appender) []byte {
+	buf = append(buf, `{"type":`...)
+	buf = appendJSONString(buf, string(t))
+	buf = append(buf, `,"seq":`...)
+	buf = strconv.AppendUint(buf, seq, 10)
+	if body != nil {
+		buf = append(buf, `,"body":`...)
+		buf = body.AppendTo(buf)
+	}
+	return append(buf, '}')
+}
+
+// AppendEnvelopeRaw appends the canonical encoding of an envelope whose
+// body is already-encoded JSON (or absent when empty), byte-identical
+// to json.Marshal of the same Envelope when env.Body is compact.
+func AppendEnvelopeRaw(buf []byte, env Envelope) []byte {
+	buf = append(buf, `{"type":`...)
+	buf = appendJSONString(buf, string(env.Type))
+	buf = append(buf, `,"seq":`...)
+	buf = strconv.AppendUint(buf, env.Seq, 10)
+	if len(env.Body) > 0 {
+		buf = append(buf, `,"body":`...)
+		buf = append(buf, env.Body...)
+	}
+	return append(buf, '}')
+}
+
+// EmptyBody is the Appender for bodies with no fields — the MsgOK
+// response.
+type EmptyBody struct{}
+
+// AppendTo implements Appender.
+func (EmptyBody) AppendTo(buf []byte) []byte { return append(buf, '{', '}') }
+
+// AppendTo implements Appender.
+func (q Locate) AppendTo(buf []byte) []byte {
+	buf = append(buf, `{"querier":`...)
+	buf = appendJSONString(buf, q.Querier)
+	buf = append(buf, `,"target":`...)
+	buf = appendJSONString(buf, q.Target)
+	return append(buf, '}')
+}
+
+// AppendTo implements Appender.
+func (q LocateAt) AppendTo(buf []byte) []byte {
+	buf = append(buf, `{"querier":`...)
+	buf = appendJSONString(buf, q.Querier)
+	buf = append(buf, `,"target":`...)
+	buf = appendJSONString(buf, q.Target)
+	buf = append(buf, `,"at":`...)
+	buf = strconv.AppendInt(buf, int64(q.At), 10)
+	return append(buf, '}')
+}
+
+// AppendTo implements Appender.
+func (r LocateResult) AppendTo(buf []byte) []byte {
+	buf = append(buf, `{"room":`...)
+	buf = strconv.AppendInt(buf, int64(r.Room), 10)
+	buf = append(buf, `,"roomName":`...)
+	buf = appendJSONString(buf, r.RoomName)
+	buf = append(buf, `,"at":`...)
+	buf = strconv.AppendInt(buf, int64(r.At), 10)
+	return append(buf, '}')
+}
+
+// AppendTo implements Appender.
+func (p Presence) AppendTo(buf []byte) []byte {
+	buf = append(buf, `{"device":`...)
+	buf = appendJSONString(buf, p.Device)
+	buf = append(buf, `,"room":`...)
+	buf = strconv.AppendInt(buf, int64(p.Room), 10)
+	buf = append(buf, `,"at":`...)
+	buf = strconv.AppendInt(buf, int64(p.At), 10)
+	buf = append(buf, `,"present":`...)
+	if p.Present {
+		buf = append(buf, `true`...)
+	} else {
+		buf = append(buf, `false`...)
+	}
+	return append(buf, '}')
+}
+
+// AppendTo implements Appender.
+func (b PresenceBatch) AppendTo(buf []byte) []byte {
+	buf = append(buf, `{"session":`...)
+	buf = appendJSONString(buf, b.Session)
+	buf = append(buf, `,"seq":`...)
+	buf = strconv.AppendUint(buf, b.Seq, 10)
+	buf = append(buf, `,"deltas":`...)
+	if b.Deltas == nil {
+		buf = append(buf, `null`...)
+	} else {
+		buf = append(buf, '[')
+		for i := range b.Deltas {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = b.Deltas[i].AppendTo(buf)
+		}
+		buf = append(buf, ']')
+	}
+	return append(buf, '}')
+}
+
+// AppendTo implements Appender.
+func (h IngestHello) AppendTo(buf []byte) []byte {
+	buf = append(buf, `{"session":`...)
+	buf = appendJSONString(buf, h.Session)
+	buf = append(buf, `,"station":`...)
+	buf = appendJSONString(buf, h.Station)
+	buf = append(buf, `,"room":`...)
+	buf = strconv.AppendInt(buf, int64(h.Room), 10)
+	return append(buf, '}')
+}
+
+// AppendTo implements Appender.
+func (a IngestAck) AppendTo(buf []byte) []byte {
+	buf = append(buf, `{"acked":`...)
+	buf = strconv.AppendUint(buf, a.Acked, 10)
+	buf = append(buf, `,"applied":`...)
+	buf = strconv.AppendInt(buf, int64(a.Applied), 10)
+	if a.Rejected != 0 {
+		buf = append(buf, `,"rejected":`...)
+		buf = strconv.AppendInt(buf, int64(a.Rejected), 10)
+	}
+	if a.Duplicate {
+		buf = append(buf, `,"duplicate":true`...)
+	}
+	return append(buf, '}')
+}
+
+// AppendTo implements Appender.
+func (e Event) AppendTo(buf []byte) []byte {
+	buf = append(buf, `{"sub":`...)
+	buf = appendJSONString(buf, e.Sub)
+	buf = append(buf, `,"kind":`...)
+	buf = appendJSONString(buf, e.Kind)
+	if e.Device != "" {
+		buf = append(buf, `,"device":`...)
+		buf = appendJSONString(buf, e.Device)
+	}
+	if e.User != "" {
+		buf = append(buf, `,"user":`...)
+		buf = appendJSONString(buf, e.User)
+	}
+	buf = append(buf, `,"room":`...)
+	buf = strconv.AppendInt(buf, int64(e.Room), 10)
+	if e.RoomName != "" {
+		buf = append(buf, `,"roomName":`...)
+		buf = appendJSONString(buf, e.RoomName)
+	}
+	buf = append(buf, `,"at":`...)
+	buf = strconv.AppendInt(buf, int64(e.At), 10)
+	if e.Occupancy != 0 {
+		buf = append(buf, `,"occupancy":`...)
+		buf = strconv.AppendInt(buf, int64(e.Occupancy), 10)
+	}
+	return append(buf, '}')
+}
+
+// AppendTo implements Appender.
+func (e Error) AppendTo(buf []byte) []byte {
+	buf = append(buf, `{"code":`...)
+	buf = appendJSONString(buf, e.Code)
+	buf = append(buf, `,"message":`...)
+	buf = appendJSONString(buf, e.Message)
+	return append(buf, '}')
+}
+
+// DecodeEnvelope parses one frame payload into an Envelope. Canonical
+// payloads (the encoding this package itself produces) are parsed
+// without allocating: the MsgType is interned and Body ALIASES payload
+// — it is valid exactly as long as payload is, which for pooled receive
+// buffers means until Release. Anything non-canonical falls back to
+// json.Unmarshal, which copies. A payload that is not a JSON envelope
+// at all yields ErrMalformed.
+func DecodeEnvelope(payload []byte) (Envelope, error) {
+	if env, ok := decodeEnvelopeFast(payload); ok {
+		return env, nil
+	}
+	var env Envelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		return Envelope{}, err
+	}
+	return env, nil
+}
+
+// decodeEnvelopeFast parses exactly the canonical envelope encoding:
+// {"type":"...","seq":N} or {"type":"...","seq":N,"body":...} with an
+// escape-free known type, no surrounding whitespace, and a valid JSON
+// body. ok is false on any deviation.
+func decodeEnvelopeFast(p []byte) (env Envelope, ok bool) {
+	// Tolerate the v1 line terminator so both codecs can share this.
+	for len(p) > 0 && (p[len(p)-1] == '\n' || p[len(p)-1] == '\r') {
+		p = p[:len(p)-1]
+	}
+	const pre = `{"type":"`
+	if len(p) < len(pre)+2 || string(p[:len(pre)]) != pre {
+		return Envelope{}, false
+	}
+	i := len(pre)
+	j := i
+	for j < len(p) && p[j] != '"' {
+		if p[j] == '\\' {
+			return Envelope{}, false
+		}
+		j++
+	}
+	if j >= len(p) {
+		return Envelope{}, false
+	}
+	t, ok := internMsgType(p[i:j])
+	if !ok {
+		return Envelope{}, false
+	}
+	env.Type = t
+	i = j + 1
+	const seqKey = `,"seq":`
+	if len(p)-i < len(seqKey)+2 || string(p[i:i+len(seqKey)]) != seqKey {
+		return Envelope{}, false
+	}
+	i += len(seqKey)
+	if p[i] < '0' || p[i] > '9' {
+		return Envelope{}, false
+	}
+	var seq uint64
+	for i < len(p) && p[i] >= '0' && p[i] <= '9' {
+		d := uint64(p[i] - '0')
+		if seq > (^uint64(0)-d)/10 {
+			return Envelope{}, false
+		}
+		seq = seq*10 + d
+		i++
+	}
+	env.Seq = seq
+	if i == len(p)-1 && p[i] == '}' {
+		return env, true
+	}
+	const bodyKey = `,"body":`
+	if len(p)-i < len(bodyKey)+2 || string(p[i:i+len(bodyKey)]) != bodyKey {
+		return Envelope{}, false
+	}
+	i += len(bodyKey)
+	if p[len(p)-1] != '}' {
+		return Envelope{}, false
+	}
+	body := p[i : len(p)-1]
+	if len(body) == 0 || !json.Valid(body) {
+		return Envelope{}, false
+	}
+	env.Body = json.RawMessage(body)
+	return env, true
+}
+
+// internMsgType maps an escape-free wire type name onto the shared
+// MsgType constant so a decoded envelope does not allocate a fresh
+// string per frame. Unknown names report false and force the
+// json.Unmarshal fallback, which preserves the decode-anything
+// tolerance for foreign or future peers.
+func internMsgType(b []byte) (MsgType, bool) {
+	switch string(b) {
+	case string(MsgHello):
+		return MsgHello, true
+	case string(MsgPresence):
+		return MsgPresence, true
+	case string(MsgLogin):
+		return MsgLogin, true
+	case string(MsgLogout):
+		return MsgLogout, true
+	case string(MsgLocate):
+		return MsgLocate, true
+	case string(MsgLocateAt):
+		return MsgLocateAt, true
+	case string(MsgTrajectory):
+		return MsgTrajectory, true
+	case string(MsgPath):
+		return MsgPath, true
+	case string(MsgRooms):
+		return MsgRooms, true
+	case string(MsgBatch):
+		return MsgBatch, true
+	case string(MsgStats):
+		return MsgStats, true
+	case string(MsgIngestHello):
+		return MsgIngestHello, true
+	case string(MsgPresenceBatch):
+		return MsgPresenceBatch, true
+	case string(MsgContacts):
+		return MsgContacts, true
+	case string(MsgOccupancy):
+		return MsgOccupancy, true
+	case string(MsgDwell):
+		return MsgDwell, true
+	case string(MsgSubscribe):
+		return MsgSubscribe, true
+	case string(MsgUnsubscribe):
+		return MsgUnsubscribe, true
+	case string(MsgOK):
+		return MsgOK, true
+	case string(MsgLocateResult):
+		return MsgLocateResult, true
+	case string(MsgTrajectoryResult):
+		return MsgTrajectoryResult, true
+	case string(MsgPathResult):
+		return MsgPathResult, true
+	case string(MsgRoomsResult):
+		return MsgRoomsResult, true
+	case string(MsgBatchResult):
+		return MsgBatchResult, true
+	case string(MsgStatsResult):
+		return MsgStatsResult, true
+	case string(MsgIngestAck):
+		return MsgIngestAck, true
+	case string(MsgContactsResult):
+		return MsgContactsResult, true
+	case string(MsgOccupancyResult):
+		return MsgOccupancyResult, true
+	case string(MsgDwellResult):
+		return MsgDwellResult, true
+	case string(MsgEvent):
+		return MsgEvent, true
+	case string(MsgError):
+		return MsgError, true
+	}
+	return "", false
+}
+
+// expectLit matches lit at p[i:] and returns the index past it.
+func expectLit(p []byte, i int, lit string) (int, bool) {
+	if len(p)-i < len(lit) || string(p[i:i+len(lit)]) != lit {
+		return i, false
+	}
+	return i + len(lit), true
+}
+
+// scanPlainString parses a JSON string at p[i:] whose content has no
+// escapes (the common case for ids and room names); the returned slice
+// aliases p.
+func scanPlainString(p []byte, i int) (s []byte, next int, ok bool) {
+	if i >= len(p) || p[i] != '"' {
+		return nil, i, false
+	}
+	i++
+	j := i
+	for j < len(p) && p[j] != '"' {
+		if p[j] == '\\' || p[j] < 0x20 {
+			return nil, i, false
+		}
+		j++
+	}
+	if j >= len(p) {
+		return nil, i, false
+	}
+	return p[i:j], j + 1, true
+}
+
+// scanInt parses an optionally-negative decimal integer at p[i:].
+func scanInt(p []byte, i int) (v int64, next int, ok bool) {
+	neg := false
+	if i < len(p) && p[i] == '-' {
+		neg = true
+		i++
+	}
+	if i >= len(p) || p[i] < '0' || p[i] > '9' {
+		return 0, i, false
+	}
+	for i < len(p) && p[i] >= '0' && p[i] <= '9' {
+		d := int64(p[i] - '0')
+		if v > (1<<62)/10 {
+			return 0, i, false
+		}
+		v = v*10 + d
+		i++
+	}
+	if neg {
+		v = -v
+	}
+	return v, i, true
+}
+
+// scanUint parses a decimal unsigned integer at p[i:].
+func scanUint(p []byte, i int) (v uint64, next int, ok bool) {
+	if i >= len(p) || p[i] < '0' || p[i] > '9' {
+		return 0, i, false
+	}
+	for i < len(p) && p[i] >= '0' && p[i] <= '9' {
+		d := uint64(p[i] - '0')
+		if v > (^uint64(0)-d)/10 {
+			return 0, i, false
+		}
+		v = v*10 + d
+		i++
+	}
+	return v, i, true
+}
+
+// DecodeBody implements BodyDecoder.
+func (q *Locate) DecodeBody(body []byte) bool {
+	i, ok := expectLit(body, 0, `{"querier":`)
+	if !ok {
+		return false
+	}
+	qr, i, ok := scanPlainString(body, i)
+	if !ok {
+		return false
+	}
+	i, ok = expectLit(body, i, `,"target":`)
+	if !ok {
+		return false
+	}
+	tg, i, ok := scanPlainString(body, i)
+	if !ok || i != len(body)-1 || body[i] != '}' {
+		return false
+	}
+	q.Querier = string(qr)
+	q.Target = string(tg)
+	return true
+}
+
+// DecodeBody implements BodyDecoder.
+func (q *LocateAt) DecodeBody(body []byte) bool {
+	i, ok := expectLit(body, 0, `{"querier":`)
+	if !ok {
+		return false
+	}
+	qr, i, ok := scanPlainString(body, i)
+	if !ok {
+		return false
+	}
+	i, ok = expectLit(body, i, `,"target":`)
+	if !ok {
+		return false
+	}
+	tg, i, ok := scanPlainString(body, i)
+	if !ok {
+		return false
+	}
+	i, ok = expectLit(body, i, `,"at":`)
+	if !ok {
+		return false
+	}
+	at, i, ok := scanInt(body, i)
+	if !ok || i != len(body)-1 || body[i] != '}' {
+		return false
+	}
+	q.Querier = string(qr)
+	q.Target = string(tg)
+	q.At = sim.Tick(at)
+	return true
+}
+
+// DecodeBody implements BodyDecoder.
+func (r *LocateResult) DecodeBody(body []byte) bool {
+	i, ok := expectLit(body, 0, `{"room":`)
+	if !ok {
+		return false
+	}
+	room, i, ok := scanInt(body, i)
+	if !ok {
+		return false
+	}
+	i, ok = expectLit(body, i, `,"roomName":`)
+	if !ok {
+		return false
+	}
+	name, i, ok := scanPlainString(body, i)
+	if !ok {
+		return false
+	}
+	i, ok = expectLit(body, i, `,"at":`)
+	if !ok {
+		return false
+	}
+	at, i, ok := scanInt(body, i)
+	if !ok || i != len(body)-1 || body[i] != '}' {
+		return false
+	}
+	r.Room = graph.NodeID(room)
+	r.RoomName = string(name)
+	r.At = sim.Tick(at)
+	return true
+}
+
+// DecodeBody implements BodyDecoder.
+func (a *IngestAck) DecodeBody(body []byte) bool {
+	*a = IngestAck{}
+	i, ok := expectLit(body, 0, `{"acked":`)
+	if !ok {
+		return false
+	}
+	acked, i, ok := scanUint(body, i)
+	if !ok {
+		return false
+	}
+	i, ok = expectLit(body, i, `,"applied":`)
+	if !ok {
+		return false
+	}
+	applied, i, ok := scanInt(body, i)
+	if !ok {
+		return false
+	}
+	a.Acked = acked
+	a.Applied = int(applied)
+	if j, ok := expectLit(body, i, `,"rejected":`); ok {
+		rej, k, ok := scanInt(body, j)
+		if !ok {
+			return false
+		}
+		a.Rejected = int(rej)
+		i = k
+	}
+	if j, ok := expectLit(body, i, `,"duplicate":true`); ok {
+		a.Duplicate = true
+		i = j
+	}
+	return i == len(body)-1 && body[i] == '}'
+}

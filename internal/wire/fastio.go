@@ -1,0 +1,169 @@
+// Pooled-buffer transport fast paths shared by both wire versions.
+//
+// The Transport interface moves one Envelope per call and allocates per
+// message (marshal on send, payload + decoded body on receive). The
+// three optional interfaces below are the allocation-free variants the
+// server and Client use when the concrete codec supports them — and
+// both Codec (v1) and FrameCodec (v2) do, so in practice every
+// connection built by ServerTransport or NewClient runs on this path.
+// The Transport methods remain as the compatibility surface for
+// foreign transports and tests.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// AppendSender sends an envelope built by append-style encoding: the
+// type, correlation id and an Appender body, encoded into a pooled
+// buffer that never escapes the call.
+type AppendSender interface {
+	SendAppend(t MsgType, seq uint64, body Appender) error
+}
+
+// PayloadSender sends one already-encoded envelope payload (the JSON
+// document, without any framing). The codec adds its own framing: the
+// v2 header or the v1 newline. The payload is not retained after the
+// call returns, so the caller may release or reuse its buffer
+// immediately.
+type PayloadSender interface {
+	SendPayload(payload []byte) error
+}
+
+// BufRecver receives one envelope into a caller-owned buffer: buf is
+// reused when its capacity suffices (pass buf[:0] of a pooled Buf) and
+// the returned slice replaces it. The returned Envelope's Body ALIASES
+// the returned buffer — it is valid only until the caller reuses or
+// releases the buffer. The returned buffer is valid even on error so a
+// pooled caller never loses it.
+type BufRecver interface {
+	RecvBuf(buf []byte) (Envelope, []byte, error)
+}
+
+// SendPayload implements PayloadSender for v2: header + payload.
+func (c *FrameCodec) SendPayload(payload []byte) error {
+	if len(payload) > MaxFramePayload {
+		return fmt.Errorf("wire: frame payload %d exceeds %d", len(payload), MaxFramePayload)
+	}
+	var hdr [FrameHeaderLen]byte
+	hdr[0] = FrameMagic
+	hdr[1] = FrameVersion
+	binary.BigEndian.PutUint32(hdr[2:], uint32(len(payload)))
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write: %w", err)
+	}
+	if _, err := c.w.Write(payload); err != nil {
+		return fmt.Errorf("wire: write: %w", err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("wire: flush: %w", err)
+	}
+	return nil
+}
+
+// SendAppend implements AppendSender for v2.
+func (c *FrameCodec) SendAppend(t MsgType, seq uint64, body Appender) error {
+	buf := GetBuf()
+	defer buf.Release()
+	buf.B = AppendEnvelope(buf.B, t, seq, body)
+	return c.SendPayload(buf.B)
+}
+
+// RecvBuf implements BufRecver for v2.
+func (c *FrameCodec) RecvBuf(buf []byte) (Envelope, []byte, error) {
+	var hdr [FrameHeaderLen]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Envelope{}, buf, fmt.Errorf("%w: truncated frame header", ErrMalformed)
+		}
+		return Envelope{}, buf, err
+	}
+	if hdr[0] != FrameMagic {
+		return Envelope{}, buf, fmt.Errorf("%w: bad frame magic 0x%02X", ErrMalformed, hdr[0])
+	}
+	if hdr[1] != FrameVersion {
+		return Envelope{}, buf, fmt.Errorf("%w: unsupported frame version 0x%02X", ErrMalformed, hdr[1])
+	}
+	n := binary.BigEndian.Uint32(hdr[2:])
+	if n > MaxFramePayload {
+		return Envelope{}, buf, fmt.Errorf("%w: frame payload %d exceeds %d", ErrMalformed, n, MaxFramePayload)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Envelope{}, buf, fmt.Errorf("%w: truncated frame payload", ErrMalformed)
+		}
+		return Envelope{}, buf, err
+	}
+	env, err := DecodeEnvelope(buf)
+	if err != nil {
+		return Envelope{}, buf, fmt.Errorf("%w: frame payload: %v", ErrMalformed, err)
+	}
+	return env, buf, nil
+}
+
+// SendPayload implements PayloadSender for v1: payload + newline.
+func (c *Codec) SendPayload(payload []byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if _, err := c.w.Write(payload); err != nil {
+		return fmt.Errorf("wire: write: %w", err)
+	}
+	if err := c.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("wire: write: %w", err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("wire: flush: %w", err)
+	}
+	return nil
+}
+
+// SendAppend implements AppendSender for v1.
+func (c *Codec) SendAppend(t MsgType, seq uint64, body Appender) error {
+	buf := GetBuf()
+	defer buf.Release()
+	buf.B = AppendEnvelope(buf.B, t, seq, body)
+	return c.SendPayload(buf.B)
+}
+
+// RecvBuf implements BufRecver for v1: one line, accumulated into buf
+// without the per-message allocation of bufio.ReadBytes. A final
+// unterminated line is still decoded, matching Recv.
+func (c *Codec) RecvBuf(buf []byte) (Envelope, []byte, error) {
+	buf = buf[:0]
+	for {
+		frag, err := c.r.ReadSlice('\n')
+		buf = append(buf, frag...)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, bufio.ErrBufferFull) {
+			continue
+		}
+		if len(buf) == 0 {
+			return Envelope{}, buf, err
+		}
+		break
+	}
+	env, err := DecodeEnvelope(buf)
+	if err != nil {
+		return Envelope{}, buf, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	return env, buf, nil
+}

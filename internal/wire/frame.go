@@ -122,35 +122,8 @@ func (c *FrameCodec) Send(env Envelope) error {
 // unknown version, oversized payload) is reported as ErrMalformed; clean
 // EOF between frames is io.EOF.
 func (c *FrameCodec) Recv() (Envelope, error) {
-	var hdr [FrameHeaderLen]byte
-	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
-		if errors.Is(err, io.ErrUnexpectedEOF) {
-			return Envelope{}, fmt.Errorf("%w: truncated frame header", ErrMalformed)
-		}
-		return Envelope{}, err
-	}
-	if hdr[0] != FrameMagic {
-		return Envelope{}, fmt.Errorf("%w: bad frame magic 0x%02X", ErrMalformed, hdr[0])
-	}
-	if hdr[1] != FrameVersion {
-		return Envelope{}, fmt.Errorf("%w: unsupported frame version 0x%02X", ErrMalformed, hdr[1])
-	}
-	n := binary.BigEndian.Uint32(hdr[2:])
-	if n > MaxFramePayload {
-		return Envelope{}, fmt.Errorf("%w: frame payload %d exceeds %d", ErrMalformed, n, MaxFramePayload)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(c.r, payload); err != nil {
-		if errors.Is(err, io.ErrUnexpectedEOF) {
-			return Envelope{}, fmt.Errorf("%w: truncated frame payload", ErrMalformed)
-		}
-		return Envelope{}, err
-	}
-	var env Envelope
-	if err := json.Unmarshal(payload, &env); err != nil {
-		return Envelope{}, fmt.Errorf("%w: frame payload: %v", ErrMalformed, err)
-	}
-	return env, nil
+	env, _, err := c.RecvBuf(nil)
+	return env, err
 }
 
 // Close closes the underlying stream when it is closable.

@@ -445,18 +445,8 @@ func (c *Codec) Send(env Envelope) error {
 
 // Recv reads one envelope, blocking until a full line arrives.
 func (c *Codec) Recv() (Envelope, error) {
-	line, err := c.r.ReadBytes('\n')
-	if err != nil {
-		if len(line) == 0 {
-			return Envelope{}, err
-		}
-		// A final unterminated line is still decoded.
-	}
-	var env Envelope
-	if uerr := json.Unmarshal(line, &env); uerr != nil {
-		return Envelope{}, fmt.Errorf("%w: %v", ErrMalformed, uerr)
-	}
-	return env, nil
+	env, _, err := c.RecvBuf(nil)
+	return env, err
 }
 
 // Close closes the underlying stream when it is closable.
@@ -484,17 +474,33 @@ type Client struct {
 
 	mu      sync.Mutex
 	nextSeq uint64
-	pending map[uint64]chan Envelope
+	pending map[uint64]chan callDone
 	push    func(Envelope)
 	err     error
 	done    chan struct{}
+}
+
+// callDone hands a response from the receive loop to the waiting
+// caller. buf is the pooled receive buffer the envelope's Body aliases
+// (nil on the allocating Transport fallback); the receiver owns it and
+// releases it after decoding.
+type callDone struct {
+	env Envelope
+	buf *Buf
+}
+
+// doneChanPool recycles the per-call completion channels; a channel is
+// repooled only by a caller that provably still owned it (received on
+// it, or removed it from pending before the receive loop could).
+var doneChanPool = sync.Pool{
+	New: func() any { return make(chan callDone, 1) },
 }
 
 // NewClient starts the receive loop over the codec.
 func NewClient(codec Transport) *Client {
 	c := &Client{
 		codec:   codec,
-		pending: make(map[uint64]chan Envelope),
+		pending: make(map[uint64]chan callDone),
 		done:    make(chan struct{}),
 	}
 	go c.recvLoop()
@@ -505,8 +511,10 @@ func NewClient(codec Transport) *Client {
 // envelopes that are notifications, not responses, and therefore match
 // no pending call. fn runs on the receive loop goroutine, so it must
 // not block for long — a stalled handler delays every in-flight
-// response on the connection. Without a handler, push envelopes are
-// silently discarded (the pre-subscription behavior).
+// response on the connection. The envelope's Body may alias a pooled
+// receive buffer that is released when fn returns: decode or copy it
+// inside the handler, never retain it. Without a handler, push
+// envelopes are silently discarded (the pre-subscription behavior).
 func (c *Client) SetPushHandler(fn func(Envelope)) {
 	c.mu.Lock()
 	c.push = fn
@@ -528,9 +536,21 @@ func (c *Client) Err() error {
 
 func (c *Client) recvLoop() {
 	defer close(c.done)
+	br, fast := c.codec.(BufRecver)
 	for {
-		env, err := c.codec.Recv()
+		var env Envelope
+		var buf *Buf
+		var err error
+		if fast {
+			buf = GetBuf()
+			env, buf.B, err = br.RecvBuf(buf.B)
+		} else {
+			env, err = c.codec.Recv()
+		}
 		if err != nil {
+			if buf != nil {
+				buf.Release()
+			}
 			c.fail(fmt.Errorf("wire: receive: %w", err))
 			return
 		}
@@ -541,6 +561,9 @@ func (c *Client) recvLoop() {
 			if fn != nil {
 				fn(env)
 			}
+			if buf != nil {
+				buf.Release()
+			}
 			continue
 		}
 		c.mu.Lock()
@@ -550,7 +573,9 @@ func (c *Client) recvLoop() {
 		}
 		c.mu.Unlock()
 		if ok {
-			ch <- env
+			ch <- callDone{env: env, buf: buf}
+		} else if buf != nil {
+			buf.Release()
 		}
 	}
 }
@@ -568,7 +593,11 @@ func (c *Client) fail(err error) {
 }
 
 // Call sends a request and waits for the matching response. A MsgError
-// response is converted into a *Error return value.
+// response is converted into a *Error return value. Bodies that
+// implement Appender are encoded straight into a pooled send buffer
+// when the transport supports it (pass a pointer to skip even the
+// interface-boxing allocation); responses whose out implements
+// BodyDecoder are decoded without the encoding/json round trip.
 func (c *Client) Call(t MsgType, body any, out any) error {
 	c.mu.Lock()
 	if c.err != nil {
@@ -578,21 +607,17 @@ func (c *Client) Call(t MsgType, body any, out any) error {
 	}
 	c.nextSeq++
 	seq := c.nextSeq
-	ch := make(chan Envelope, 1)
+	ch := doneChanPool.Get().(chan callDone)
 	c.pending[seq] = ch
 	c.mu.Unlock()
 
-	env, err := MarshalBody(t, seq, body)
-	if err != nil {
-		c.drop(seq)
-		return err
-	}
-	if err := c.codec.Send(env); err != nil {
-		c.drop(seq)
+	if err := c.send(t, seq, body); err != nil {
+		c.drop(seq, ch)
 		return err
 	}
 	resp, ok := <-ch
 	if !ok {
+		// fail() closed the channel; a closed channel is never repooled.
 		c.mu.Lock()
 		err := c.err
 		c.mu.Unlock()
@@ -601,23 +626,65 @@ func (c *Client) Call(t MsgType, body any, out any) error {
 		}
 		return err
 	}
-	if resp.Type == MsgError {
+	doneChanPool.Put(ch)
+	err := decodeResp(resp.env, out)
+	if resp.buf != nil {
+		resp.buf.Release()
+	}
+	return err
+}
+
+// send writes the request, preferring the pooled append path.
+func (c *Client) send(t MsgType, seq uint64, body any) error {
+	if a, ok := body.(Appender); ok {
+		if as, ok := c.codec.(AppendSender); ok {
+			return as.SendAppend(t, seq, a)
+		}
+	}
+	env, err := MarshalBody(t, seq, body)
+	if err != nil {
+		return err
+	}
+	if ps, ok := c.codec.(PayloadSender); ok {
+		buf := GetBuf()
+		defer buf.Release()
+		buf.B = AppendEnvelopeRaw(buf.B, env)
+		return ps.SendPayload(buf.B)
+	}
+	return c.codec.Send(env)
+}
+
+// decodeResp decodes a response envelope into out; env.Body may alias
+// a pooled buffer, so everything is copied out before the caller
+// releases it (both UnmarshalBody and DecodeBody copy).
+func decodeResp(env Envelope, out any) error {
+	if env.Type == MsgError {
 		var werr Error
-		if err := UnmarshalBody(resp, &werr); err != nil {
+		if err := UnmarshalBody(env, &werr); err != nil {
 			return err
 		}
 		return &werr
 	}
-	if out != nil {
-		return UnmarshalBody(resp, out)
+	if out == nil {
+		return nil
 	}
-	return nil
+	if d, ok := out.(BodyDecoder); ok && d.DecodeBody(env.Body) {
+		return nil
+	}
+	return UnmarshalBody(env, out)
 }
 
-func (c *Client) drop(seq uint64) {
+// drop abandons a pending call after a send failure. The channel is
+// repooled only when the call was still pending — otherwise the receive
+// loop owns it and may still deliver into its buffered slot.
+func (c *Client) drop(seq uint64, ch chan callDone) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	_, mine := c.pending[seq]
 	delete(c.pending, seq)
+	c.mu.Unlock()
+	if mine {
+		doneChanPool.Put(ch)
+	}
 }
 
 // Close tears down the connection and unblocks pending calls.
