@@ -4,7 +4,7 @@
 # performance trajectory of the repo is tracked in data, not prose.
 #
 # Usage:
-#   .github/bench.sh [output.json] [ingest-output.json] [analytics-output.json] [hotpath-output.json]
+#   .github/bench.sh [output.json] [ingest-output.json] [analytics-output.json] [hotpath-output.json] [fanout-output.json]
 #
 # Environment:
 #   BENCHTIME  go test -benchtime value (default 0.5s; CI may use 1s,
@@ -37,15 +37,32 @@
 # "serve_conn_alloc_reduction" — BenchmarkServeConnPipelined allocs/op
 # before over after, the PR 8 acceptance metric (bar: >= 5x) — and
 # "snapshot_unchanged_bytes_per_op", which must be 0 now that All()
-# serves a cached merged snapshot on a quiescent database.
+# serves a cached merged snapshot on a quiescent database. Every gated
+# benchmark must have BOTH sides of its before/after pair (or be
+# explicitly marked as new, with no earlier number in any record) —
+# an incomplete pair fails the run instead of silently emitting one
+# side.
+#
+# The fifth record (default BENCH_PR9.json) is the staged fan-out
+# acceptance record (PR 9): per-event write-path cost with subscribers
+# attached in the synchronous versus the staged delivery configuration
+# (BenchmarkFanoutWritePath; "write_path_speedup" is the acceptance
+# metric, bar: >= 3x), the tree-level publish cost across delivery
+# modes and publish shapes (BenchmarkFanoutPublishBatch), and the
+# mixed ingest=70,subscribe=30 loadgen throughput in both modes
+# (BenchmarkMixedIngestSubscribe; "mixed_throughput_ratio" must favor
+# staged). It also repeats the gated hot-path benchmarks so the
+# regression guard (.github/bench_guard.sh) has shared keys with the
+# previous record.
 set -eu
 
 out="${1:-BENCH_PR4.json}"
 ingest_out="${2:-BENCH_PR5.json}"
 analytics_out="${3:-BENCH_PR7.json}"
 hot_out="${4:-BENCH_PR8.json}"
+fanout_out="${5:-BENCH_PR9.json}"
 benchtime="${BENCHTIME:-0.5s}"
-pkgs="${BENCHPKGS:-./internal/storage ./internal/locdb ./internal/server ./internal/loadgen ./internal/analytics .}"
+pkgs="${BENCHPKGS:-./internal/storage ./internal/locdb ./internal/fanout ./internal/server ./internal/loadgen ./internal/analytics .}"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
@@ -60,7 +77,7 @@ if ! go test -run '^$' -bench . -benchmem -benchtime "$benchtime" $pkgs > "$tmp"
 fi
 cat "$tmp" >&2
 
-awk -v benchtime="$benchtime" -v ingout="$ingest_out" -v anaout="$analytics_out" -v hotout="$hot_out" '
+awk -v benchtime="$benchtime" -v ingout="$ingest_out" -v anaout="$analytics_out" -v hotout="$hot_out" -v fanout="$fanout_out" '
 BEGIN {
     n = 0
     "go version" | getline gover
@@ -91,6 +108,8 @@ $1 == "pkg:" { pkg = $2; next }
         if ($(i + 1) == "bytes/run") bytesrun = $i
         if ($(i + 1) == "ratio") ratio = $i
         if ($(i + 1) == "sealed-runs") sealedruns = $i
+        # Loadgen throughput from BenchmarkMixedIngestSubscribe.
+        if ($(i + 1) == "req/s") reqs[name] = $i
     }
     if (ns == "") next
     key = pkg "/" name
@@ -187,6 +206,8 @@ END {
         print "bench.sh: hot-path benchmarks not in this run; " hotout " records the omission" > "/dev/stderr"
         printf "{\n  \"schema\": \"bips-hotpath-bench-v1\",\n" > hotout
         printf "  \"skipped\": \"BenchmarkServeConnPipelined not in this run (BENCHPKGS excludes internal/server?)\"\n}\n" > hotout
+        printf "{\n  \"schema\": \"bips-fanout-bench-v1\",\n" > fanout
+        printf "  \"skipped\": \"fan-out benchmarks not in this run (BENCHPKGS excludes internal/server?)\"\n}\n" > fanout
         exit 0
     }
     printf "{\n" > hotout
@@ -195,18 +216,33 @@ END {
     printf "  \"date\": \"%s\",\n", now > hotout
     printf "  \"host\": \"%s\",\n", host > hotout
     printf "  \"benchtime\": \"%s\",\n", benchtime > hotout
-    # PR 4 baselines (before the pooled-buffer refactor).
+    # PR 4 baselines (before the pooled-buffer refactor), plus the
+    # pre-PR-8 fan-out number from BENCH_PR4.json — every gated
+    # benchmark needs a before, or an explicit "new in this record"
+    # marker; anything else is an incomplete pair and fails the run.
     before["BenchmarkDispatchLocate"]      = "1285 336 9"
     before["BenchmarkServeConnPipelined"]  = "18075 2072 46"
     before["BenchmarkApplyBatch/batched"]  = "177 166 0"
     before["BenchmarkIngestDelta/batched"] = "3549 852 8"
+    before["BenchmarkFanoutEventPush"]     = "2139 240 7"
     before["BenchmarkLocdbSnapshotAll"]    = "124275 76390 9"
+    # Benchmarks introduced by the PR 8 work itself: no earlier number
+    # exists in any record, so after-only is the complete pair.
+    newbench["BenchmarkLocdbAllSince"] = 1
     ngate = split("BenchmarkDispatchLocate BenchmarkServeConnPipelined BenchmarkApplyBatch/batched BenchmarkIngestDelta/batched BenchmarkFanoutEventPush BenchmarkLocdbSnapshotAll BenchmarkLocdbAllSince", gates, " ")
     printf "  \"benchmarks\": {\n" > hotout
     first = 1
     for (gi = 1; gi <= ngate; gi++) {
         g = gates[gi]
-        if (!(g in hotallocs)) continue
+        if (!(g in hotallocs)) {
+            print "bench.sh: gated hot-path benchmark " g " was not measured in this run" > "/dev/stderr"
+            fail = 1
+            continue
+        }
+        if (!(g in before) && !(g in newbench)) {
+            print "bench.sh: no before baseline for gated benchmark " g " (add it to the before table, or mark it newbench with a comment saying why no earlier number exists)" > "/dev/stderr"
+            fail = 1
+        }
         if (!first) printf ",\n" > hotout
         first = 0
         printf "    \"%s\": {", g > hotout
@@ -227,9 +263,89 @@ END {
     # bytes per call.
     printf "  \"snapshot_unchanged_bytes_per_op\": %s\n", hotbytes["BenchmarkLocdbSnapshotAll"] > hotout
     printf "}\n" > hotout
+
+    # Fifth record: the staged fan-out acceptance (PR 9). Every
+    # sync/staged mode pair must be complete — one side alone cannot
+    # support the speedup claims, so a missing half fails the run.
+    nfg = split("BenchmarkFanoutEventPush BenchmarkFanoutWritePath/sync BenchmarkFanoutWritePath/staged BenchmarkFanoutPublishBatch/sync/single BenchmarkFanoutPublishBatch/sync/batch64 BenchmarkFanoutPublishBatch/staged/single BenchmarkFanoutPublishBatch/staged/batch64 BenchmarkMixedIngestSubscribe/sync BenchmarkMixedIngestSubscribe/staged", fgates, " ")
+    fpresent = 0
+    for (fi = 1; fi <= nfg; fi++) if (fgates[fi] in hotns) fpresent++
+    if (fpresent == 0) {
+        print "bench.sh: fan-out benchmarks not in this run; " fanout " records the omission" > "/dev/stderr"
+        printf "{\n  \"schema\": \"bips-fanout-bench-v1\",\n" > fanout
+        printf "  \"skipped\": \"fan-out benchmarks not in this run (BENCHPKGS excludes internal/fanout, internal/server or internal/loadgen?)\"\n}\n" > fanout
+    } else {
+        for (fi = 1; fi <= nfg; fi++) {
+            if (!(fgates[fi] in hotns)) {
+                print "bench.sh: fan-out benchmark " fgates[fi] " was not measured — a sync/staged pair is incomplete" > "/dev/stderr"
+                fail = 1
+            }
+        }
+        printf "{\n" > fanout
+        printf "  \"schema\": \"bips-fanout-bench-v1\",\n" > fanout
+        printf "  \"go\": \"%s\",\n", gover > fanout
+        printf "  \"date\": \"%s\",\n", now > fanout
+        printf "  \"host\": \"%s\",\n", host > fanout
+        printf "  \"benchtime\": \"%s\",\n", benchtime > fanout
+        # The gated hot-path set rides along so bench_guard.sh has
+        # shared keys against the previous (PR 8) record; then the
+        # fan-out benchmarks themselves. FanoutEventPush keeps its
+        # pre-PR-8 before pair; the mixed-load entries carry the
+        # loadgen-reported throughput.
+        nall = split("BenchmarkDispatchLocate BenchmarkServeConnPipelined BenchmarkApplyBatch/batched BenchmarkIngestDelta/batched BenchmarkLocdbSnapshotAll BenchmarkLocdbAllSince", allg, " ")
+        for (fi = 1; fi <= nfg; fi++) allg[nall + fi] = fgates[fi]
+        nall += nfg
+        printf "  \"benchmarks\": {\n" > fanout
+        ffirst = 1
+        for (ai = 1; ai <= nall; ai++) {
+            g = allg[ai]
+            if (!(g in hotns)) continue
+            if (!ffirst) printf ",\n" > fanout
+            ffirst = 0
+            printf "    \"%s\": {", g > fanout
+            if (g in before) {
+                split(before[g], bv, " ")
+                printf "\"before\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}, ", bv[1], bv[2], bv[3] > fanout
+            }
+            if (g in reqs) {
+                # Loadgen entries: ns/op is per completed request and
+                # bytes/allocs cover a whole timed run — only the
+                # meaningful numbers are recorded.
+                printf "\"after\": {\"ns_per_op\": %s}, \"req_per_sec\": %s}", hotns[g], reqs[g] > fanout
+            } else {
+                printf "\"after\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}}", hotns[g], hotbytes[g], hotallocs[g] > fanout
+            }
+        }
+        printf "\n  }" > fanout
+        # The PR 9 acceptance metrics. write_path_speedup is what the
+        # mutating goroutine stops paying per event with delivery staged
+        # (bar: >= 3x); mixed_throughput_ratio is the end-to-end req/s
+        # win on the ingest=70,subscribe=30 loadgen mix (bar: > 1).
+        wpsync = hotns["BenchmarkFanoutWritePath/sync"]
+        wpstaged = hotns["BenchmarkFanoutWritePath/staged"]
+        if (wpsync != "" && wpstaged != "" && wpstaged + 0 > 0) {
+            printf ",\n  \"write_path_sync_ns_per_event\": %s", wpsync > fanout
+            printf ",\n  \"write_path_staged_ns_per_event\": %s", wpstaged > fanout
+            printf ",\n  \"write_path_speedup\": %.1f", wpsync / wpstaged > fanout
+        }
+        msync = reqs["BenchmarkMixedIngestSubscribe/sync"]
+        mstaged = reqs["BenchmarkMixedIngestSubscribe/staged"]
+        if (msync != "" && mstaged != "" && msync + 0 > 0) {
+            printf ",\n  \"mixed_sync_req_per_sec\": %s", msync > fanout
+            printf ",\n  \"mixed_staged_req_per_sec\": %s", mstaged > fanout
+            printf ",\n  \"mixed_throughput_ratio\": %.2f", mstaged / msync > fanout
+        }
+        printf "\n}\n" > fanout
+    }
+
+    if (fail) {
+        print "bench.sh: incomplete benchmark records (see above)" > "/dev/stderr"
+        exit 1
+    }
 }' "$tmp" > "$out"
 
 echo "wrote $out" >&2
 echo "wrote $ingest_out" >&2
 echo "wrote $analytics_out" >&2
 echo "wrote $hot_out" >&2
+echo "wrote $fanout_out" >&2

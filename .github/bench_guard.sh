@@ -1,0 +1,92 @@
+#!/bin/sh
+# bench_guard.sh — fail when a hot-path benchmark regresses between two
+# benchmark records written by .github/bench.sh.
+#
+# Usage:
+#   .github/bench_guard.sh NEW.json OLD.json [max-regression-pct]
+#
+# The guard extracts every "Benchmark...": {...} entry from both records
+# (taking the "after" ns/op when the entry is a before/after pair) and
+# compares the keys the two records share. Records are made on different
+# days and hosts, so absolute ns/op drifts together with machine speed;
+# the guard therefore measures each key's new/old ratio against the
+# MEDIAN ratio across all shared keys — the run-to-run drift — and only
+# fails a key that is both more than max-regression-pct (default 20)
+# worse than that drift and more than max-regression-pct worse in
+# absolute terms. A uniform slowdown (slower runner) passes; one
+# benchmark falling behind the pack does not.
+#
+# Keys whose old-side cost is under 100 ns are compared informationally
+# but never fail the guard: at double-digit nanoseconds the measurement
+# is dominated by timer granularity and cache state, and a 50% swing is
+# noise, not a regression.
+#
+# No shared keys is a configuration error, not a pass: a guard that
+# compares nothing must not go green.
+set -eu
+
+usage="usage: bench_guard.sh NEW.json OLD.json [max-regression-pct]"
+new="${1:?$usage}"
+old="${2:?$usage}"
+pct="${3:-20}"
+
+# One "Benchmark...": {...} entry per line in bench.sh records; emit
+# "name ns_per_op", preferring the "after" side of a before/after pair.
+extract() {
+    awk -F'"' '/"[^"]*Benchmark/ {
+        name = $2
+        if (match($0, /"after": \{"ns_per_op": [0-9][0-9.e+]*/)) {
+            v = substr($0, RSTART, RLENGTH)
+        } else if (match($0, /"ns_per_op": [0-9][0-9.e+]*/)) {
+            v = substr($0, RSTART, RLENGTH)
+        } else next
+        sub(/.*: /, "", v)
+        print name, v
+    }' "$1"
+}
+
+tmpn="$(mktemp)"
+tmpo="$(mktemp)"
+trap 'rm -f "$tmpn" "$tmpo"' EXIT
+extract "$new" > "$tmpn"
+extract "$old" > "$tmpo"
+
+awk -v pct="$pct" -v newf="$new" -v oldf="$old" '
+NR == FNR { old[$1] = $2; next }
+($1 in old) && old[$1] + 0 > 0 {
+    n++
+    name[n] = $1
+    newv[n] = $2
+    oldv[n] = old[$1]
+    r[n] = $2 / old[$1]
+}
+END {
+    if (n == 0) {
+        print "bench_guard: no shared benchmark keys between " newf " and " oldf > "/dev/stderr"
+        exit 1
+    }
+    for (i = 1; i <= n; i++) s[i] = r[i]
+    for (i = 2; i <= n; i++) {
+        v = s[i]
+        for (j = i - 1; j >= 1 && s[j] > v; j--) s[j + 1] = s[j]
+        s[j + 1] = v
+    }
+    med = (n % 2) ? s[(n + 1) / 2] : (s[n / 2] + s[n / 2 + 1]) / 2
+    lim = 1 + pct / 100.0
+    bad = 0
+    for (i = 1; i <= n; i++) {
+        if (r[i] > med * lim && r[i] > lim) {
+            if (oldv[i] < 100) {
+                printf "bench_guard: note: %s moved %.0f -> %.0f ns/op (+%.0f%%) but is under the 100 ns noise floor\n",
+                    name[i], oldv[i], newv[i], (r[i] - 1) * 100 > "/dev/stderr"
+                continue
+            }
+            printf "bench_guard: %s regressed: %.0f -> %.0f ns/op (+%.0f%% against a %+.0f%% run drift; limit %s%%)\n",
+                name[i], oldv[i], newv[i], (r[i] - 1) * 100, (med - 1) * 100, pct > "/dev/stderr"
+            bad = 1
+        }
+    }
+    if (bad) exit 1
+    printf "bench_guard: %d shared keys within %s%% of the %.2fx run drift (%s vs %s)\n",
+        n, pct, med, newf, oldf
+}' "$tmpo" "$tmpn"

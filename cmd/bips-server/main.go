@@ -35,7 +35,10 @@
 // with password "loadgen" that bips-loadgen's locate/mixed/mix modes
 // expect. Clients may also subscribe to push notifications (PROTOCOL.md
 // §9): -event-buffer, -drop-limit and -max-subs bound what one
-// subscriber connection may cost the server. Tuning guidance lives in
+// subscriber connection may cost the server. -fanout-ring sizes the
+// staged delivery ring between ingest and subscriber callbacks, and
+// -pprof serves net/http/pprof on a side address so fan-out contention
+// is profileable under load. Tuning guidance lives in
 // docs/OPERATIONS.md.
 //
 // On SIGINT/SIGTERM the server stops accepting, drains connections and —
@@ -44,10 +47,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux for -pprof
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -58,6 +64,7 @@ import (
 	"bips"
 	"bips/internal/analytics"
 	"bips/internal/building"
+	"bips/internal/fanout"
 	"bips/internal/loadgen"
 	"bips/internal/locdb"
 	"bips/internal/registry"
@@ -100,11 +107,31 @@ func run(args []string) error {
 	eventBuffer := fs.Int("event-buffer", server.DefaultEventBuffer, "per-connection push-event buffer (queued events before drops)")
 	dropLimit := fs.Int("drop-limit", server.DefaultDropLimit, "dropped events before a subscriber is disconnected as a slow consumer")
 	maxSubs := fs.Int("max-subs", server.DefaultMaxSubsPerConn, "max subscriptions per connection")
+	fanoutRing := fs.Int("fanout-ring", fanout.DefaultRing, "staged fan-out delivery ring capacity (matched events queued between ingest and subscriber callbacks)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (empty: disabled)")
 	addrFile := fs.String("addr-file", "", "write the bound listen address to this file (for scripts using :0)")
 	var users userList
 	fs.Var(&users, "user", "register user:password (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// The profiling endpoint comes up before anything else so a hung
+	// startup (WAL recovery, say) is itself profileable.
+	if *pprofAddr != "" {
+		pl, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listen: %w", err)
+		}
+		defer pl.Close()
+		go func() {
+			// The net/http/pprof blank import registers its handlers on
+			// http.DefaultServeMux.
+			if err := http.Serve(pl, nil); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+		log.Printf("pprof listening on http://%s/debug/pprof/", pl.Addr())
 	}
 
 	bld, err := loadBuilding(*planPath)
@@ -140,6 +167,7 @@ func run(args []string) error {
 		server.WithEventBuffer(*eventBuffer),
 		server.WithDropLimit(*dropLimit),
 		server.WithMaxSubsPerConn(*maxSubs),
+		server.WithFanoutRing(*fanoutRing),
 	}
 	eng, err := openAnalytics(*dataDir, *historyLimit, *analyticsSeal, *analyticsRetention)
 	if err != nil {

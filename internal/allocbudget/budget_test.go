@@ -3,10 +3,12 @@ package allocbudget
 import (
 	"fmt"
 	"net"
+	"sync/atomic"
 	"testing"
 
 	"bips/internal/baseband"
 	"bips/internal/building"
+	"bips/internal/fanout"
 	"bips/internal/graph"
 	"bips/internal/locdb"
 	"bips/internal/registry"
@@ -43,6 +45,11 @@ var budgets = map[string]float64{
 	// tree, the connection pusher (pooled pre-encoded frame), and
 	// received by a raw frame codec into a reused buffer.
 	"fanout_event_push": 8,
+	// One 64-event ApplyBatch frame through the staged fan-out tree's
+	// batch sink — counting-sort regroup from pooled scratch, per-shard
+	// matching, ring enqueue, delivery-goroutine drain (AllocsPerRun
+	// counts every goroutine's mallocs). Steady state is fully pooled.
+	"fanout_publish_batch": 0,
 	// Full snapshot of a quiescent database: version-vector check and
 	// a shared cached slice. Anything above zero means the cache
 	// stopped being a cache.
@@ -240,6 +247,55 @@ func TestFanoutEventPushBudget(t *testing.T) {
 			t.Fatalf("push = %+v, %v", env, err)
 		}
 	})
+}
+
+func TestFanoutPublishBatchBudget(t *testing.T) {
+	const (
+		frame = 64
+		devs  = 128
+		rooms = 8
+	)
+	tree := fanout.NewWithConfig(fanout.Config{})
+	defer tree.Close()
+	var delivered atomic.Int64
+	cb := func(fanout.Event) { delivered.Add(1) }
+	tree.Subscribe(fanout.Filter{Kind: fanout.KindAll}, cb)
+	tree.Subscribe(fanout.Filter{Kind: fanout.KindDevice, Device: dev(3)}, cb)
+	tree.Subscribe(fanout.Filter{Kind: fanout.KindRoom, Room: 5}, cb)
+
+	evs := make([]locdb.Event, frame)
+	round := 0
+	fill := func() {
+		round++
+		for i := range evs {
+			evs[i] = locdb.Event{
+				Fix: locdb.Fix{
+					Device: dev((round*frame + i) % devs),
+					// Consecutive rounds always differ mod rooms, so every
+					// event is a real room change (enter + handover leave).
+					Piconet: graph.NodeID(1 + (round+i)%rooms),
+					At:      sim.Tick(round),
+				},
+				Present: true,
+			}
+		}
+	}
+	// Warm the device→room view and the scratch/ring pools.
+	fill()
+	tree.PublishBatch(evs)
+	tree.Flush()
+
+	check(t, "fanout_publish_batch", 200, func() {
+		fill()
+		tree.PublishBatch(evs)
+		// Flush inside the op: the delivery goroutine's work is part of
+		// the budget, and the barrier keeps the backlog from growing
+		// across runs.
+		tree.Flush()
+	})
+	if delivered.Load() == 0 {
+		t.Fatal("no deliveries")
+	}
 }
 
 func TestSnapshotBudgets(t *testing.T) {

@@ -243,12 +243,38 @@ func (e *Engine) loadSegments() error {
 }
 
 // Apply consumes one presence change. It is the locdb subscription
-// callback: wire it with store.Subscribe(engine.Apply) and then Seed
-// the engine from the store's dump before serving traffic.
+// callback: wire it with store.Subscribe(engine.Apply) — or, batch-
+// aware, store.SubscribeSink(engine) — and then Seed the engine from
+// the store's dump before traffic flows.
 func (e *Engine) Apply(ev locdb.Event) {
 	e.events.Add(1)
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.applyLocked(ev)
+}
+
+// OnEvent implements locdb.Sink: one delta from the single-mutation
+// paths.
+func (e *Engine) OnEvent(ev locdb.Event) { e.Apply(ev) }
+
+// OnEvents implements locdb.Sink: a whole ApplyBatch frame ingested
+// under one lock acquisition instead of one per delta, so the hot
+// tier's cost on the batched write path is per frame, not per event.
+func (e *Engine) OnEvents(evs []locdb.Event) {
+	if len(evs) == 0 {
+		return
+	}
+	e.events.Add(int64(len(evs)))
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, ev := range evs {
+		e.applyLocked(ev)
+	}
+}
+
+// applyLocked folds one presence change into the live view and the hot
+// tier. The caller holds e.mu.
+func (e *Engine) applyLocked(ev locdb.Event) {
 	if ev.At > e.maxSeen {
 		e.maxSeen = ev.At
 	}

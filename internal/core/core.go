@@ -178,7 +178,11 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	// cadence) gets a system-owned analytics engine; segments live next
 	// to the WAL so a reopened deployment keeps its sealed history.
 	// Otherwise the server builds its own memory-only engine.
-	var serverOpts []server.Option
+	// The in-process facade consumes its event stream synchronously with
+	// the simulated clock (bips.Service.Subscribe documents events as
+	// emitted as the simulation produces them), so the simulation's
+	// server keeps fan-out delivery inline rather than staged.
+	serverOpts := []server.Option{server.WithSyncFanout()}
 	if cfg.DataDir != "" || cfg.AnalyticsSealInterval != 0 || cfg.AnalyticsRetention != 0 {
 		aopts := analytics.Options{
 			HistoryLimit: historyLimit,

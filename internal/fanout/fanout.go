@@ -7,12 +7,13 @@
 // A Tree holds every live subscription — per-device, per-room, geofence
 // zone, occupancy threshold, or catch-all — in per-key indexes
 // (device→subscribers, room→subscribers, threshold watchers). The
-// location database's delta stream is fed in once, through Publish;
-// each delta is routed through the indexes so the cost of a presence
-// change scales with the number of *matching* subscribers, not the
-// total number registered. A hundred thousand idle subscriptions on
-// untouched rooms and devices cost a delta nothing but the index
-// lookups that miss them.
+// location database's delta stream is fed in through Publish (one
+// delta) or PublishBatch (one whole ingest frame); each delta is
+// routed through the indexes so the cost of a presence change scales
+// with the number of *matching* subscribers, not the total number
+// registered. A hundred thousand idle subscriptions on untouched rooms
+// and devices cost a delta nothing but the index lookups that miss
+// them.
 //
 // The tree keeps its own device→room map, fed by the same deltas (and
 // seeded from a restored backend via Seed), so it can derive the
@@ -20,27 +21,91 @@
 // initialize a zone subscription's inside/outside state — all without
 // querying the database on the hot path.
 //
+// # Staged pipeline: batch → match → deliver
+//
+// The tree is built for concurrent shard flushes. Its state is split
+// the same way locdb splits its shards:
+//
+//   - The device-keyed state — device and zone subscriptions plus the
+//     device→room view — lives in independently locked shards, keyed
+//     by the same mixed hash locdb uses, so frames flushed from
+//     different locdb shards touch disjoint tree shards and do not
+//     contend.
+//   - The room-keyed subscription index is sharded the same way by
+//     room id.
+//   - The derived occupancy state (per-room counts plus threshold
+//     watchers and their edge-trigger state) sits behind its own lock,
+//     because one room's count is fed by devices on many shards.
+//   - Catch-all subscriptions are published as an immutable id-sorted
+//     list behind an atomic pointer, so matching them costs one load.
+//
+// PublishBatch regroups a frame by tree shard with a pooled counting
+// sort (the write path's ApplyBatch, mirrored), locks each touched
+// shard once, and routes the shard's run of deltas while holding it —
+// one lock acquisition and one state sweep per shard per frame instead
+// of per event.
+//
+// By default matching does not run the subscriber callbacks: matched
+// (event, subscriber) pairs are enqueued on a bounded in-order
+// delivery ring drained by one delivery goroutine, so the mutating
+// goroutine's publish cost is index routing plus an enqueue, never
+// subscriber work. A full ring briefly blocks the publisher
+// (backpressure) rather than dropping — events are bounded by the
+// per-connection buffers downstream (internal/server's drop
+// accounting), not lost here. Config{Sync: true} removes the stage and
+// runs callbacks inline on the publishing goroutine, which in-process
+// consumers (the simulation facade) use to keep events synchronous
+// with the simulated clock.
+//
 // # Delivery contract
 //
-// Registration and delivery are serialized under one mutex: once
-// Subscribe returns, every later Publish that matches is delivered to
-// the callback, and after Cancel returns no further callback runs —
-// the guarantee connection teardown and the race tests lean on.
-// Callbacks therefore run synchronously on the publishing goroutine
-// while the tree is locked and MUST NOT block (hand off to a buffered
-// channel and drop on overflow, as internal/server does) and must not
-// call back into the Tree.
+// Once Subscribe returns, every later Publish that matches is
+// delivered to the callback, and after Cancel returns no further
+// callback runs — the guarantee connection teardown and the race
+// tests lean on. Events of one device are delivered in publish order,
+// and the matching subscribers of one event are invoked in
+// subscription order. Callbacks run one at a time (on the delivery
+// goroutine by default, on the publishing goroutine in Sync mode),
+// MUST NOT block (hand off to a buffered channel and drop on
+// overflow, as internal/server does) and must not call back into the
+// Tree.
 package fanout
 
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"bips/internal/baseband"
 	"bips/internal/graph"
 	"bips/internal/locdb"
 	"bips/internal/sim"
 )
+
+// DefaultShards is the device/room index shard count, matching
+// locdb.DefaultShards so a default deployment maps one locdb shard
+// flush onto a disjoint set of tree shards.
+const DefaultShards = 16
+
+// DefaultRing is the delivery ring capacity in matched (event,
+// subscriber) pairs. When the delivery goroutine falls this far behind
+// the publishers, they block until it catches up.
+const DefaultRing = 4096
+
+// Config configures a Tree.
+type Config struct {
+	// Shards is the device/room index shard count; 0 selects
+	// DefaultShards.
+	Shards int
+	// Ring is the delivery ring capacity; 0 selects DefaultRing.
+	// Ignored in Sync mode.
+	Ring int
+	// Sync disables the delivery stage: callbacks run inline on the
+	// publishing goroutine, in the same order the ring would deliver
+	// them. For consumers that need events synchronous with the
+	// mutation that caused them (the in-process simulation facade).
+	Sync bool
+}
 
 // Kind selects what a Filter matches.
 type Kind string
@@ -96,7 +161,12 @@ type Event struct {
 	Occupancy int
 }
 
-// sub is one registered subscription with its routing state.
+// sub is one registered subscription with its routing state. The
+// edge-trigger fields are guarded by the lock of the index holding the
+// sub (inZone by the device shard, above by the occupancy lock); gate
+// serializes callback invocations against Cancel, which is what makes
+// "after Cancel returns no further callback runs" hold even with a
+// delivery stage between matching and the callback.
 type sub struct {
 	id      uint64
 	filter  Filter
@@ -108,6 +178,9 @@ type sub struct {
 	inZone bool
 	// above is the occupancy filter's edge-trigger state.
 	above bool
+
+	gate      sync.Mutex
+	cancelled bool
 }
 
 // Subscription is a handle returned by Subscribe; Cancel unregisters.
@@ -118,7 +191,8 @@ type Subscription struct {
 }
 
 // Cancel unregisters the subscription. After it returns, the callback
-// will not be invoked again. It is idempotent.
+// will not be invoked again — queued ring entries for it are skipped.
+// It is idempotent.
 func (s *Subscription) Cancel() {
 	s.once.Do(func() { s.tree.remove(s.s) })
 }
@@ -127,66 +201,180 @@ func (s *Subscription) Cancel() {
 type Stats struct {
 	// Subscriptions is the current number of live subscriptions.
 	Subscriptions int
-	// Published counts deltas fed through Publish.
+	// Published counts deltas fed through Publish/PublishBatch.
 	Published int64
 	// Delivered counts callback invocations (events matched and
 	// handed to subscribers).
 	Delivered int64
+	// Backlog is the number of matched pairs sitting in the delivery
+	// ring (always 0 for a Sync tree).
+	Backlog int
+}
+
+// treeShard is one independently locked partition of the device-keyed
+// state: the device/zone subscription index and the device→room view.
+// Every device hashes to exactly one shard — locdb's hash, so a locdb
+// shard flush lands on a stable subset of tree shards.
+type treeShard struct {
+	mu       sync.Mutex
+	byDevice map[baseband.BDAddr]map[uint64]*sub // device + zone subs
+	devRoom  map[baseband.BDAddr]graph.NodeID
+
+	// Per-shard match/deliver scratch (guarded by mu): routing runs
+	// per delta on the hot path and must not allocate per event.
+	matched []*sub
+	deliv   []delivery
+	ids     []uint64
+}
+
+// roomShard is one partition of the room subscription index. Publish
+// only ever takes a room shard lock briefly, inside a device shard's
+// critical section, to collect matches (lock order: device shard →
+// room shard).
+type roomShard struct {
+	mu     sync.Mutex
+	byRoom map[graph.NodeID]map[uint64]*sub
+}
+
+// occState is the derived occupancy state: per-room counts plus the
+// threshold watchers and their edge state. One room's count is fed by
+// devices on every shard, so it sits behind its own lock (acquired
+// after the device shard's, before the ring's); updating a count and
+// firing its crossings is one critical section, which keeps the
+// rise/fall sequence per room consistent across concurrent flushes.
+type occState struct {
+	mu        sync.Mutex
+	occupancy map[graph.NodeID]int
+	watchers  map[graph.NodeID]map[uint64]*sub
+	ids       []uint64
+	deliv     []delivery
+}
+
+// publishScratch is PublishBatch's pooled regrouping storage, the
+// fan-out analogue of locdb's batchScratch.
+type publishScratch struct {
+	idx    []int32
+	counts []int32
+	order  []locdb.Event
 }
 
 // Tree is the shared subscription index. All methods are safe for
 // concurrent use.
 type Tree struct {
-	mu     sync.Mutex
-	nextID uint64
+	shards []*treeShard
+	rooms  []*roomShard
+	occ    occState
 
-	all       map[uint64]*sub
-	byDevice  map[baseband.BDAddr]map[uint64]*sub // device + zone subs
-	byRoom    map[graph.NodeID]map[uint64]*sub
-	occByRoom map[graph.NodeID]map[uint64]*sub
+	allMu   sync.Mutex
+	all     map[uint64]*sub
+	allList atomic.Pointer[[]*sub] // immutable, id-sorted
 
-	// devRoom and occupancy are the tree's own view of the world,
-	// derived from the delta stream (and Seed): which room each present
-	// device is in and how many devices each room holds.
-	devRoom   map[baseband.BDAddr]graph.NodeID
-	occupancy map[graph.NodeID]int
+	nextID    atomic.Uint64
+	subCount  atomic.Int64
+	published atomic.Int64
+	delivered atomic.Int64
 
-	subCount  int
-	published int64
-	delivered int64
-
-	// matched is the scratch slice emit reuses between calls (guarded
-	// by mu): emit runs per delta on the hot path and must not allocate
-	// per event.
-	matched []*sub
+	// ring is the delivery stage; nil for a Sync tree.
+	ring    *deliveryRing
+	scratch sync.Pool
 }
 
-// New returns an empty tree.
-func New() *Tree {
-	return &Tree{
-		all:       make(map[uint64]*sub),
-		byDevice:  make(map[baseband.BDAddr]map[uint64]*sub),
-		byRoom:    make(map[graph.NodeID]map[uint64]*sub),
-		occByRoom: make(map[graph.NodeID]map[uint64]*sub),
-		devRoom:   make(map[baseband.BDAddr]graph.NodeID),
-		occupancy: make(map[graph.NodeID]int),
+// New returns an empty synchronous tree: callbacks run inline on the
+// publishing goroutine. Serving deployments use NewWithConfig to put
+// the delivery stage between matching and the callbacks.
+func New() *Tree { return NewWithConfig(Config{Sync: true}) }
+
+// NewWithConfig returns an empty tree. Unless cfg.Sync is set it owns
+// a delivery goroutine; Close releases it.
+func NewWithConfig(cfg Config) *Tree {
+	nShards := cfg.Shards
+	if nShards < 1 {
+		nShards = DefaultShards
+	}
+	t := &Tree{
+		shards: make([]*treeShard, nShards),
+		rooms:  make([]*roomShard, nShards),
+		all:    make(map[uint64]*sub),
+	}
+	for i := range t.shards {
+		t.shards[i] = &treeShard{
+			byDevice: make(map[baseband.BDAddr]map[uint64]*sub),
+			devRoom:  make(map[baseband.BDAddr]graph.NodeID),
+		}
+		t.rooms[i] = &roomShard{byRoom: make(map[graph.NodeID]map[uint64]*sub)}
+	}
+	t.occ.occupancy = make(map[graph.NodeID]int)
+	t.occ.watchers = make(map[graph.NodeID]map[uint64]*sub)
+	if !cfg.Sync {
+		ringSize := cfg.Ring
+		if ringSize < 1 {
+			ringSize = DefaultRing
+		}
+		t.ring = newDeliveryRing(ringSize)
+		go t.ring.run(t)
+	}
+	return t
+}
+
+// shardIndex mixes v (splitmix64 finalizer) before reduction, exactly
+// like locdb's shard mapping, so sequentially allocated addresses
+// spread over all shards and a locdb shard's devices land on a stable
+// tree-shard subset.
+func shardIndex(v uint64, n int) int {
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return int(v % uint64(n))
+}
+
+func (t *Tree) shardOf(dev baseband.BDAddr) *treeShard {
+	return t.shards[shardIndex(uint64(dev), len(t.shards))]
+}
+
+func (t *Tree) roomOf(room graph.NodeID) *roomShard {
+	return t.rooms[shardIndex(uint64(room), len(t.rooms))]
+}
+
+// Close stops the delivery stage after draining everything already
+// enqueued. A Sync tree's Close is a no-op. Publishes racing or
+// following Close fall back to inline delivery, so no event is lost;
+// quiesce publishers first if delivery-order matters at shutdown.
+func (t *Tree) Close() {
+	if t.ring != nil {
+		t.ring.close()
+	}
+}
+
+// Flush blocks until every matched pair enqueued before the call has
+// been handed to its callback (or skipped as cancelled). A Sync tree's
+// Flush is a no-op. Tests and benchmarks use it as the delivery
+// barrier.
+func (t *Tree) Flush() {
+	if t.ring != nil {
+		t.ring.flush()
 	}
 }
 
 // Seed primes the tree's device→room view from a restored backend's
-// current fixes (locdb.Store.All). Call it once, after wiring Publish
+// current fixes (locdb.Store.All). Call it once, after wiring the tree
 // to the store's subscription stream but before any traffic flows;
 // without it a durable server would restart with every room apparently
 // empty until each device moves.
 func (t *Tree) Seed(fixes []locdb.Fix) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	for _, f := range fixes {
-		if _, ok := t.devRoom[f.Device]; ok {
+		sh := t.shardOf(f.Device)
+		sh.mu.Lock()
+		if _, ok := sh.devRoom[f.Device]; ok {
+			sh.mu.Unlock()
 			continue
 		}
-		t.devRoom[f.Device] = f.Piconet
-		t.occupancy[f.Piconet]++
+		sh.devRoom[f.Device] = f.Piconet
+		sh.mu.Unlock()
+		t.occ.mu.Lock()
+		t.occ.occupancy[f.Piconet]++
+		t.occ.mu.Unlock()
 	}
 }
 
@@ -196,32 +384,54 @@ func (t *Tree) Seed(fixes []locdb.Fix) {
 // current view, so they fire only on crossings that happen after
 // registration.
 func (t *Tree) Subscribe(f Filter, deliver func(Event)) *Subscription {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	s := &sub{id: t.nextID, filter: f, deliver: deliver}
-	t.nextID++
+	s := &sub{id: t.nextID.Add(1), filter: f, deliver: deliver}
 	switch f.Kind {
 	case KindDevice:
-		addIdx(t.byDevice, f.Device, s)
-	case KindRoom:
-		addIdx(t.byRoom, f.Room, s)
+		sh := t.shardOf(f.Device)
+		sh.mu.Lock()
+		addIdx(sh.byDevice, f.Device, s)
+		sh.mu.Unlock()
 	case KindZone:
 		s.zone = make(map[graph.NodeID]bool, len(f.Zone))
 		for _, r := range f.Zone {
 			s.zone[r] = true
 		}
-		if room, ok := t.devRoom[f.Device]; ok {
+		sh := t.shardOf(f.Device)
+		sh.mu.Lock()
+		if room, ok := sh.devRoom[f.Device]; ok {
 			s.inZone = s.zone[room]
 		}
-		addIdx(t.byDevice, f.Device, s)
+		addIdx(sh.byDevice, f.Device, s)
+		sh.mu.Unlock()
+	case KindRoom:
+		rs := t.roomOf(f.Room)
+		rs.mu.Lock()
+		addIdx(rs.byRoom, f.Room, s)
+		rs.mu.Unlock()
 	case KindOccupancy:
-		s.above = t.occupancy[f.Room] >= f.Threshold
-		addIdx(t.occByRoom, f.Room, s)
+		t.occ.mu.Lock()
+		s.above = t.occ.occupancy[f.Room] >= f.Threshold
+		addIdx(t.occ.watchers, f.Room, s)
+		t.occ.mu.Unlock()
 	default: // KindAll
+		t.allMu.Lock()
 		t.all[s.id] = s
+		t.rebuildAllLocked()
+		t.allMu.Unlock()
 	}
-	t.subCount++
+	t.subCount.Add(1)
 	return &Subscription{tree: t, s: s}
+}
+
+// rebuildAllLocked republishes the id-sorted catch-all list. The
+// caller holds allMu.
+func (t *Tree) rebuildAllLocked() {
+	list := make([]*sub, 0, len(t.all))
+	for _, s := range t.all {
+		list = append(list, s)
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].id < list[j].id })
+	t.allList.Store(&list)
 }
 
 func addIdx[K comparable](idx map[K]map[uint64]*sub, key K, s *sub) {
@@ -241,39 +451,67 @@ func delIdx[K comparable](idx map[K]map[uint64]*sub, key K, s *sub) {
 	}
 }
 
+// remove unregisters the sub from its index, then closes its gate:
+// once the gate reopens with cancelled set, any invocation still in
+// flight has finished and no queued ring entry will run it again.
 func (t *Tree) remove(s *sub) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	switch s.filter.Kind {
 	case KindDevice, KindZone:
-		delIdx(t.byDevice, s.filter.Device, s)
+		sh := t.shardOf(s.filter.Device)
+		sh.mu.Lock()
+		delIdx(sh.byDevice, s.filter.Device, s)
+		sh.mu.Unlock()
 	case KindRoom:
-		delIdx(t.byRoom, s.filter.Room, s)
+		rs := t.roomOf(s.filter.Room)
+		rs.mu.Lock()
+		delIdx(rs.byRoom, s.filter.Room, s)
+		rs.mu.Unlock()
 	case KindOccupancy:
-		delIdx(t.occByRoom, s.filter.Room, s)
+		t.occ.mu.Lock()
+		delIdx(t.occ.watchers, s.filter.Room, s)
+		t.occ.mu.Unlock()
 	default:
+		t.allMu.Lock()
 		delete(t.all, s.id)
+		t.rebuildAllLocked()
+		t.allMu.Unlock()
 	}
-	t.subCount--
+	s.gate.Lock()
+	s.cancelled = true
+	s.gate.Unlock()
+	t.subCount.Add(-1)
 }
 
 // Stats returns a snapshot of the tree's activity counters.
 func (t *Tree) Stats() Stats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return Stats{Subscriptions: t.subCount, Published: t.published, Delivered: t.delivered}
+	st := Stats{
+		Subscriptions: int(t.subCount.Load()),
+		Published:     t.published.Load(),
+		Delivered:     t.delivered.Load(),
+	}
+	if t.ring != nil {
+		st.Backlog = t.ring.backlog()
+	}
+	return st
 }
 
 // Occupancy returns the tree's current occupant count for the room.
 func (t *Tree) Occupancy(room graph.NodeID) int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.occupancy[room]
+	t.occ.mu.Lock()
+	defer t.occ.mu.Unlock()
+	return t.occ.occupancy[room]
 }
 
+// OnEvent implements locdb.Sink: one delta from the single-mutation
+// paths.
+func (t *Tree) OnEvent(ev locdb.Event) { t.Publish(ev) }
+
+// OnEvents implements locdb.Sink: one whole ApplyBatch frame.
+func (t *Tree) OnEvents(evs []locdb.Event) { t.PublishBatch(evs) }
+
 // Publish routes one location-database delta through the indexes. It
-// is wired to locdb.Store.Subscribe, so it may be called concurrently
-// from many connection handlers; the tree lock serializes them.
+// may be called concurrently from many connection handlers; only
+// writers touching devices of the same tree shard serialize.
 //
 // A presence delta whose device was already elsewhere is expanded into
 // the implied leave of the old room followed by the enter of the new
@@ -283,83 +521,176 @@ func (t *Tree) Occupancy(room graph.NodeID) int {
 // race on one device and their post-commit notifications arrive out of
 // order) are dropped rather than double-counted.
 func (t *Tree) Publish(ev locdb.Event) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.published++
+	sh := t.shardOf(ev.Device)
+	sh.mu.Lock()
+	t.publishLocked(sh, ev)
+	sh.mu.Unlock()
+}
+
+// PublishBatch routes one whole mutation frame: the frame is regrouped
+// by tree shard with a pooled counting sort (stable, so per-device
+// order follows the frame order), then each touched shard is locked
+// once and its run of deltas routed inside that one critical section.
+// The slice is not retained.
+func (t *Tree) PublishBatch(evs []locdb.Event) {
+	switch len(evs) {
+	case 0:
+		return
+	case 1:
+		t.Publish(evs[0])
+		return
+	}
+	sc, _ := t.scratch.Get().(*publishScratch)
+	if sc == nil {
+		sc = &publishScratch{}
+	}
+	n := len(t.shards)
+	if cap(sc.counts) < n {
+		sc.counts = make([]int32, n)
+	}
+	counts := sc.counts[:n]
+	for i := range counts {
+		counts[i] = 0
+	}
+	if cap(sc.idx) < len(evs) {
+		sc.idx = make([]int32, len(evs))
+	}
+	idx := sc.idx[:len(evs)]
+	for i := range evs {
+		j := int32(shardIndex(uint64(evs[i].Device), n))
+		idx[i] = j
+		counts[j]++
+	}
+	if cap(sc.order) < len(evs) {
+		sc.order = make([]locdb.Event, len(evs))
+	}
+	order := sc.order[:len(evs)]
+	sum := int32(0)
+	for j := range counts {
+		c := counts[j]
+		counts[j] = sum
+		sum += c
+	}
+	for i := range evs {
+		j := idx[i]
+		order[counts[j]] = evs[i]
+		counts[j]++
+	}
+	// counts[j] is now the end offset of shard j's run in order.
+	start := int32(0)
+	for j := 0; j < n; j++ {
+		end := counts[j]
+		if end == start {
+			continue
+		}
+		sh := t.shards[j]
+		sh.mu.Lock()
+		for _, ev := range order[start:end] {
+			t.publishLocked(sh, ev)
+		}
+		sh.mu.Unlock()
+		start = end
+	}
+	t.scratch.Put(sc)
+}
+
+// publishLocked routes one delta. The caller holds sh.mu, the shard
+// owning ev.Device; everything the delta touches is either in this
+// shard or behind a lock acquired after it (room shard, occupancy,
+// ring), so per-device event order is fixed here, under one lock.
+func (t *Tree) publishLocked(sh *treeShard, ev locdb.Event) {
+	t.published.Add(1)
 	dev := ev.Device
-	old, had := t.devRoom[dev]
+	old, had := sh.devRoom[dev]
 	if ev.Present {
 		if had && old == ev.Piconet {
 			return
 		}
 		if had {
-			t.dropOccupant(old)
-			t.emit(Event{Kind: Leave, Device: dev, Room: old, At: ev.At})
-			t.occCrossings(old, ev.At)
+			t.emitLocked(sh, Event{Kind: Leave, Device: dev, Room: old, At: ev.At})
+			t.occShift(old, -1, ev.At)
 		}
-		t.devRoom[dev] = ev.Piconet
-		t.occupancy[ev.Piconet]++
-		t.emit(Event{Kind: Enter, Device: dev, Room: ev.Piconet, At: ev.At})
-		t.occCrossings(ev.Piconet, ev.At)
-		t.zoneCrossings(dev, ev.Piconet, true, ev.At)
+		sh.devRoom[dev] = ev.Piconet
+		t.emitLocked(sh, Event{Kind: Enter, Device: dev, Room: ev.Piconet, At: ev.At})
+		t.occShift(ev.Piconet, +1, ev.At)
+		t.zoneCrossingsLocked(sh, dev, ev.Piconet, true, ev.At)
 		return
 	}
 	if !had || old != ev.Piconet {
 		return
 	}
-	delete(t.devRoom, dev)
-	t.dropOccupant(old)
-	t.emit(Event{Kind: Leave, Device: dev, Room: old, At: ev.At})
-	t.occCrossings(old, ev.At)
-	t.zoneCrossings(dev, old, false, ev.At)
+	delete(sh.devRoom, dev)
+	t.emitLocked(sh, Event{Kind: Leave, Device: dev, Room: old, At: ev.At})
+	t.occShift(old, -1, ev.At)
+	t.zoneCrossingsLocked(sh, dev, old, false, ev.At)
 }
 
-func (t *Tree) dropOccupant(room graph.NodeID) {
-	t.occupancy[room]--
-	if t.occupancy[room] <= 0 {
-		delete(t.occupancy, room)
+// emitLocked matches one enter/leave event against the catch-all list,
+// the device index of the caller's shard, and the room index, then
+// hands the matches — in subscription order — to the delivery stage
+// (or invokes them inline on a Sync tree). The caller holds sh.mu.
+func (t *Tree) emitLocked(sh *treeShard, e Event) {
+	matched := sh.matched[:0]
+	if all := t.allList.Load(); all != nil {
+		matched = append(matched, *all...)
 	}
-}
-
-// emit delivers one enter/leave event to the catch-all, device and
-// room subscribers that match, in subscription order.
-func (t *Tree) emit(e Event) {
-	matched := t.matched[:0]
-	for _, s := range t.all {
-		matched = append(matched, s)
-	}
-	for _, s := range t.byDevice[e.Device] {
+	for _, s := range sh.byDevice[e.Device] {
 		if s.filter.Kind == KindDevice {
 			matched = append(matched, s)
 		}
 	}
-	for _, s := range t.byRoom[e.Room] {
+	rs := t.roomOf(e.Room)
+	rs.mu.Lock()
+	for _, s := range rs.byRoom[e.Room] {
 		matched = append(matched, s)
 	}
-	t.matched = matched
+	rs.mu.Unlock()
+	sh.matched = matched
 	if len(matched) == 0 {
 		return
 	}
-	sort.Slice(matched, func(i, j int) bool { return matched[i].id < matched[j].id })
-	for _, s := range matched {
-		s.deliver(e)
-		t.delivered++
-	}
-}
-
-// occCrossings fires the room's threshold watchers whose edge state
-// changed with the new count.
-func (t *Tree) occCrossings(room graph.NodeID, at sim.Tick) {
-	watchers := t.occByRoom[room]
-	if len(watchers) == 0 {
+	sortSubsByID(matched)
+	if t.ring == nil {
+		for _, s := range matched {
+			t.invoke(s, e)
+		}
 		return
 	}
-	n := t.occupancy[room]
-	ids := make([]uint64, 0, len(watchers))
+	deliv := sh.deliv[:0]
+	for _, s := range matched {
+		deliv = append(deliv, delivery{s: s, e: e})
+	}
+	sh.deliv = deliv
+	t.ring.enqueue(t, deliv)
+}
+
+// occShift applies one occupant-count change and fires the room's
+// threshold watchers whose edge state flipped with the new count. The
+// count mutation and the crossing evaluation are one critical section
+// under the occupancy lock, so concurrent flushes from different
+// shards see a consistent rise/fall sequence per room.
+func (t *Tree) occShift(room graph.NodeID, delta int, at sim.Tick) {
+	o := &t.occ
+	o.mu.Lock()
+	n := o.occupancy[room] + delta
+	if n > 0 {
+		o.occupancy[room] = n
+	} else {
+		delete(o.occupancy, room)
+		n = 0
+	}
+	watchers := o.watchers[room]
+	if len(watchers) == 0 {
+		o.mu.Unlock()
+		return
+	}
+	ids := o.ids[:0]
 	for id := range watchers {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	o.ids = ids
+	sortIDs(ids)
+	deliv := o.deliv[:0]
 	for _, id := range ids {
 		s := watchers[id]
 		above := n >= s.filter.Threshold
@@ -371,30 +702,43 @@ func (t *Tree) occCrossings(room graph.NodeID, at sim.Tick) {
 		if !above {
 			kind = OccupancyFall
 		}
-		s.deliver(Event{Kind: kind, Room: room, At: at, Occupancy: n})
-		t.delivered++
+		e := Event{Kind: kind, Room: room, At: at, Occupancy: n}
+		if t.ring == nil {
+			t.invoke(s, e)
+		} else {
+			deliv = append(deliv, delivery{s: s, e: e})
+		}
 	}
+	o.deliv = deliv
+	if t.ring != nil && len(deliv) > 0 {
+		t.ring.enqueue(t, deliv)
+	}
+	o.mu.Unlock()
 }
 
-// zoneCrossings fires the device's zone watchers whose inside/outside
-// state changed with the delta's final position. room is the device's
-// new room when present is true and its last known room otherwise; an
-// absent device is outside every zone regardless of room.
-func (t *Tree) zoneCrossings(dev baseband.BDAddr, room graph.NodeID, present bool, at sim.Tick) {
-	watchers := t.byDevice[dev]
+// zoneCrossingsLocked fires the device's zone watchers whose
+// inside/outside state changed with the delta's final position. room
+// is the device's new room when present is true and its last known
+// room otherwise; an absent device is outside every zone regardless of
+// room. The caller holds sh.mu, which guards the watchers' inZone
+// state.
+func (t *Tree) zoneCrossingsLocked(sh *treeShard, dev baseband.BDAddr, room graph.NodeID, present bool, at sim.Tick) {
+	watchers := sh.byDevice[dev]
 	if len(watchers) == 0 {
 		return
 	}
-	ids := make([]uint64, 0, len(watchers))
-	for id := range watchers {
-		if watchers[id].filter.Kind == KindZone {
+	ids := sh.ids[:0]
+	for id, s := range watchers {
+		if s.filter.Kind == KindZone {
 			ids = append(ids, id)
 		}
 	}
+	sh.ids = ids
 	if len(ids) == 0 {
 		return
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	sortIDs(ids)
+	deliv := sh.deliv[:0]
 	for _, id := range ids {
 		s := watchers[id]
 		in := present && s.zone[room]
@@ -406,7 +750,57 @@ func (t *Tree) zoneCrossings(dev baseband.BDAddr, room graph.NodeID, present boo
 		if !in {
 			kind = ZoneExit
 		}
-		s.deliver(Event{Kind: kind, Device: dev, Room: room, At: at})
-		t.delivered++
+		e := Event{Kind: kind, Device: dev, Room: room, At: at}
+		if t.ring == nil {
+			t.invoke(s, e)
+		} else {
+			deliv = append(deliv, delivery{s: s, e: e})
+		}
 	}
+	sh.deliv = deliv
+	if t.ring != nil && len(deliv) > 0 {
+		t.ring.enqueue(t, deliv)
+	}
+}
+
+// sortSubsByID is an insertion sort: the hot matching path sorts a
+// small, nearly sorted list (the catch-all prefix is pre-sorted) per
+// event, and sort.Slice would charge it two allocations per call for
+// the closure and the interface header.
+func sortSubsByID(subs []*sub) {
+	for i := 1; i < len(subs); i++ {
+		s := subs[i]
+		j := i - 1
+		for j >= 0 && subs[j].id > s.id {
+			subs[j+1] = subs[j]
+			j--
+		}
+		subs[j+1] = s
+	}
+}
+
+// sortIDs is the same allocation-free insertion sort for watcher ids.
+func sortIDs(ids []uint64) {
+	for i := 1; i < len(ids); i++ {
+		v := ids[i]
+		j := i - 1
+		for j >= 0 && ids[j] > v {
+			ids[j+1] = ids[j]
+			j--
+		}
+		ids[j+1] = v
+	}
+}
+
+// invoke runs one callback behind the sub's gate; a sub cancelled
+// while queued is skipped, and a Cancel racing an invocation blocks
+// until the callback returns — the Cancel half of the delivery
+// contract.
+func (t *Tree) invoke(s *sub, e Event) {
+	s.gate.Lock()
+	if !s.cancelled {
+		s.deliver(e)
+		t.delivered.Add(1)
+	}
+	s.gate.Unlock()
 }

@@ -1,0 +1,118 @@
+package loadgen
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"bips/internal/building"
+	"bips/internal/locdb"
+	"bips/internal/registry"
+	"bips/internal/server"
+)
+
+// benchLoadServer is startServer for benchmarks, with server options so
+// the two fan-out delivery modes can be compared on the same workload.
+func benchLoadServer(b *testing.B, users int, opts ...server.Option) string {
+	b.Helper()
+	bld, err := building.AcademicDepartment()
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := registry.New()
+	for i := 0; i < users; i++ {
+		if err := reg.Register(registry.UserID(UserName(i)), UserName(i), "loadgen",
+			registry.RightLocate, registry.RightTrackable); err != nil {
+			b.Fatal(err)
+		}
+	}
+	db, err := locdb.NewSharded(8, locdb.DefaultHistoryLimit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := server.New(reg, db, bld, opts...)
+	s.Logf = nil
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(l) }()
+	b.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			b.Errorf("server close: %v", err)
+		}
+		if err := <-serveDone; err != nil {
+			b.Errorf("serve: %v", err)
+		}
+	})
+	return l.Addr().String()
+}
+
+// BenchmarkMixedIngestSubscribe is the end-to-end acceptance measurement
+// for the staged fan-out: a 70/30 ingest/subscribe mix — sessioned
+// MsgPresenceBatch frames racing subscription churn, every frame fanning
+// out to whatever room subscriptions are live — against a real listener,
+// in the synchronous delivery mode versus the staged (default) one.
+//
+// Each sub-benchmark is one timed loadgen run whose duration scales with
+// b.N; the reported ns/op is the server-observed time per completed
+// request (batched ingest deltas count individually), and req/s is the
+// sustained throughput, the number BENCH_PR9.json records.
+func BenchmarkMixedIngestSubscribe(b *testing.B) {
+	const users = 8
+	for _, mode := range []struct {
+		name string
+		opts []server.Option
+	}{
+		{"sync", []server.Option{server.WithSyncFanout()}},
+		{"staged", nil},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			// Ingest bursts outrun the subscribers' drain rate by design;
+			// a large buffer and an effectively-infinite drop limit keep
+			// the slow-consumer condemnation (a correctness mechanism,
+			// measured elsewhere) from killing connections mid-run.
+			opts := append([]server.Option{
+				server.WithEventBuffer(4096),
+				server.WithDropLimit(1 << 30),
+			}, mode.opts...)
+			addr := benchLoadServer(b, users, opts...)
+			// Duration scales with b.N so longer benchtimes average
+			// longer runs; the floor keeps a 1-iteration probe long
+			// enough to get past connection warm-up.
+			d := time.Duration(b.N) * 100 * time.Millisecond
+			if d < 300*time.Millisecond {
+				d = 300 * time.Millisecond
+			}
+			if d > 3*time.Second {
+				d = 3 * time.Second
+			}
+			b.ResetTimer()
+			rep, err := Run(context.Background(), Config{
+				Addr:     addr,
+				Clients:  4,
+				Pipeline: 4,
+				Mix:      "ingest=70,subscribe=30",
+				Users:    users,
+				Duration: d,
+				Seed:     9,
+			})
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Errors != 0 {
+				b.Fatalf("errors = %d\n%s", rep.Errors, rep)
+			}
+			if rep.Requests == 0 {
+				b.Fatal("no requests completed")
+			}
+			// Override the (meaningless) wall-per-iteration ns/op with
+			// the per-request cost, so records stay comparable.
+			b.ReportMetric(float64(rep.Elapsed.Nanoseconds())/float64(rep.Requests), "ns/op")
+			b.ReportMetric(rep.QPS, "req/s")
+		})
+	}
+}

@@ -125,9 +125,11 @@ func (db *DB) ApplyBatch(muts []Mutation) int {
 		sh.mu.Unlock()
 		start = end
 	}
-	for _, ev := range events {
-		db.notify(ev)
-	}
+	// The whole frame reaches every subscriber as one OnEvents call:
+	// batch-aware sinks (fan-out tree, analytics hot tier) amortize
+	// their own locking and state sweeps over the frame, mirroring how
+	// the journal above group-commits it as one WAL write.
+	db.notifyBatch(events)
 	sc.events = events[:0]
 	db.batchPool.Put(sc)
 	return applied

@@ -171,12 +171,12 @@ type DB struct {
 	journal Journal
 
 	subsMu  sync.RWMutex
-	subs    map[int]func(Event)
+	subs    map[int]Sink
 	nextSub int
-	// subsList is the subscription-ordered callback list notify iterates,
+	// subsList is the subscription-ordered sink list notify iterates,
 	// rebuilt on (un)subscribe and read through one atomic load so the
 	// per-delta hot path allocates nothing.
-	subsList atomic.Pointer[[]func(Event)]
+	subsList atomic.Pointer[[]Sink]
 
 	// Merged-snapshot cache: allCur is the last full merge (with the
 	// per-shard versions it was built from), allRing keeps the most
@@ -232,7 +232,7 @@ func NewSharded(shards, limit int) (*DB, error) {
 	db := &DB{
 		shards:       make([]*shard, shards),
 		historyLimit: limit,
-		subs:         make(map[int]func(Event)),
+		subs:         make(map[int]Sink),
 	}
 	for i := range db.shards {
 		db.shards[i] = newShard(limit)
@@ -524,19 +524,56 @@ func (db *DB) Stats() Stats {
 	return st
 }
 
-// Subscribe registers fn to be called on every presence change. It returns
-// an unsubscribe function. Callbacks run synchronously on the updating
-// goroutine, after the shard lock is released, and must not mutate the
-// database re-entrantly in a way that assumes ordering against other
-// updaters: with concurrent writers on different shards, callbacks for
-// different devices may interleave (the single-threaded simulator never
-// hits this; a multi-connection server does).
+// Sink consumes the delta stream. OnEvent carries one delta from the
+// single-mutation paths (SetPresence, SetAbsence, Drop); OnEvents
+// carries a whole ApplyBatch frame in one call, so a frame-aware
+// consumer (the fan-out tree, the analytics hot tier) pays its
+// per-delivery overhead — lock acquisitions, state sweeps — once per
+// frame instead of once per delta. The slice handed to OnEvents is
+// owned by the database and recycled after the call returns: consumers
+// must not retain it.
+//
+// Both methods run synchronously on the mutating goroutine, after the
+// shard locks are released, and must not mutate the database
+// re-entrantly in a way that assumes ordering against other updaters:
+// with concurrent writers on different shards, deliveries for
+// different devices may interleave (the single-threaded simulator
+// never hits this; a multi-connection server does).
+type Sink interface {
+	OnEvent(Event)
+	OnEvents([]Event)
+}
+
+// funcSink adapts a per-event callback to the Sink interface for the
+// plain Subscribe path; frames are unrolled one event at a time.
+type funcSink struct{ fn func(Event) }
+
+func (s funcSink) OnEvent(ev Event) { s.fn(ev) }
+func (s funcSink) OnEvents(evs []Event) {
+	for _, ev := range evs {
+		s.fn(ev)
+	}
+}
+
+// Subscribe registers fn to be called on every presence change. It
+// returns an unsubscribe function. The callback contract is Sink's:
+// fn runs synchronously on the updating goroutine after the shard lock
+// is released. Frame-aware consumers use SubscribeSink instead.
 func (db *DB) Subscribe(fn func(Event)) (cancel func()) {
+	return db.SubscribeSink(funcSink{fn})
+}
+
+// SubscribeSink registers a batch-capable consumer of the delta
+// stream: single mutations arrive through OnEvent, whole ApplyBatch
+// frames through one OnEvents call. Sinks and plain Subscribe
+// callbacks share one subscription order. It returns an unsubscribe
+// function.
+func (db *DB) SubscribeSink(s Sink) (cancel func()) {
 	db.subsMu.Lock()
 	defer db.subsMu.Unlock()
 	id := db.nextSub
 	db.nextSub++
-	db.subs[id] = fn
+	db.subs[id] = s
 	db.rebuildSubsLocked()
 	return func() {
 		db.subsMu.Lock()
@@ -546,7 +583,7 @@ func (db *DB) Subscribe(fn func(Event)) (cancel func()) {
 	}
 }
 
-// rebuildSubsLocked republishes the subscription-ordered callback list.
+// rebuildSubsLocked republishes the subscription-ordered sink list.
 // The caller holds subsMu.
 func (db *DB) rebuildSubsLocked() {
 	ids := make([]int, 0, len(db.subs))
@@ -554,23 +591,39 @@ func (db *DB) rebuildSubsLocked() {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	fns := make([]func(Event), 0, len(ids))
+	sinks := make([]Sink, 0, len(ids))
 	for _, id := range ids {
-		fns = append(fns, db.subs[id])
+		sinks = append(sinks, db.subs[id])
 	}
-	db.subsList.Store(&fns)
+	db.subsList.Store(&sinks)
 }
 
-// notify delivers an event to all subscribers in subscription order.
-// The callback list is prebuilt, so a delta with no subscribers — and
-// the common case of a stable subscriber set — costs one atomic load
-// and no allocation.
+// notify delivers one event to all subscribers in subscription order.
+// The sink list is prebuilt, so a delta with no subscribers — and the
+// common case of a stable subscriber set — costs one atomic load and
+// no allocation.
 func (db *DB) notify(ev Event) {
-	fns := db.subsList.Load()
-	if fns == nil {
+	sinks := db.subsList.Load()
+	if sinks == nil {
 		return
 	}
-	for _, fn := range *fns {
-		fn(ev)
+	for _, s := range *sinks {
+		s.OnEvent(ev)
+	}
+}
+
+// notifyBatch delivers a whole mutation frame to all subscribers in
+// subscription order, one OnEvents call per sink. The events slice is
+// recycled by the caller after the call; sinks must not retain it.
+func (db *DB) notifyBatch(evs []Event) {
+	if len(evs) == 0 {
+		return
+	}
+	sinks := db.subsList.Load()
+	if sinks == nil {
+		return
+	}
+	for _, s := range *sinks {
+		s.OnEvents(evs)
 	}
 }

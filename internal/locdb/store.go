@@ -72,6 +72,10 @@ type Store interface {
 	// Subscribe registers fn for every presence change; the returned
 	// function unsubscribes.
 	Subscribe(fn func(Event)) (cancel func())
+	// SubscribeSink registers a batch-capable consumer: single deltas
+	// arrive through OnEvent, whole ApplyBatch frames through one
+	// OnEvents call (see Sink for the delivery contract).
+	SubscribeSink(s Sink) (cancel func())
 
 	// Close releases backend resources (files, goroutines). The
 	// in-memory backend's Close is a no-op.

@@ -69,6 +69,25 @@ func WithIngestOptions(opts ...ingest.Option) Option {
 	return func(s *Server) { s.ingestOpts = append(s.ingestOpts, opts...) }
 }
 
+// WithSyncFanout makes the fan-out tree deliver subscriber callbacks
+// inline on the goroutine that applied the presence delta, instead of
+// the default staged delivery goroutine. In-process deployments (the
+// simulation facade) use it so events stay synchronous with the
+// simulated clock; serving deployments should keep the default, which
+// takes subscriber delivery off the write path.
+func WithSyncFanout() Option {
+	return func(s *Server) { s.syncFanout = true }
+}
+
+// WithFanoutRing overrides the delivery ring capacity
+// (fanout.DefaultRing): how many matched (event, subscriber) pairs may
+// sit between matching and delivery before publishers block. Ignored
+// under WithSyncFanout. Values below 1 select the default; see
+// docs/OPERATIONS.md for tuning guidance.
+func WithFanoutRing(n int) Option {
+	return func(s *Server) { s.fanoutRing = n }
+}
+
 // Server is the central BIPS server.
 type Server struct {
 	reg *registry.Registry
@@ -94,6 +113,8 @@ type Server struct {
 	// in-process push notifications; every locdb delta is fed into it
 	// exactly once. See internal/fanout and docs/PROTOCOL.md section 9.
 	tree        *fanout.Tree
+	syncFanout  bool
+	fanoutRing  int
 	eventBuffer int
 	dropLimit   int
 	maxSubs     int
@@ -160,19 +181,23 @@ func New(reg *registry.Registry, db locdb.Store, bld *building.Building, opts ..
 		opt(s)
 	}
 	s.ingest = ingest.NewPipeline(db, s.resolveDelta, s.ingestOpts...)
-	// Feed every location delta into the fan-out tree exactly once,
-	// and prime the tree's room view from a restored durable backend
-	// (no traffic can flow yet — the caller has not started serving).
-	s.tree = fanout.New()
-	db.Subscribe(s.tree.Publish)
+	// Feed every location delta into the fan-out tree exactly once —
+	// batched, through the sink interface, so a whole ingest frame
+	// reaches the tree as one PublishBatch — and prime the tree's room
+	// view from a restored durable backend (no traffic can flow yet —
+	// the caller has not started serving).
+	s.tree = fanout.NewWithConfig(fanout.Config{Ring: s.fanoutRing, Sync: s.syncFanout})
+	db.SubscribeSink(s.tree)
 	s.tree.Seed(db.All())
-	// The analytics engine rides the same delta stream; seeding from the
-	// store's dump restores a durable backend's history after restart.
+	// The analytics engine rides the same delta stream; the sink
+	// registration lets it ingest a whole frame under one lock. Seeding
+	// from the store's dump restores a durable backend's history after
+	// restart.
 	if s.analytics == nil {
 		s.analytics = analytics.NewMemory(db.HistoryLimit())
 		s.ownAnalytics = true
 	}
-	db.Subscribe(s.analytics.Apply)
+	db.SubscribeSink(s.analytics)
 	s.analytics.Seed(db.Dump())
 	return s
 }
@@ -393,6 +418,7 @@ func (s *Server) StatsResult() wire.StatsResult {
 	out.Counters["fanout.subscriptions"] = int64(treeStats.Subscriptions)
 	out.Counters["fanout.published"] = treeStats.Published
 	out.Counters["fanout.delivered"] = treeStats.Delivered
+	out.Counters["fanout.backlog"] = int64(treeStats.Backlog)
 	dbStats := s.db.Stats()
 	out.Counters["locdb.updates"] = dbStats.Updates
 	out.Counters["locdb.absences"] = dbStats.Absences
@@ -968,6 +994,9 @@ func (s *Server) Close() error {
 		err = l.Close()
 	}
 	s.wg.Wait()
+	// Connections are gone, so no subscriber callbacks remain; drain
+	// and stop the tree's delivery stage before tearing down analytics.
+	s.tree.Close()
 	if s.ownAnalytics {
 		if aerr := s.analytics.Close(); aerr != nil && err == nil {
 			err = aerr

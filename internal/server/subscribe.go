@@ -3,10 +3,11 @@
 //
 // Every connection owns a connSubs: the map from client-chosen
 // subscription ids to fan-out registrations, plus one bounded event
-// buffer drained by a pusher goroutine. Fan-out callbacks run under the
-// tree lock and must never block, so they enqueue non-blocking and
-// count a drop when the buffer is full; ingest and other subscribers
-// never wait on a slow consumer. A connection that keeps dropping past
+// buffer drained by a pusher goroutine. Fan-out callbacks run on the
+// tree's delivery goroutine (or inline on the publishing goroutine
+// under WithSyncFanout) and must never block, so they enqueue
+// non-blocking and count a drop when the buffer is full; ingest and
+// other subscribers never wait on a slow consumer. A connection that keeps dropping past
 // the drop limit is killed: a best-effort slow-consumer MsgError, then
 // the socket is severed (with a timer backstop in case even the error
 // cannot be written).
@@ -135,9 +136,9 @@ func newConnSubs(s *Server, tr wire.Transport, raw io.Closer) *connSubs {
 }
 
 // add registers one subscription: reserve the id, register on the
-// fan-out tree (outside cs.mu — callbacks take cs.mu under the tree
-// lock, so holding both here would invert the order), then bind the
-// registration to the id.
+// fan-out tree (outside cs.mu — a synchronous tree's callbacks take
+// cs.mu under the tree's locks, so holding both here would invert the
+// order), then bind the registration to the id.
 func (cs *connSubs) add(id string, f fanout.Filter) error {
 	cs.mu.Lock()
 	if cs.killed || cs.subs == nil {
@@ -183,8 +184,9 @@ func (cs *connSubs) drop(id string) error {
 }
 
 // push enqueues one encoded event without ever blocking: it runs
-// inside a fan-out callback, under the tree lock, on whatever
-// goroutine applied the presence delta. A full buffer drops the event
+// inside a fan-out callback — on the tree's delivery goroutine, or on
+// whatever goroutine applied the presence delta when the tree is
+// synchronous. A full buffer drops the event
 // (accounted, never silent — and the pooled payload is released);
 // crossing the drop limit declares the connection a slow consumer.
 func (cs *connSubs) push(m outMsg) {
@@ -380,9 +382,9 @@ func (s *Server) resolveFilter(req wire.Subscribe) (fanout.Filter, error) {
 }
 
 // eventBody renders one fan-out event as a MsgEvent body for the
-// subscription with the given id. It runs under the tree lock; the
-// registry lookup is the only other lock it takes, and the registry
-// never calls into the tree.
+// subscription with the given id. It runs inside the fan-out
+// callback; the registry lookup is the only lock it takes, and the
+// registry never calls into the tree.
 func (s *Server) eventBody(id string, e fanout.Event) wire.Event {
 	body := wire.Event{
 		Sub:       id,

@@ -371,7 +371,11 @@ func TestSlowConsumerKilled(t *testing.T) {
 	// Drive traffic without reading the slow connection: bob bounces in
 	// and out of room 6. Every Call completing proves ingest never
 	// waits on the wedged subscriber. 20 moves = 20 room-6 events,
-	// far past buffer(2) + drop limit(4).
+	// far past buffer(2) + drop limit(4). A fast subscriber is one
+	// that READS at the event rate: delivery is staged off the write
+	// path, so pace the moves on the fast sink's progress — otherwise
+	// the test would just prove that any 2-slot buffer overflows under
+	// a decoupled burst.
 	const moves = 20
 	for i := 0; i < moves; i++ {
 		room := graph.NodeID(6)
@@ -379,10 +383,17 @@ func TestSlowConsumerKilled(t *testing.T) {
 			room = 5
 		}
 		move(t, fast, devB, room, sim.Tick(100+i))
+		sink.wait(t, i+1)
 	}
 
-	// The drops happened synchronously inside the presence calls, so
-	// the slow connection is already condemned.
+	// The presence calls all completed, so the events are matched and
+	// queued; delivery (and therefore the drop accounting) runs on the
+	// tree's delivery goroutine, so poll for the condemnation instead
+	// of asserting it synchronously.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.slowKills.Value() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
 	if got := s.slowKills.Value(); got != 1 {
 		t.Fatalf("slow kills = %d, want 1", got)
 	}

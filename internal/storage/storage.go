@@ -459,6 +459,10 @@ func (d *Durable) NumShards() int { return d.mem.NumShards() }
 // Subscribe registers fn for every presence change.
 func (d *Durable) Subscribe(fn func(locdb.Event)) (cancel func()) { return d.mem.Subscribe(fn) }
 
+// SubscribeSink registers a batch-capable delta consumer; whole ingest
+// frames reach it as one OnEvents call.
+func (d *Durable) SubscribeSink(s locdb.Sink) (cancel func()) { return d.mem.SubscribeSink(s) }
+
 // --- Durability operations ------------------------------------------------
 
 // Sync is the durability barrier: every mutation that returned before
