@@ -4,7 +4,7 @@
 # performance trajectory of the repo is tracked in data, not prose.
 #
 # Usage:
-#   .github/bench.sh [output.json] [ingest-output.json] [analytics-output.json] [hotpath-output.json] [fanout-output.json]
+#   .github/bench.sh [output.json] [ingest-output.json] [analytics-output.json] [hotpath-output.json] [fanout-output.json] [flush-output.json]
 #
 # Environment:
 #   BENCHTIME  go test -benchtime value (default 0.5s; CI may use 1s,
@@ -54,6 +54,18 @@
 # staged). It also repeats the gated hot-path benchmarks so the
 # regression guard (.github/bench_guard.sh) has shared keys with the
 # previous record.
+#
+# The sixth record (default BENCH_PR10.json) is the flush-coalescing
+# acceptance record (PR 10): the depth-16 pipelined serving cost before
+# (the committed PR 9 figure, hardcoded) and after the syscall-lean
+# writer ("pipelined_speedup", bar: >= 2x on the one-core CI container),
+# the pipeline-depth sweep (BenchmarkServeConnPipelinedDepth/d*), the
+# event-burst pusher cost with its writes/event coalescing metric
+# (BenchmarkEventBurstFlush), and the mixed-workload amortization
+# (BenchmarkMixedFlushCoalesce): "frames_per_flush" is how many frames
+# the server sent per write(2) flush (acceptance bar: >= 4), which is
+# also the "syscall_reduction" versus a flush-per-frame writer. The
+# gated hot-path set rides along for the regression guard.
 set -eu
 
 out="${1:-BENCH_PR4.json}"
@@ -61,6 +73,7 @@ ingest_out="${2:-BENCH_PR5.json}"
 analytics_out="${3:-BENCH_PR7.json}"
 hot_out="${4:-BENCH_PR8.json}"
 fanout_out="${5:-BENCH_PR9.json}"
+flush_out="${6:-BENCH_PR10.json}"
 benchtime="${BENCHTIME:-0.5s}"
 pkgs="${BENCHPKGS:-./internal/storage ./internal/locdb ./internal/fanout ./internal/server ./internal/loadgen ./internal/analytics .}"
 
@@ -77,7 +90,7 @@ if ! go test -run '^$' -bench . -benchmem -benchtime "$benchtime" $pkgs > "$tmp"
 fi
 cat "$tmp" >&2
 
-awk -v benchtime="$benchtime" -v ingout="$ingest_out" -v anaout="$analytics_out" -v hotout="$hot_out" -v fanout="$fanout_out" '
+awk -v benchtime="$benchtime" -v ingout="$ingest_out" -v anaout="$analytics_out" -v hotout="$hot_out" -v fanout="$fanout_out" -v flushout="$flush_out" '
 BEGIN {
     n = 0
     "go version" | getline gover
@@ -110,6 +123,9 @@ $1 == "pkg:" { pkg = $2; next }
         if ($(i + 1) == "sealed-runs") sealedruns = $i
         # Loadgen throughput from BenchmarkMixedIngestSubscribe.
         if ($(i + 1) == "req/s") reqs[name] = $i
+        # Flush-coalescing metrics from the PR 10 benchmarks.
+        if ($(i + 1) == "frames/flush") fpf[name] = $i
+        if ($(i + 1) == "writes/event") wpe[name] = $i
     }
     if (ns == "") next
     key = pkg "/" name
@@ -208,6 +224,8 @@ END {
         printf "  \"skipped\": \"BenchmarkServeConnPipelined not in this run (BENCHPKGS excludes internal/server?)\"\n}\n" > hotout
         printf "{\n  \"schema\": \"bips-fanout-bench-v1\",\n" > fanout
         printf "  \"skipped\": \"fan-out benchmarks not in this run (BENCHPKGS excludes internal/server?)\"\n}\n" > fanout
+        printf "{\n  \"schema\": \"bips-flush-bench-v1\",\n" > flushout
+        printf "  \"skipped\": \"flush benchmarks not in this run (BENCHPKGS excludes internal/server?)\"\n}\n" > flushout
         exit 0
     }
     printf "{\n" > hotout
@@ -338,6 +356,76 @@ END {
         printf "\n}\n" > fanout
     }
 
+    # Sixth record: the flush-coalescing acceptance (PR 10). The before
+    # figure for the pipelined benchmark is the committed PR 9 record
+    # (flush-per-frame writer) on the same CI container class; the depth
+    # sweep, burst-flush and mixed-coalescing benchmarks are new in this
+    # record, so after-only is the complete pair for them.
+    scname = "BenchmarkServeConnPipelined"
+    if (!(scname in hotns)) {
+        print "bench.sh: flush benchmarks not in this run; " flushout " records the omission" > "/dev/stderr"
+        printf "{\n  \"schema\": \"bips-flush-bench-v1\",\n" > flushout
+        printf "  \"skipped\": \"BenchmarkServeConnPipelined not in this run (BENCHPKGS excludes internal/server?)\"\n}\n" > flushout
+    } else {
+        before10[scname] = "3950 112 9"
+        nfl = split(scname " BenchmarkServeConnPipelinedDepth/d1 BenchmarkServeConnPipelinedDepth/d4 BenchmarkServeConnPipelinedDepth/d16 BenchmarkServeConnPipelinedDepth/d64 BenchmarkEventBurstFlush BenchmarkMixedFlushCoalesce", flg, " ")
+        # The rest of the gated hot-path set rides along so the
+        # regression guard has shared keys with the PR 9 record.
+        nfall = split("BenchmarkDispatchLocate BenchmarkApplyBatch/batched BenchmarkIngestDelta/batched BenchmarkFanoutEventPush BenchmarkLocdbSnapshotAll BenchmarkLocdbAllSince", fla, " ")
+        for (fi = 1; fi <= nfl; fi++) fla[nfall + fi] = flg[fi]
+        nfall += nfl
+        for (fi = 1; fi <= nfl; fi++) {
+            if (!(flg[fi] in hotns)) {
+                print "bench.sh: flush benchmark " flg[fi] " was not measured in this run" > "/dev/stderr"
+                fail = 1
+            }
+        }
+        printf "{\n" > flushout
+        printf "  \"schema\": \"bips-flush-bench-v1\",\n" > flushout
+        printf "  \"go\": \"%s\",\n", gover > flushout
+        printf "  \"date\": \"%s\",\n", now > flushout
+        printf "  \"host\": \"%s\",\n", host > flushout
+        printf "  \"benchtime\": \"%s\",\n", benchtime > flushout
+        printf "  \"benchmarks\": {\n" > flushout
+        flfirst = 1
+        for (fi = 1; fi <= nfall; fi++) {
+            g = fla[fi]
+            if (!(g in hotns)) continue
+            if (!flfirst) printf ",\n" > flushout
+            flfirst = 0
+            printf "    \"%s\": {", g > flushout
+            if (g in before10) {
+                split(before10[g], bv, " ")
+                printf "\"before\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}, ", bv[1], bv[2], bv[3] > flushout
+            }
+            if (g in fpf) {
+                printf "\"after\": {\"ns_per_op\": %s}, \"frames_per_flush\": %s, \"req_per_sec\": %s}", hotns[g], fpf[g], reqs[g] > flushout
+            } else if (g in wpe) {
+                printf "\"after\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}, \"writes_per_event\": %s}", hotns[g], hotbytes[g], hotallocs[g], wpe[g] > flushout
+            } else {
+                printf "\"after\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}}", hotns[g], hotbytes[g], hotallocs[g] > flushout
+            }
+        }
+        printf "\n  }" > flushout
+        # The PR 10 acceptance metrics: pipelined depth-16 cost against
+        # the committed flush-per-frame figure (bar: >= 2x) and the
+        # frames-per-flush amortization under the pipelined mixed
+        # workload (bar: >= 4), which is by construction the write(2)
+        # reduction versus flush-per-frame.
+        if (hotns[scname] + 0 > 0) {
+            printf ",\n  \"pipelined_before_ns_per_op\": 3950" > flushout
+            printf ",\n  \"pipelined_after_ns_per_op\": %s", hotns[scname] > flushout
+            printf ",\n  \"pipelined_speedup\": %.2f", 3950.0 / hotns[scname] > flushout
+        }
+        if ("BenchmarkMixedFlushCoalesce" in fpf) {
+            printf ",\n  \"frames_per_flush\": %s", fpf["BenchmarkMixedFlushCoalesce"] > flushout
+            printf ",\n  \"syscall_reduction\": %s", fpf["BenchmarkMixedFlushCoalesce"] > flushout
+        }
+        if ("BenchmarkEventBurstFlush" in wpe)
+            printf ",\n  \"event_burst_writes_per_event\": %s", wpe["BenchmarkEventBurstFlush"] > flushout
+        printf "\n}\n" > flushout
+    }
+
     if (fail) {
         print "bench.sh: incomplete benchmark records (see above)" > "/dev/stderr"
         exit 1
@@ -349,3 +437,4 @@ echo "wrote $ingest_out" >&2
 echo "wrote $analytics_out" >&2
 echo "wrote $hot_out" >&2
 echo "wrote $fanout_out" >&2
+echo "wrote $flush_out" >&2

@@ -23,7 +23,9 @@
 // protocol as reads; every delta counts as one request in the report.
 // The subscribe op toggles per-worker room subscriptions, churning the
 // fan-out registration path. -stats additionally fetches the server's
-// MsgStats snapshot after the run.
+// MsgStats snapshot after the run; its wire.frames_per_flush counter
+// reports how well the server coalesced response flushes under the
+// generated load (pipelined mixes should push it well above 1).
 package main
 
 import (

@@ -43,8 +43,12 @@
 // the streaming window instead, and -timeout 0 streams forever. -stats
 // fetches and prints the server's metrics snapshot (the MsgStats query
 // of docs/PROTOCOL.md) after the subcommand, or on its own when no
-// subcommand is given. -v1 forces the newline-JSON wire protocol v1;
-// the default is v2 length-prefixed frames.
+// subcommand is given. The snapshot includes the transport's flush
+// coalescing counters — wire.flushes, wire.frames, wire.flush_bytes and
+// the derived wire.frames_per_flush — which show how many response
+// frames the server amortizes per write(2); see docs/OPERATIONS.md for
+// reading them. -v1 forces the newline-JSON wire protocol v1; the
+// default is v2 length-prefixed frames.
 //
 // Exit status: 0 on success, 1 when the server answers an error or the
 // exchange fails, 2 for a usage error. Scripts can rely on a non-zero

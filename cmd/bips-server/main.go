@@ -38,7 +38,10 @@
 // subscriber connection may cost the server. -fanout-ring sizes the
 // staged delivery ring between ingest and subscriber callbacks, and
 // -pprof serves net/http/pprof on a side address so fan-out contention
-// is profileable under load. Tuning guidance lives in
+// is profileable under load. -flush-bytes bounds how much a connection
+// writer may stage before forcing a flush — the flush-coalescing knob;
+// its effect shows up in the wire.flushes / wire.frames_per_flush
+// counters of the stats output. Tuning guidance lives in
 // docs/OPERATIONS.md.
 //
 // On SIGINT/SIGTERM the server stops accepting, drains connections and —
@@ -108,6 +111,7 @@ func run(args []string) error {
 	dropLimit := fs.Int("drop-limit", server.DefaultDropLimit, "dropped events before a subscriber is disconnected as a slow consumer")
 	maxSubs := fs.Int("max-subs", server.DefaultMaxSubsPerConn, "max subscriptions per connection")
 	fanoutRing := fs.Int("fanout-ring", fanout.DefaultRing, "staged fan-out delivery ring capacity (matched events queued between ingest and subscriber callbacks)")
+	flushBytes := fs.Int("flush-bytes", server.DefaultFlushBytes, "max bytes a connection writer stages before forcing a flush (lower bounds latency, higher amortizes more frames per write)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (empty: disabled)")
 	addrFile := fs.String("addr-file", "", "write the bound listen address to this file (for scripts using :0)")
 	var users userList
@@ -168,6 +172,7 @@ func run(args []string) error {
 		server.WithDropLimit(*dropLimit),
 		server.WithMaxSubsPerConn(*maxSubs),
 		server.WithFanoutRing(*fanoutRing),
+		server.WithFlushBytes(*flushBytes),
 	}
 	eng, err := openAnalytics(*dataDir, *historyLimit, *analyticsSeal, *analyticsRetention)
 	if err != nil {

@@ -14,7 +14,7 @@ import (
 
 // benchLoadServer is startServer for benchmarks, with server options so
 // the two fan-out delivery modes can be compared on the same workload.
-func benchLoadServer(b *testing.B, users int, opts ...server.Option) string {
+func benchLoadServer(b *testing.B, users int, opts ...server.Option) (*server.Server, string) {
 	b.Helper()
 	bld, err := building.AcademicDepartment()
 	if err != nil {
@@ -47,7 +47,7 @@ func benchLoadServer(b *testing.B, users int, opts ...server.Option) string {
 			b.Errorf("serve: %v", err)
 		}
 	})
-	return l.Addr().String()
+	return s, l.Addr().String()
 }
 
 // BenchmarkMixedIngestSubscribe is the end-to-end acceptance measurement
@@ -78,7 +78,7 @@ func BenchmarkMixedIngestSubscribe(b *testing.B) {
 				server.WithEventBuffer(4096),
 				server.WithDropLimit(1 << 30),
 			}, mode.opts...)
-			addr := benchLoadServer(b, users, opts...)
+			_, addr := benchLoadServer(b, users, opts...)
 			// Duration scales with b.N so longer benchtimes average
 			// longer runs; the floor keeps a 1-iteration probe long
 			// enough to get past connection warm-up.
@@ -115,4 +115,52 @@ func BenchmarkMixedIngestSubscribe(b *testing.B) {
 			b.ReportMetric(rep.QPS, "req/s")
 		})
 	}
+}
+
+// BenchmarkMixedFlushCoalesce is the acceptance measurement for flush
+// coalescing under a realistic mix: pipelined workers issuing ingest
+// frames, locate queries and subscription churn, so the writer loop
+// sees ragged bursts rather than a steady stream. The frames/flush
+// metric is the server-wide amortization — how many frames left per
+// write(2) flush — the number BENCH_PR10.json records (acceptance:
+// >= 4 at pipeline depth 8).
+func BenchmarkMixedFlushCoalesce(b *testing.B) {
+	const users = 8
+	srv, addr := benchLoadServer(b, users,
+		server.WithEventBuffer(4096),
+		server.WithDropLimit(1<<30))
+	d := time.Duration(b.N) * 100 * time.Millisecond
+	if d < 300*time.Millisecond {
+		d = 300 * time.Millisecond
+	}
+	if d > 3*time.Second {
+		d = 3 * time.Second
+	}
+	b.ResetTimer()
+	rep, err := Run(context.Background(), Config{
+		Addr:     addr,
+		Clients:  4,
+		Pipeline: 8,
+		Mix:      "ingest=60,locate=30,subscribe=10",
+		Users:    users,
+		Duration: d,
+		Seed:     11,
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		b.Fatalf("errors = %d\n%s", rep.Errors, rep)
+	}
+	if rep.Requests == 0 {
+		b.Fatal("no requests completed")
+	}
+	st := srv.StatsResult()
+	flushes, frames := st.Counters["wire.flushes"], st.Counters["wire.frames"]
+	if flushes > 0 {
+		b.ReportMetric(float64(frames)/float64(flushes), "frames/flush")
+	}
+	b.ReportMetric(float64(rep.Elapsed.Nanoseconds())/float64(rep.Requests), "ns/op")
+	b.ReportMetric(rep.QPS, "req/s")
 }

@@ -68,17 +68,16 @@ func BenchmarkDispatchLocate(b *testing.B) {
 	})
 }
 
-// BenchmarkServeConnPipelined measures the full per-connection pipeline —
+// benchServeConnPipelined measures the full per-connection pipeline —
 // v2 framing, reader, bounded in-flight handlers, writer — over an
-// in-memory connection with a deeply pipelining client.
-func BenchmarkServeConnPipelined(b *testing.B) {
+// in-memory connection with a client pipelining at the given depth.
+func benchServeConnPipelined(b *testing.B, pipeline int) {
 	s := benchServer(b, locdb.DefaultShards)
 	cliConn, srvConn := net.Pipe()
 	go s.ServeConn(srvConn)
 	client := wire.NewClient(wire.NewFrameCodec(cliConn))
 	defer client.Close()
 
-	const pipeline = 16
 	b.ResetTimer()
 	var wg sync.WaitGroup
 	per := b.N / pipeline
@@ -103,6 +102,25 @@ func BenchmarkServeConnPipelined(b *testing.B) {
 		}(n)
 	}
 	wg.Wait()
+}
+
+// BenchmarkServeConnPipelined is the depth-16 configuration every
+// BENCH_*.json record tracks.
+func BenchmarkServeConnPipelined(b *testing.B) {
+	benchServeConnPipelined(b, 16)
+}
+
+// BenchmarkServeConnPipelinedDepth sweeps the pipeline depth: d1 is the
+// strictly synchronous client (request, response, request — flush
+// coalescing cannot help), deeper pipelines give the group-commit
+// client and the flush-on-idle writer room to amortize write(2) calls
+// across queued frames.
+func BenchmarkServeConnPipelinedDepth(b *testing.B) {
+	for _, d := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("d%d", d), func(b *testing.B) {
+			benchServeConnPipelined(b, d)
+		})
+	}
 }
 
 // BenchmarkFanoutEventPush measures the full event push path in the
@@ -258,6 +276,72 @@ func BenchmarkFanoutWritePath(b *testing.B) {
 			<-drained
 		})
 	}
+}
+
+// BenchmarkEventBurstFlush measures the subscription pusher under burst
+// fan-out: one ApplyBatch produces a queue of events that the pusher
+// stages and flushes together, so the per-event cost amortizes the
+// write(2). The writes/event metric shows the coalescing directly — a
+// flush-per-event pusher would report 1.0.
+func BenchmarkEventBurstFlush(b *testing.B) {
+	const burst = 64
+	s := benchServer(b, locdb.DefaultShards, WithEventBuffer(4*burst))
+	cliConn, srvConn := net.Pipe()
+	counted := &countingConn{Conn: srvConn}
+	go s.ServeConn(counted)
+	codec := wire.NewFrameCodec(cliConn)
+	defer codec.Close()
+
+	sub, err := wire.MarshalBody(wire.MsgSubscribe, 1, wire.Subscribe{
+		ID: "track", Querier: "alice",
+		Filter: wire.SubFilter{Kind: wire.FilterDevice, Target: "bob"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := codec.Send(sub); err != nil {
+		b.Fatal(err)
+	}
+	var buf []byte
+	ack, buf, err := codec.RecvBuf(buf)
+	if err != nil || ack.Type != wire.MsgOK {
+		b.Fatalf("subscribe ack = %+v, %v", ack, err)
+	}
+
+	muts := make([]locdb.Mutation, burst)
+	tick := sim.Tick(1)
+	startWrites := counted.writes.Load()
+	b.ResetTimer()
+	for n := 0; n < b.N; {
+		k := burst
+		if rem := b.N - n; rem < k {
+			k = rem
+		}
+		for i := 0; i < k; i++ {
+			tick++
+			// Alternate leave/enter (bob is seeded present): one event
+			// per mutation for the device watcher.
+			op := locdb.MutAbsence
+			if tick%2 == 1 {
+				op = locdb.MutPresence
+			}
+			muts[i] = locdb.Mutation{Op: op, Dev: devB, Piconet: 6, At: tick}
+		}
+		s.DB().ApplyBatch(muts[:k])
+		for i := 0; i < k; i++ {
+			var env wire.Envelope
+			env, buf, err = codec.RecvBuf(buf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if env.Type != wire.MsgEvent {
+				b.Fatalf("push type = %v", env.Type)
+			}
+		}
+		n += k
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(counted.writes.Load()-startWrites)/float64(b.N), "writes/event")
 }
 
 // BenchmarkServeConnBatch measures the bulk path: one envelope carrying

@@ -49,6 +49,14 @@ import (
 // docs/OPERATIONS.md for tuning guidance.
 const DefaultMaxInFlight = 64
 
+// DefaultFlushBytes bounds how many response/event bytes the writer
+// stages between flushes: the writer drains its queue opportunistically
+// and flushes when the queue goes idle or the staged bytes pass this
+// threshold, whichever comes first. It is also the per-connection write
+// buffer size, so the threshold is real — bufio cannot flush earlier on
+// its own. See docs/OPERATIONS.md for tuning guidance.
+const DefaultFlushBytes = 32 << 10
+
 // Option configures a Server at construction.
 type Option func(*Server)
 
@@ -60,6 +68,20 @@ func WithMaxInFlight(n int) Option {
 			n = 1
 		}
 		s.maxInFlight = n
+	}
+}
+
+// WithFlushBytes overrides DefaultFlushBytes: the staged-bytes
+// threshold at which the connection writer flushes even though its
+// queue still holds work, and the connection's write-buffer size.
+// Larger values coalesce more frames per write(2) under bursts at the
+// cost of buffered latency and per-connection memory; values below 1
+// select the default.
+func WithFlushBytes(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.flushBytes = n
+		}
 	}
 }
 
@@ -95,6 +117,7 @@ type Server struct {
 	bld *building.Building
 
 	maxInFlight int
+	flushBytes  int
 
 	// ingest is the sessioned workstation write path (hello / batch /
 	// ack); see internal/ingest and docs/PROTOCOL.md section 8.
@@ -132,6 +155,12 @@ type Server struct {
 	evPushed  *metrics.Counter
 	evDropped *metrics.Counter
 	slowKills *metrics.Counter
+	// Flush-coalescing counters (see flushWriter): flushes issued,
+	// frames and bytes that left in them. frames/flushes is the
+	// syscall amortization MsgStats derives as wire.frames_per_flush.
+	wireFlushes    *metrics.Counter
+	wireFrames     *metrics.Counter
+	wireFlushBytes *metrics.Counter
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -157,6 +186,7 @@ func New(reg *registry.Registry, db locdb.Store, bld *building.Building, opts ..
 		db:          db,
 		bld:         bld,
 		maxInFlight: DefaultMaxInFlight,
+		flushBytes:  DefaultFlushBytes,
 		eventBuffer: DefaultEventBuffer,
 		dropLimit:   DefaultDropLimit,
 		maxSubs:     DefaultMaxSubsPerConn,
@@ -177,6 +207,9 @@ func New(reg *registry.Registry, db locdb.Store, bld *building.Building, opts ..
 	s.evPushed = s.metrics.Counter("fanout.events_pushed")
 	s.evDropped = s.metrics.Counter("fanout.events_dropped")
 	s.slowKills = s.metrics.Counter("fanout.slow_kills")
+	s.wireFlushes = s.metrics.Counter("wire.flushes")
+	s.wireFrames = s.metrics.Counter("wire.frames")
+	s.wireFlushBytes = s.metrics.Counter("wire.flush_bytes")
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -437,6 +470,12 @@ func (s *Server) StatsResult() wire.StatsResult {
 			out.Counters["storage."+name] = v
 		}
 	}
+	// Derived syscall-amortization ratio: how many frames left per
+	// flush on average. 1 means flush-per-frame (no coalescing win);
+	// the mixed-workload bar is >= 4 (BENCH_PR10.json).
+	if flushes := out.Counters["wire.flushes"]; flushes > 0 {
+		out.Counters["wire.frames_per_flush"] = out.Counters["wire.frames"] / flushes
+	}
 	return out
 }
 
@@ -496,6 +535,99 @@ type outMsg struct {
 	buf *wire.Buf
 }
 
+// flushWriter batches frame writes on one transport: pooled payloads
+// are staged with SendPayloadNoFlush and leave in one write(2) when the
+// owning goroutine observes its queue idle (flush-on-idle) or the
+// staged bytes pass the server's flush threshold. On a transport
+// without BatchSender (foreign Transport implementations) every write
+// degrades to the flush-per-send path. After a send error it keeps
+// accepting — and releasing — messages without touching the dead
+// stream, so producers never block on a gone connection.
+//
+// A flushWriter belongs to one goroutine. The response writer and the
+// subscription pusher each own one over the same transport; the codec's
+// write mutex keeps concurrently staged frames atomic, and either
+// side's Flush simply pushes out whatever both have staged (the
+// counters still attribute every frame to exactly one flush).
+type flushWriter struct {
+	srv        *Server
+	tr         wire.Transport
+	ps         wire.PayloadSender
+	bs         wire.BatchSender
+	limit      int // flush threshold in staged bytes
+	overhead   int // framing bytes added per staged payload
+	sendFailed bool
+	frames     int // frames staged since the last flush
+	bytes      int // wire bytes staged since the last flush
+}
+
+func newFlushWriter(s *Server, tr wire.Transport) *flushWriter {
+	fw := &flushWriter{srv: s, tr: tr, limit: s.flushBytes, overhead: 1}
+	fw.ps, _ = tr.(wire.PayloadSender)
+	fw.bs, _ = tr.(wire.BatchSender)
+	if _, ok := tr.(*wire.FrameCodec); ok {
+		fw.overhead = wire.FrameHeaderLen
+	}
+	return fw
+}
+
+// write sends one queued message, releasing its pooled buffer in every
+// outcome. Encoded payloads are staged without flushing; envelope
+// messages (foreign transports, pre-sniff errors) flush what is staged
+// first so the stream order is preserved, then send-and-flush.
+func (fw *flushWriter) write(m outMsg) {
+	if m.buf != nil && fw.bs != nil {
+		if !fw.sendFailed {
+			if err := fw.bs.SendPayloadNoFlush(m.buf.B); err != nil {
+				fw.sendFailed = true
+			} else {
+				fw.frames++
+				fw.bytes += len(m.buf.B) + fw.overhead
+			}
+		}
+		m.buf.Release()
+		if fw.bytes >= fw.limit {
+			fw.flush()
+		}
+		return
+	}
+	fw.flush()
+	if !fw.sendFailed {
+		var err error
+		if m.buf != nil {
+			err = fw.ps.SendPayload(m.buf.B)
+		} else {
+			err = fw.tr.Send(m.env)
+		}
+		if err != nil {
+			fw.sendFailed = true
+		}
+	}
+	if m.buf != nil {
+		m.buf.Release()
+	}
+}
+
+// flush pushes everything staged onto the stream and settles the
+// coalescing counters. A no-op when nothing is staged.
+func (fw *flushWriter) flush() {
+	if fw.frames == 0 {
+		return
+	}
+	frames, bytes := fw.frames, fw.bytes
+	fw.frames, fw.bytes = 0, 0
+	if fw.sendFailed {
+		return
+	}
+	if err := fw.bs.Flush(); err != nil {
+		fw.sendFailed = true
+		return
+	}
+	fw.srv.wireFlushes.Inc()
+	fw.srv.wireFrames.Add(int64(frames))
+	fw.srv.wireFlushBytes.Add(int64(bytes))
+}
+
 // inlineRead reports whether a request type is dispatched inline on the
 // reader goroutine: cheap read-mostly queries whose handling costs less
 // than the goroutine handoff they would otherwise pay. Inline requests
@@ -525,7 +657,7 @@ func inlineRead(t wire.MsgType) bool {
 // transport error just ends the connection.
 func (s *Server) ServeConn(conn io.ReadWriter) {
 	s.connTotal.Inc()
-	tr, terr := wire.ServerTransport(conn)
+	tr, terr := wire.ServerTransportBuffered(conn, s.flushBytes)
 	if tr == nil {
 		// Peek failed before a single byte arrived: nothing to answer.
 		return
@@ -535,31 +667,37 @@ func (s *Server) ServeConn(conn io.ReadWriter) {
 	// paths; the assertions keep a foreign Transport working through the
 	// allocating envelope path.
 	br, brOK := tr.(wire.BufRecver)
-	ps, psOK := tr.(wire.PayloadSender)
+	_, psOK := tr.(wire.PayloadSender)
 	fast := brOK && psOK
 
-	// Writer goroutine: the single owner of response sends. It keeps
-	// draining (and releasing pooled buffers) after a send failure so
-	// handler goroutines can never block on a dead connection.
+	// Writer goroutine: the single owner of response sends. It drains
+	// the queue opportunistically — every queued response is staged
+	// into the write buffer and the batch leaves in one flush when the
+	// queue goes momentarily empty (or the staged bytes pass the
+	// flush-bytes threshold), so a pipelined burst costs one write(2)
+	// instead of one per response. It keeps draining (and releasing
+	// pooled buffers) after a send failure so handler goroutines can
+	// never block on a dead connection.
 	out := make(chan outMsg, s.maxInFlight+1)
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
-		sendFailed := false
-		for m := range out {
-			if !sendFailed {
-				var err error
-				if m.buf != nil {
-					err = ps.SendPayload(m.buf.B)
-				} else {
-					err = tr.Send(m.env)
+		fw := newFlushWriter(s, tr)
+		for {
+			m, ok := <-out
+			for ok {
+				fw.write(m)
+				select {
+				case m, ok = <-out:
+					continue
+				default:
 				}
-				if err != nil {
-					sendFailed = true
-				}
+				break
 			}
-			if m.buf != nil {
-				m.buf.Release()
+			// Queue idle (or closed): the whole batch leaves now.
+			fw.flush()
+			if !ok {
+				return
 			}
 		}
 	}()
@@ -588,22 +726,24 @@ func (s *Server) ServeConn(conn io.ReadWriter) {
 
 	var handlers sync.WaitGroup
 	sem := make(chan struct{}, s.maxInFlight)
+	// The reader owns one receive buffer for the whole connection: an
+	// inline request's body is dead once dispatchAppend returns, so the
+	// buffer is simply reused. Only a request handed to a handler
+	// goroutine takes the buffer with it (the handler releases it) and
+	// the reader replaces its own from the pool.
+	var readBuf *wire.Buf
+	if fast {
+		readBuf = wire.GetBuf()
+	}
 	for {
 		var env wire.Envelope
-		var reqBuf *wire.Buf
 		var err error
 		if fast {
-			// The reader owns the request buffer until dispatch has
-			// decoded the body out of it.
-			reqBuf = wire.GetBuf()
-			env, reqBuf.B, err = br.RecvBuf(reqBuf.B)
+			env, readBuf.B, err = br.RecvBuf(readBuf.B)
 		} else {
 			env, err = tr.Recv()
 		}
 		if err != nil {
-			if reqBuf != nil {
-				reqBuf.Release()
-			}
 			if errors.Is(err, wire.ErrMalformed) {
 				// Answer with a reason before closing instead of
 				// silently dropping the connection.
@@ -620,9 +760,12 @@ func (s *Server) ServeConn(conn io.ReadWriter) {
 			resp := wire.GetBuf()
 			resp.B = s.dispatchAppend(cs, env, resp.B)
 			s.latency.ObserveDuration(time.Since(start))
-			reqBuf.Release()
 			out <- outMsg{buf: resp}
 			continue
+		}
+		var reqBuf *wire.Buf
+		if fast {
+			reqBuf, readBuf = readBuf, wire.GetBuf()
 		}
 		sem <- struct{}{}
 		handlers.Add(1)
@@ -648,6 +791,9 @@ func (s *Server) ServeConn(conn io.ReadWriter) {
 			out <- outMsg{env: resp}
 		}(env, reqBuf)
 	}
+	if readBuf != nil {
+		readBuf.Release()
+	}
 	handlers.Wait()
 	// Handlers are done, so nobody can add subscriptions anymore: cancel
 	// the connection's fan-out registrations and stop the pusher before
@@ -671,30 +817,43 @@ func (s *Server) dispatchAppend(cs *connSubs, env wire.Envelope, buf []byte) []b
 	switch env.Type {
 	case wire.MsgLocate:
 		s.reqCount[wire.MsgLocate].Inc()
+		// The fallback decodes into its own variable so taking its
+		// address for UnmarshalBody does not push the hot-path q (and
+		// everything reachable from it) onto the heap; likewise the
+		// response is spelled out through AppendEnvelopePrefix instead
+		// of boxed into AppendEnvelope's Appender parameter.
 		var q wire.Locate
 		if !q.DecodeBody(env.Body) {
-			if err := wire.UnmarshalBody(env, &q); err != nil {
+			var slow wire.Locate
+			if err := wire.UnmarshalBody(env, &slow); err != nil {
 				return fail(err)
 			}
+			q = slow
 		}
 		res, err := s.Locate(q)
 		if err != nil {
 			return fail(err)
 		}
-		return wire.AppendEnvelope(buf, wire.MsgLocateResult, env.Seq, &res)
+		buf = wire.AppendEnvelopePrefix(buf, wire.MsgLocateResult, env.Seq)
+		buf = res.AppendTo(buf)
+		return append(buf, '}')
 	case wire.MsgLocateAt:
 		s.reqCount[wire.MsgLocateAt].Inc()
 		var q wire.LocateAt
 		if !q.DecodeBody(env.Body) {
-			if err := wire.UnmarshalBody(env, &q); err != nil {
+			var slow wire.LocateAt
+			if err := wire.UnmarshalBody(env, &slow); err != nil {
 				return fail(err)
 			}
+			q = slow
 		}
 		res, err := s.LocateAt(q)
 		if err != nil {
 			return fail(err)
 		}
-		return wire.AppendEnvelope(buf, wire.MsgLocateResult, env.Seq, &res)
+		buf = wire.AppendEnvelopePrefix(buf, wire.MsgLocateResult, env.Seq)
+		buf = res.AppendTo(buf)
+		return append(buf, '}')
 	case wire.MsgPresenceBatch:
 		s.reqCount[wire.MsgPresenceBatch].Inc()
 		var b wire.PresenceBatch

@@ -235,54 +235,61 @@ func (cs *connSubs) killSlow() {
 }
 
 // pump is the pusher goroutine: the single reader of the event buffer,
-// writing MsgEvent envelopes onto the transport (Send is safe against
-// the response writer's concurrent sends). Started lazily with the
-// connection's first subscription.
+// staging MsgEvent frames onto the transport (frame writes are safe
+// against the response writer's concurrent sends) and flushing once per
+// burst — a whole PublishBatch fan-out leaves in one write(2) instead
+// of one per event. Started lazily with the connection's first
+// subscription. A send failure just keeps it draining and releasing
+// until teardown.
 func (cs *connSubs) pump() {
 	defer close(cs.pumpDone)
-	sendFailed := false
+	fw := newFlushWriter(cs.srv, cs.tr)
 	for {
 		select {
 		case m, ok := <-cs.events:
+			for ok {
+				fw.write(m)
+				select {
+				case m, ok = <-cs.events:
+					continue
+				case <-cs.kill:
+					fw.flush()
+					cs.pumpKill()
+					return
+				default:
+				}
+				break
+			}
+			// Burst over (or channel closed): flush the batch.
+			fw.flush()
 			if !ok {
 				return
 			}
-			if !sendFailed {
-				var err error
-				if m.buf != nil {
-					err = cs.ps.SendPayload(m.buf.B)
-				} else {
-					err = cs.tr.Send(m.env)
-				}
-				if err != nil {
-					// The connection is gone; keep draining (and
-					// releasing) so shutdown can close the channel
-					// without anything queued.
-					sendFailed = true
-				}
-			}
-			if m.buf != nil {
-				m.buf.Release()
-			}
 		case <-cs.kill:
-			resp, merr := wire.MarshalBody(wire.MsgError, 0, wire.Error{
-				Code:    wire.CodeSlowConsumer,
-				Message: errSlowConsumer.Error(),
-			})
-			if merr == nil {
-				_ = cs.tr.Send(resp)
-			}
-			if cs.raw != nil {
-				_ = cs.raw.Close()
-			}
-			// Drain until shutdown closes the channel, releasing every
-			// queued payload.
-			for m := range cs.events {
-				if m.buf != nil {
-					m.buf.Release()
-				}
-			}
+			fw.flush()
+			cs.pumpKill()
 			return
+		}
+	}
+}
+
+// pumpKill answers the slow-consumer condemnation with a best-effort
+// MsgError, severs the socket, and drains the event buffer until
+// shutdown closes it, releasing every queued payload.
+func (cs *connSubs) pumpKill() {
+	resp, merr := wire.MarshalBody(wire.MsgError, 0, wire.Error{
+		Code:    wire.CodeSlowConsumer,
+		Message: errSlowConsumer.Error(),
+	})
+	if merr == nil {
+		_ = cs.tr.Send(resp)
+	}
+	if cs.raw != nil {
+		_ = cs.raw.Close()
+	}
+	for m := range cs.events {
+		if m.buf != nil {
+			m.buf.Release()
 		}
 	}
 }

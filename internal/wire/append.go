@@ -156,6 +156,20 @@ func AppendEnvelope(buf []byte, t MsgType, seq uint64, body Appender) []byte {
 	return append(buf, '}')
 }
 
+// AppendEnvelopePrefix appends everything of the canonical envelope
+// encoding up to and including `,"body":`. The caller appends the body
+// value with the concrete type's AppendTo and a closing '}' — the
+// spelled-out form of AppendEnvelope for hot paths where boxing the
+// body into the Appender interface would force a stack-allocated
+// response onto the heap.
+func AppendEnvelopePrefix(buf []byte, t MsgType, seq uint64) []byte {
+	buf = append(buf, `{"type":`...)
+	buf = appendJSONString(buf, string(t))
+	buf = append(buf, `,"seq":`...)
+	buf = strconv.AppendUint(buf, seq, 10)
+	return append(buf, `,"body":`...)
+}
+
 // AppendEnvelopeRaw appends the canonical encoding of an envelope whose
 // body is already-encoded JSON (or absent when empty), byte-identical
 // to json.Marshal of the same Envelope when env.Body is compact.
@@ -369,6 +383,10 @@ func decodeEnvelopeFast(p []byte) (env Envelope, ok bool) {
 	if p[i] < '0' || p[i] > '9' {
 		return Envelope{}, false
 	}
+	// JSON forbids leading zeros: "00" or "01" is not a number.
+	if p[i] == '0' && i+1 < len(p) && p[i+1] >= '0' && p[i+1] <= '9' {
+		return Envelope{}, false
+	}
 	var seq uint64
 	for i < len(p) && p[i] >= '0' && p[i] <= '9' {
 		d := uint64(p[i] - '0')
@@ -391,11 +409,159 @@ func decodeEnvelopeFast(p []byte) (env Envelope, ok bool) {
 		return Envelope{}, false
 	}
 	body := p[i : len(p)-1]
-	if len(body) == 0 || !json.Valid(body) {
+	// canonicalJSONValue is a cheap certain-yes scan over the dense
+	// encoding this package emits; json.Valid is the authority for
+	// everything it is unsure about, so the accepted set is identical.
+	if len(body) == 0 || (!canonicalJSONValue(body) && !json.Valid(body)) {
 		return Envelope{}, false
 	}
 	env.Body = json.RawMessage(body)
 	return env, true
+}
+
+// canonicalJSONValue reports whether b is certainly one complete JSON
+// value in the dense canonical encoding this package emits: no
+// whitespace, escape-free strings, exact number grammar. A true result
+// implies json.Valid(b); false means only "not certainly canonical" —
+// valid-but-foreign JSON (escapes, whitespace, deep nesting) also
+// reports false, and the caller must let json.Valid decide. It exists
+// because json.Valid's byte-at-a-time state machine dominated the frame
+// decode profile, and nearly every frame on the wire is canonical.
+func canonicalJSONValue(b []byte) bool {
+	i, ok := scanCanonicalValue(b, 0, 0)
+	return ok && i == len(b)
+}
+
+// maxCanonicalDepth bounds scanCanonicalValue's recursion; deeper
+// nesting falls back to json.Valid's iterative scanner.
+const maxCanonicalDepth = 64
+
+// scanCanonicalValue scans one canonical JSON value starting at b[i]
+// and returns the index just past it. ok is false whenever the input
+// is not certainly canonical.
+func scanCanonicalValue(b []byte, i, depth int) (int, bool) {
+	if depth > maxCanonicalDepth || i >= len(b) {
+		return 0, false
+	}
+	switch c := b[i]; {
+	case c == '{':
+		i++
+		if i < len(b) && b[i] == '}' {
+			return i + 1, true
+		}
+		for {
+			var ok bool
+			i, ok = scanCanonicalString(b, i)
+			if !ok || i >= len(b) || b[i] != ':' {
+				return 0, false
+			}
+			i, ok = scanCanonicalValue(b, i+1, depth+1)
+			if !ok || i >= len(b) {
+				return 0, false
+			}
+			switch b[i] {
+			case ',':
+				i++
+			case '}':
+				return i + 1, true
+			default:
+				return 0, false
+			}
+		}
+	case c == '[':
+		i++
+		if i < len(b) && b[i] == ']' {
+			return i + 1, true
+		}
+		for {
+			var ok bool
+			i, ok = scanCanonicalValue(b, i, depth+1)
+			if !ok || i >= len(b) {
+				return 0, false
+			}
+			switch b[i] {
+			case ',':
+				i++
+			case ']':
+				return i + 1, true
+			default:
+				return 0, false
+			}
+		}
+	case c == '"':
+		return scanCanonicalString(b, i)
+	case c == 't':
+		return scanCanonicalLit(b, i, "true")
+	case c == 'f':
+		return scanCanonicalLit(b, i, "false")
+	case c == 'n':
+		return scanCanonicalLit(b, i, "null")
+	case c == '-' || ('0' <= c && c <= '9'):
+		return scanCanonicalNumber(b, i)
+	}
+	return 0, false
+}
+
+// scanCanonicalString scans an escape-free JSON string at b[i]. A
+// backslash is not an error, just uncertainty — the fallback handles
+// escapes. Control bytes below 0x20 are invalid unescaped either way.
+func scanCanonicalString(b []byte, i int) (int, bool) {
+	if i >= len(b) || b[i] != '"' {
+		return 0, false
+	}
+	for i++; i < len(b); i++ {
+		switch c := b[i]; {
+		case c == '"':
+			return i + 1, true
+		case c == '\\' || c < 0x20:
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+func scanCanonicalLit(b []byte, i int, lit string) (int, bool) {
+	if len(b)-i < len(lit) || string(b[i:i+len(lit)]) != lit {
+		return 0, false
+	}
+	return i + len(lit), true
+}
+
+// scanCanonicalNumber scans exactly the JSON number grammar:
+// -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?.
+func scanCanonicalNumber(b []byte, i int) (int, bool) {
+	if b[i] == '-' {
+		if i++; i >= len(b) {
+			return 0, false
+		}
+	}
+	switch {
+	case b[i] == '0':
+		i++
+	case '1' <= b[i] && b[i] <= '9':
+		for i++; i < len(b) && '0' <= b[i] && b[i] <= '9'; i++ {
+		}
+	default:
+		return 0, false
+	}
+	if i < len(b) && b[i] == '.' {
+		if i++; i >= len(b) || b[i] < '0' || b[i] > '9' {
+			return 0, false
+		}
+		for ; i < len(b) && '0' <= b[i] && b[i] <= '9'; i++ {
+		}
+	}
+	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
+		if i++; i < len(b) && (b[i] == '+' || b[i] == '-') {
+			i++
+		}
+		if i >= len(b) || b[i] < '0' || b[i] > '9' {
+			return 0, false
+		}
+		for ; i < len(b) && '0' <= b[i] && b[i] <= '9'; i++ {
+		}
+	}
+	return i, true
 }
 
 // internMsgType maps an escape-free wire type name onto the shared

@@ -402,6 +402,41 @@ func FuzzAppendersMatchJSON(f *testing.F) {
 	})
 }
 
+// TestCanonicalJSONValueSound: a true from the canonical scanner must
+// imply json.Valid — it may only ever shortcut the yes answer, never
+// widen it — and it must actually fire (return true) for the dense
+// encodings this package emits, or the fast path silently regresses to
+// the json.Valid state machine.
+func TestCanonicalJSONValueSound(t *testing.T) {
+	certain := []string{
+		`{}`, `[]`, `"x"`, `0`, `-1`, `12.5`, `1e9`, `-0.5E+3`, `true`, `false`, `null`,
+		`{"querier":"alice","target":"bob"}`,
+		`{"room":6,"roomName":"Lab 6","at":42}`,
+		`[1,2,3]`, `{"a":[{"b":null}],"c":""}`,
+	}
+	for _, s := range certain {
+		if !canonicalJSONValue([]byte(s)) {
+			t.Errorf("canonicalJSONValue(%q) = false, want certain yes", s)
+		}
+	}
+	uncertain := []string{
+		// Invalid JSON: must never be certainly canonical.
+		``, `{`, `}`, `{]`, `{"a"}`, `{"a":}`, `{"a":1,}`, `[1,]`, `[,1]`,
+		`01`, `1.`, `.5`, `1e`, `1e+`, `--1`, `+1`, `tru`, `nul`, `"unterminated`,
+		`"ctl` + "\x01" + `"`, `{"a":1}}`, `{"a":1}{"b":2}`, `1 2`, `nonsense`,
+		// Valid but foreign JSON: false is correct (fallback decides).
+		` {}`, `{ "a":1}`, `{"a": 1}`, `"esc\n"`, "[1,\n2]",
+	}
+	for _, s := range uncertain {
+		if canonicalJSONValue([]byte(s)) && !json.Valid([]byte(s)) {
+			t.Errorf("canonicalJSONValue(%q) = true on input json.Valid rejects", s)
+		}
+		if canonicalJSONValue([]byte(s)) {
+			t.Errorf("canonicalJSONValue(%q) = true, want uncertain", s)
+		}
+	}
+}
+
 // FuzzDecodeEnvelope feeds arbitrary payloads to the fast decoder: it
 // must accept exactly what json.Unmarshal accepts (modulo body
 // normalization) and agree on the decoded envelope.

@@ -44,30 +44,99 @@ type BufRecver interface {
 	RecvBuf(buf []byte) (Envelope, []byte, error)
 }
 
-// SendPayload implements PayloadSender for v2: header + payload.
-func (c *FrameCodec) SendPayload(payload []byte) error {
+// BatchSender is PayloadSender with flushing as an explicit policy
+// instead of a side effect of every send: SendPayloadNoFlush stages one
+// framed payload in the write buffer and Flush pushes everything staged
+// onto the stream in a single write. A caller that drains a queue of
+// frames stages each one and flushes once when the queue goes idle, so
+// a burst of N frames costs one write(2) instead of N. The payload is
+// copied into the write buffer before SendPayloadNoFlush returns, so
+// the caller may release or reuse it immediately — same contract as
+// SendPayload. Frames stay atomic under concurrent senders, and a
+// Flush (explicit, or the implicit one inside SendPayload/Send) pushes
+// out whatever any sender has staged. Both Codec and FrameCodec
+// implement it; plain Send/SendPayload keep their flush-per-send
+// behavior for foreign transports and v1 clients that depend on it.
+type BatchSender interface {
+	PayloadSender
+	// SendPayloadNoFlush stages one framed payload without flushing.
+	SendPayloadNoFlush(payload []byte) error
+	// Flush writes everything staged onto the underlying stream.
+	Flush() error
+	// Buffered reports how many bytes are currently staged. The write
+	// buffer flushes itself when full, so this is bounded by the
+	// buffer size the transport was built with.
+	Buffered() int
+}
+
+// Compile-time proof that both codecs support every fast path.
+var (
+	_ BatchSender  = (*Codec)(nil)
+	_ BatchSender  = (*FrameCodec)(nil)
+	_ AppendSender = (*Codec)(nil)
+	_ AppendSender = (*FrameCodec)(nil)
+	_ BufRecver    = (*Codec)(nil)
+	_ BufRecver    = (*FrameCodec)(nil)
+)
+
+// sendPayload stages one v2 frame and optionally flushes.
+func (c *FrameCodec) sendPayload(payload []byte, flush bool) error {
 	if len(payload) > MaxFramePayload {
 		return fmt.Errorf("wire: frame payload %d exceeds %d", len(payload), MaxFramePayload)
 	}
-	var hdr [FrameHeaderLen]byte
-	hdr[0] = FrameMagic
-	hdr[1] = FrameVersion
-	binary.BigEndian.PutUint32(hdr[2:], uint32(len(payload)))
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	if c.closed {
 		return ErrClosed
 	}
-	if _, err := c.w.Write(hdr[:]); err != nil {
+	c.hdr[0] = FrameMagic
+	c.hdr[1] = FrameVersion
+	binary.BigEndian.PutUint32(c.hdr[2:], uint32(len(payload)))
+	if _, err := c.w.Write(c.hdr[:]); err != nil {
 		return fmt.Errorf("wire: write: %w", err)
 	}
 	if _, err := c.w.Write(payload); err != nil {
 		return fmt.Errorf("wire: write: %w", err)
 	}
+	if !flush {
+		return nil
+	}
 	if err := c.w.Flush(); err != nil {
 		return fmt.Errorf("wire: flush: %w", err)
 	}
 	return nil
+}
+
+// SendPayload implements PayloadSender for v2: header + payload, flushed.
+func (c *FrameCodec) SendPayload(payload []byte) error {
+	return c.sendPayload(payload, true)
+}
+
+// SendPayloadNoFlush implements BatchSender for v2: the frame is staged
+// in the write buffer and leaves only on Flush (or when the buffer
+// fills).
+func (c *FrameCodec) SendPayloadNoFlush(payload []byte) error {
+	return c.sendPayload(payload, false)
+}
+
+// Flush implements BatchSender for v2.
+func (c *FrameCodec) Flush() error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("wire: flush: %w", err)
+	}
+	return nil
+}
+
+// Buffered implements BatchSender for v2.
+func (c *FrameCodec) Buffered() int {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return c.w.Buffered()
 }
 
 // SendAppend implements AppendSender for v2.
@@ -78,22 +147,62 @@ func (c *FrameCodec) SendAppend(t MsgType, seq uint64, body Appender) error {
 	return c.SendPayload(buf.B)
 }
 
-// RecvBuf implements BufRecver for v2.
+// sendAppendNoFlush stages one append-encoded frame without flushing,
+// encoding straight into the write buffer's free space: header
+// placeholder, envelope, then the length backfilled. When the envelope
+// fits (the common case) the closing Write degenerates to a self-copy
+// and the frame costs no pooled buffer and no memmove; when append had
+// to reallocate, Write copies — and may flush earlier staged frames,
+// which is the write buffer's documented spill behavior.
+func (c *FrameCodec) sendAppendNoFlush(t MsgType, seq uint64, body Appender) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	scratch := c.w.AvailableBuffer()
+	scratch = append(scratch, c.hdr[:]...) // placeholder; backfilled below
+	scratch = AppendEnvelope(scratch, t, seq, body)
+	payload := len(scratch) - FrameHeaderLen
+	if payload > MaxFramePayload {
+		return fmt.Errorf("wire: frame payload %d exceeds %d", payload, MaxFramePayload)
+	}
+	scratch[0] = FrameMagic
+	scratch[1] = FrameVersion
+	binary.BigEndian.PutUint32(scratch[2:], uint32(payload))
+	if _, err := c.w.Write(scratch); err != nil {
+		return fmt.Errorf("wire: write: %w", err)
+	}
+	return nil
+}
+
+// RecvBuf implements BufRecver for v2. The header is parsed in place
+// via Peek — a local array read through io.ReadFull would escape into
+// the io.Reader interface and cost an allocation per frame.
 func (c *FrameCodec) RecvBuf(buf []byte) (Envelope, []byte, error) {
-	var hdr [FrameHeaderLen]byte
-	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
-		if errors.Is(err, io.ErrUnexpectedEOF) {
-			return Envelope{}, buf, fmt.Errorf("%w: truncated frame header", ErrMalformed)
+	hdr, err := c.r.Peek(FrameHeaderLen)
+	if err != nil {
+		// Mirror io.ReadFull: nothing read passes the error through
+		// (io.EOF on clean close); a torn header is a framing error.
+		if len(hdr) == 0 || !errors.Is(err, io.EOF) {
+			return Envelope{}, buf, err
 		}
+		return Envelope{}, buf, fmt.Errorf("%w: truncated frame header", ErrMalformed)
+	}
+	magic, version := hdr[0], hdr[1]
+	n := binary.BigEndian.Uint32(hdr[2:])
+	// The peeked slice dies at the next reader call, so consume the
+	// header (always fully buffered after a successful Peek) before
+	// validating, exactly where io.ReadFull left the stream.
+	if _, err := c.r.Discard(FrameHeaderLen); err != nil {
 		return Envelope{}, buf, err
 	}
-	if hdr[0] != FrameMagic {
-		return Envelope{}, buf, fmt.Errorf("%w: bad frame magic 0x%02X", ErrMalformed, hdr[0])
+	if magic != FrameMagic {
+		return Envelope{}, buf, fmt.Errorf("%w: bad frame magic 0x%02X", ErrMalformed, magic)
 	}
-	if hdr[1] != FrameVersion {
-		return Envelope{}, buf, fmt.Errorf("%w: unsupported frame version 0x%02X", ErrMalformed, hdr[1])
+	if version != FrameVersion {
+		return Envelope{}, buf, fmt.Errorf("%w: unsupported frame version 0x%02X", ErrMalformed, version)
 	}
-	n := binary.BigEndian.Uint32(hdr[2:])
 	if n > MaxFramePayload {
 		return Envelope{}, buf, fmt.Errorf("%w: frame payload %d exceeds %d", ErrMalformed, n, MaxFramePayload)
 	}
@@ -115,8 +224,8 @@ func (c *FrameCodec) RecvBuf(buf []byte) (Envelope, []byte, error) {
 	return env, buf, nil
 }
 
-// SendPayload implements PayloadSender for v1: payload + newline.
-func (c *Codec) SendPayload(payload []byte) error {
+// sendPayload stages one v1 line and optionally flushes.
+func (c *Codec) sendPayload(payload []byte, flush bool) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	if c.closed {
@@ -128,10 +237,45 @@ func (c *Codec) SendPayload(payload []byte) error {
 	if err := c.w.WriteByte('\n'); err != nil {
 		return fmt.Errorf("wire: write: %w", err)
 	}
+	if !flush {
+		return nil
+	}
 	if err := c.w.Flush(); err != nil {
 		return fmt.Errorf("wire: flush: %w", err)
 	}
 	return nil
+}
+
+// SendPayload implements PayloadSender for v1: payload + newline, flushed.
+func (c *Codec) SendPayload(payload []byte) error {
+	return c.sendPayload(payload, true)
+}
+
+// SendPayloadNoFlush implements BatchSender for v1: the line is staged
+// in the write buffer and leaves only on Flush (or when the buffer
+// fills).
+func (c *Codec) SendPayloadNoFlush(payload []byte) error {
+	return c.sendPayload(payload, false)
+}
+
+// Flush implements BatchSender for v1.
+func (c *Codec) Flush() error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("wire: flush: %w", err)
+	}
+	return nil
+}
+
+// Buffered implements BatchSender for v1.
+func (c *Codec) Buffered() int {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return c.w.Buffered()
 }
 
 // SendAppend implements AppendSender for v1.
@@ -140,6 +284,23 @@ func (c *Codec) SendAppend(t MsgType, seq uint64, body Appender) error {
 	defer buf.Release()
 	buf.B = AppendEnvelope(buf.B, t, seq, body)
 	return c.SendPayload(buf.B)
+}
+
+// sendAppendNoFlush stages one append-encoded line without flushing,
+// encoding straight into the write buffer's free space — the v1 twin of
+// FrameCodec.sendAppendNoFlush, with the newline in place of a header.
+func (c *Codec) sendAppendNoFlush(t MsgType, seq uint64, body Appender) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	scratch := AppendEnvelope(c.w.AvailableBuffer(), t, seq, body)
+	scratch = append(scratch, '\n')
+	if _, err := c.w.Write(scratch); err != nil {
+		return fmt.Errorf("wire: write: %w", err)
+	}
+	return nil
 }
 
 // RecvBuf implements BufRecver for v1: one line, accumulated into buf

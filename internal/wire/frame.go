@@ -64,22 +64,34 @@ type Transport interface {
 type FrameCodec struct {
 	writeMu sync.Mutex
 	w       *bufio.Writer
-	r       *bufio.Reader
-	closer  io.Closer
-	closed  bool
+	// hdr is the send-side header scratch, guarded by writeMu. A local
+	// array would escape through bufio's io.Writer plumbing and cost an
+	// allocation per frame.
+	hdr    [FrameHeaderLen]byte
+	r      *bufio.Reader
+	closer io.Closer
+	closed bool
 }
 
 // NewFrameCodec wraps a stream in the v2 framing. If rw implements
 // io.Closer, Close closes it.
 func NewFrameCodec(rw io.ReadWriter) *FrameCodec {
-	return newFrameCodec(rw, bufio.NewReader(rw))
+	return newFrameCodec(rw, bufio.NewReader(rw), 0)
+}
+
+// NewFrameCodecBuffered is NewFrameCodec with an explicit write-buffer
+// size: how many bytes SendPayloadNoFlush can stage before the buffer
+// flushes itself. Sizes <= 0 select the bufio default.
+func NewFrameCodecBuffered(rw io.ReadWriter, wbuf int) *FrameCodec {
+	return newFrameCodec(rw, bufio.NewReader(rw), wbuf)
 }
 
 // newFrameCodec builds a FrameCodec over an already-buffered reader, so
-// the server-side sniffer can hand over the reader it peeked into.
-func newFrameCodec(rw io.ReadWriter, r *bufio.Reader) *FrameCodec {
+// the server-side sniffer can hand over the reader it peeked into. wbuf
+// sizes the write buffer (<= 0: the bufio default).
+func newFrameCodec(rw io.ReadWriter, r *bufio.Reader, wbuf int) *FrameCodec {
 	c := &FrameCodec{
-		w: bufio.NewWriter(rw),
+		w: bufio.NewWriterSize(rw, wbuf),
 		r: r,
 	}
 	if cl, ok := rw.(io.Closer); ok {
@@ -147,6 +159,14 @@ func (c *FrameCodec) Close() error {
 // other first byte yields ErrMalformed together with a best-effort v1
 // transport the caller can use to answer MsgError before closing.
 func ServerTransport(rw io.ReadWriter) (Transport, error) {
+	return ServerTransportBuffered(rw, 0)
+}
+
+// ServerTransportBuffered is ServerTransport with an explicit
+// write-buffer size: how many bytes a flush-coalescing writer can stage
+// with SendPayloadNoFlush before bufio flushes on its own. Sizes <= 0
+// select the bufio default (4 KiB).
+func ServerTransportBuffered(rw io.ReadWriter, wbuf int) (Transport, error) {
 	br := bufio.NewReader(rw)
 	first, err := br.Peek(1)
 	if err != nil {
@@ -154,10 +174,10 @@ func ServerTransport(rw io.ReadWriter) (Transport, error) {
 	}
 	switch first[0] {
 	case FrameMagic:
-		return newFrameCodec(rw, br), nil
+		return newFrameCodec(rw, br, wbuf), nil
 	case '{':
-		return newCodec(rw, br), nil
+		return newCodec(rw, br, wbuf), nil
 	default:
-		return newCodec(rw, br), fmt.Errorf("%w: unknown protocol byte 0x%02X", ErrMalformed, first[0])
+		return newCodec(rw, br, wbuf), fmt.Errorf("%w: unknown protocol byte 0x%02X", ErrMalformed, first[0])
 	}
 }

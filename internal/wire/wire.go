@@ -404,14 +404,22 @@ type Codec struct {
 
 // NewCodec wraps a stream. If rw implements io.Closer, Close closes it.
 func NewCodec(rw io.ReadWriter) *Codec {
-	return newCodec(rw, bufio.NewReader(rw))
+	return newCodec(rw, bufio.NewReader(rw), 0)
+}
+
+// NewCodecBuffered is NewCodec with an explicit write-buffer size: how
+// many bytes SendPayloadNoFlush can stage before the buffer flushes
+// itself. Sizes <= 0 select the bufio default.
+func NewCodecBuffered(rw io.ReadWriter, wbuf int) *Codec {
+	return newCodec(rw, bufio.NewReader(rw), wbuf)
 }
 
 // newCodec builds a Codec over an already-buffered reader, so the
 // server-side version sniffer can hand over the reader it peeked into.
-func newCodec(rw io.ReadWriter, r *bufio.Reader) *Codec {
+// wbuf sizes the write buffer (<= 0: the bufio default).
+func newCodec(rw io.ReadWriter, r *bufio.Reader, wbuf int) *Codec {
 	c := &Codec{
-		w: bufio.NewWriter(rw),
+		w: bufio.NewWriterSize(rw, wbuf),
 		r: r,
 	}
 	if cl, ok := rw.(io.Closer); ok {
@@ -478,6 +486,15 @@ type Client struct {
 	push    func(Envelope)
 	err     error
 	done    chan struct{}
+
+	// sendMu guards writers: how many goroutines are currently staging
+	// a request on a BatchSender transport. Concurrent pipelined calls
+	// group-commit — each stages its frame without flushing and the
+	// last one out issues the single Flush — so a burst of requests
+	// from many workers leaves in one write(2). A lone caller sees
+	// writers drop to zero on every call, i.e. flush-per-send.
+	sendMu  sync.Mutex
+	writers int
 }
 
 // callDone hands a response from the receive loop to the waiting
@@ -634,8 +651,62 @@ func (c *Client) Call(t MsgType, body any, out any) error {
 	return err
 }
 
-// send writes the request, preferring the pooled append path.
+// send writes the request, preferring the pooled append path. On a
+// BatchSender transport the request is staged without flushing and the
+// last concurrent sender out flushes for everyone (group commit); the
+// flush always runs on the final decrement even after a staging error,
+// so a frame another caller staged is never stranded in the buffer.
 func (c *Client) send(t MsgType, seq uint64, body any) error {
+	bs, batch := c.codec.(BatchSender)
+	if !batch {
+		return c.sendNow(t, seq, body)
+	}
+	c.sendMu.Lock()
+	c.writers++
+	c.sendMu.Unlock()
+	err := c.stage(bs, t, seq, body)
+	c.sendMu.Lock()
+	c.writers--
+	last := c.writers == 0
+	c.sendMu.Unlock()
+	if last {
+		if ferr := bs.Flush(); err == nil {
+			err = ferr
+		}
+	}
+	return err
+}
+
+// stage encodes the request into the transport's write buffer without
+// flushing. Appender bodies on this package's own codecs encode in
+// place — no pooled buffer, no copy; everything else goes through a
+// pooled buffer and SendPayloadNoFlush.
+func (c *Client) stage(bs BatchSender, t MsgType, seq uint64, body any) error {
+	if a, ok := body.(Appender); ok {
+		switch cc := bs.(type) {
+		case *FrameCodec:
+			return cc.sendAppendNoFlush(t, seq, a)
+		case *Codec:
+			return cc.sendAppendNoFlush(t, seq, a)
+		}
+	}
+	buf := GetBuf()
+	defer buf.Release()
+	if a, ok := body.(Appender); ok {
+		buf.B = AppendEnvelope(buf.B, t, seq, a)
+	} else {
+		env, err := MarshalBody(t, seq, body)
+		if err != nil {
+			return err
+		}
+		buf.B = AppendEnvelopeRaw(buf.B, env)
+	}
+	return bs.SendPayloadNoFlush(buf.B)
+}
+
+// sendNow is the flush-per-send path for foreign transports that
+// implement none of the batching interfaces.
+func (c *Client) sendNow(t MsgType, seq uint64, body any) error {
 	if a, ok := body.(Appender); ok {
 		if as, ok := c.codec.(AppendSender); ok {
 			return as.SendAppend(t, seq, a)
